@@ -1,0 +1,96 @@
+//! Fig 5 reproduction: inter-frame delays on the server side under
+//! different system contentions.
+//!
+//! Regenerates the four panels — (a) VDBMS low contention, (b) QuaSAQ low
+//! contention, (c) VDBMS high contention, (d) QuaSAQ high contention —
+//! for a 23.97 fps monitored stream, printing the delay-series summary
+//! and an ASCII rendering of each panel's shape.
+
+use quasaq_bench::{paper, sparkline, Table};
+use quasaq_workload::{run_fig5, Contention, Fig5Config, Fig5System};
+
+fn main() {
+    println!("=== Fig 5: inter-frame delays on the server side ===\n");
+    println!(
+        "Monitored stream: 23.97 fps (theoretical inter-frame delay {:.2} ms), 15-frame GOP.\n",
+        paper::THEORETICAL_INTERFRAME_MS
+    );
+
+    let cfg = Fig5Config::default();
+    let panels = [
+        ("a", Fig5System::Vdbms, Contention::Low, paper::T2_VDBMS_LOW),
+        ("b", Fig5System::Quasaq, Contention::Low, paper::T2_QUASAQ_LOW),
+        ("c", Fig5System::Vdbms, Contention::High, paper::T2_VDBMS_HIGH),
+        ("d", Fig5System::Quasaq, Contention::High, paper::T2_QUASAQ_HIGH),
+    ];
+
+    let mut table = Table::new(&[
+        "panel",
+        "system",
+        "contention",
+        "streams",
+        "frames",
+        "mean (ms)",
+        "sd (ms)",
+        "max (ms)",
+        "paper mean",
+        "paper sd",
+    ]);
+
+    for (panel, system, contention, reference) in panels {
+        let (report, competitors) = run_fig5(system, contention, &cfg);
+        let delays = report.inter_frame_delays_ms();
+        let stats = report.frame_delay_stats();
+        table.row(&[
+            format!("5{panel}"),
+            system.label().to_string(),
+            contention.label().to_string(),
+            format!("{}", competitors + 1),
+            format!("{}", delays.len() + 1),
+            format!("{:.2}", stats.mean()),
+            format!("{:.2}", stats.std_dev()),
+            format!("{:.1}", stats.max().unwrap_or(0.0)),
+            format!("{:.2}", reference.0),
+            format!("{:.2}", reference.1),
+        ]);
+
+        // The per-frame series itself, as the paper plots it (first ~1000
+        // frames), shown as a sparkline plus a decimated excerpt.
+        let first_1000: Vec<f64> = delays.iter().copied().take(1000).collect();
+        println!(
+            "Fig 5{panel} [{} / {}] delay series (first {} frames): {}",
+            system.label(),
+            contention.label(),
+            first_1000.len(),
+            sparkline(&first_1000, 72)
+        );
+        let excerpt: Vec<String> =
+            first_1000.iter().step_by(100).map(|d| format!("{d:.1}")).collect();
+        println!("          every 100th delay (ms): {}\n", excerpt.join(", "));
+    }
+
+    println!("{}", table.render());
+    println!(
+        "\nShape check: panel 5c's standard deviation should sit an order of\n\
+         magnitude above the other three panels, and 5d should match 5b.\n"
+    );
+
+    // "Data collected on the client side show similar results [7]."
+    println!("Client-side inter-frame delays (delivery instants, 2-3 hops away):");
+    let mut client = Table::new(&["panel", "system", "contention", "mean (ms)", "sd (ms)"]);
+    for (panel, system, contention, _) in panels {
+        let (report, _) = run_fig5(system, contention, &cfg);
+        let mut stats = quasaq_sim::OnlineStats::new();
+        for d in report.client_inter_frame_delays_ms() {
+            stats.push(d);
+        }
+        client.row(&[
+            format!("5{panel}"),
+            system.label().to_string(),
+            contention.label().to_string(),
+            format!("{:.2}", stats.mean()),
+            format!("{:.2}", stats.std_dev()),
+        ]);
+    }
+    println!("{}", client.render());
+}

@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of the simulation substrates themselves —
+//! not a paper experiment, but regression coverage for the hot paths that
+//! every experiment runs through (event queue, CPU schedulers, fluid
+//! links, trace generation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quasaq_media::{FrameRate, FrameTrace, GopPattern, TraceParams};
+use quasaq_sim::cpu::{CpuScheduler, Dsrt, DsrtConfig, TimeSharing};
+use quasaq_sim::{EventQueue, SharedLink, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                // Scatter times deterministically.
+                q.schedule(SimTime::from_micros((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_cpu_schedulers(c: &mut Criterion) {
+    c.bench_function("timesharing_50_jobs_1k_tasks", |b| {
+        b.iter(|| {
+            let mut cpu = TimeSharing::solaris_default();
+            let jobs: Vec<_> = (0..50).map(|_| cpu.add_job(SimTime::ZERO)).collect();
+            for i in 0..1_000 {
+                cpu.submit(SimTime::ZERO, jobs[i % 50], SimDuration::from_micros(1_500));
+            }
+            let mut done = 0;
+            while let Some(t) = cpu.next_event() {
+                cpu.advance_to(t);
+                done += cpu.drain_completions().len();
+            }
+            black_box(done)
+        })
+    });
+
+    c.bench_function("dsrt_20_reserved_1k_tasks", |b| {
+        b.iter(|| {
+            let mut cpu = Dsrt::new(DsrtConfig::default());
+            let jobs: Vec<_> = (0..20)
+                .map(|_| {
+                    cpu.reserve(SimTime::ZERO, SimDuration::from_millis(2), SimDuration::from_millis(42))
+                        .expect("fits")
+                })
+                .collect();
+            for i in 0..1_000 {
+                cpu.submit(SimTime::ZERO, jobs[i % 20], SimDuration::from_micros(1_500));
+            }
+            let mut done = 0;
+            while let Some(t) = cpu.next_event() {
+                cpu.advance_to(t);
+                done += cpu.drain_completions().len();
+            }
+            black_box(done)
+        })
+    });
+}
+
+fn bench_link(c: &mut Criterion) {
+    c.bench_function("fair_link_100_flows_1k_xfers", |b| {
+        b.iter(|| {
+            let mut link = SharedLink::fair_share(3_200_000);
+            let flows: Vec<_> = (0..100)
+                .map(|_| link.open_flow(SimTime::ZERO, Some(48_000)).unwrap())
+                .collect();
+            for i in 0..1_000 {
+                link.send(SimTime::ZERO, flows[i % 100], 4_000);
+            }
+            let mut done = 0;
+            while let Some(t) = link.next_event() {
+                link.advance_to(t);
+                done += link.drain_completions().len();
+            }
+            black_box(done)
+        })
+    });
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let params = TraceParams::with_bitrate(
+        FrameRate::NTSC_FILM,
+        SimDuration::from_secs(600),
+        GopPattern::mpeg1_n15(),
+        193_000.0,
+    );
+    c.bench_function("trace_generate_10min", |b| {
+        b.iter(|| black_box(FrameTrace::generate(black_box(7), &params)))
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_cpu_schedulers, bench_link, bench_trace);
+criterion_main!(benches);

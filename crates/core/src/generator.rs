@@ -1,0 +1,419 @@
+//! The Plan Generator: enumerating and pruning the QoS-aware plan space.
+//!
+//! For one resolved logical object, the generator expands the ordered
+//! disjoint activity sets of Fig 2 — object replica (A1) × target site
+//! (A2) × frame-dropping strategy (A3) × transcoding target (A4) ×
+//! encryption (A5) — and applies the paper's two pruning layers:
+//!
+//! * **Static QoS rules** — "we cannot retrieve a video with resolution
+//!   lower than that required by the user. Similarly, it makes no sense
+//!   to transcode from low resolution to high resolution": replicas must
+//!   dominate the range floor, transcodes only go down, and frame
+//!   dropping may not push the delivered frame rate below the floor.
+//! * **Performance pitfalls** — plans that are pure waste are dropped
+//!   instantly (e.g. encrypting when no security was requested; the
+//!   encrypt-after-drop ordering is structural in the executor).
+//!
+//! With the activity order fixed the space is `O(d^n)`; the generator
+//! also exposes the unpruned combinatorial bound so the pruning ablation
+//! can report how much the rules save.
+
+use crate::plan::Plan;
+use crate::qop::QopSecurity;
+use quasaq_media::{
+    CipherAlgo, DeliveryCostModel, DropStrategy, FrameRate, QosRange, Transcode, VideoFormat,
+    VideoId,
+};
+use quasaq_qosapi::CompositeQosApi;
+use quasaq_sim::ServerId;
+use quasaq_store::MetadataEngine;
+
+/// What the Quality Manager plans for: a resolved logical object plus the
+/// query's QoS component.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// The logical object identified by the content query.
+    pub video: VideoId,
+    /// Acceptable application QoS.
+    pub qos: QosRange,
+    /// Security requirement (chooses the A5 set).
+    pub security: QopSecurity,
+}
+
+/// Generator policy switches (ablation knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Enumerate cross-server plans (retrieve at one site, serve from
+    /// another).
+    pub allow_remote: bool,
+    /// Enumerate online-transcode plans.
+    pub allow_transcode: bool,
+    /// Enumerate frame-dropping plans.
+    pub allow_drop: bool,
+    /// Apply the static pruning rules. Disabling this (for the ablation)
+    /// keeps QoS-*violating* plans out — they would be incorrect — but
+    /// stops dropping merely *wasteful* ones.
+    pub prune_wasteful: bool,
+    /// Delivery cost model used for resource vectors.
+    pub cost: DeliveryCostModel,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            allow_remote: true,
+            allow_transcode: true,
+            allow_drop: true,
+            prune_wasteful: true,
+            cost: DeliveryCostModel::default(),
+        }
+    }
+}
+
+/// The Plan Generator.
+#[derive(Debug, Clone)]
+pub struct PlanGenerator {
+    cfg: GeneratorConfig,
+}
+
+impl PlanGenerator {
+    /// Creates a generator.
+    pub fn new(cfg: GeneratorConfig) -> Self {
+        PlanGenerator { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.cfg
+    }
+
+    /// Enumerates all valid plans for `request`, in deterministic order.
+    pub fn generate(&self, engine: &MetadataEngine, request: &PlanRequest) -> Vec<Plan> {
+        let Some(meta) = engine.video(request.video) else { return Vec::new() };
+        let gop = meta.gop.clone();
+        let servers: Vec<ServerId> = engine.sites().collect();
+        let mut plans = Vec::new();
+
+        for record in engine.replicas(request.video) {
+            let spec = record.object.spec;
+            // Static QoS rule: quality only degrades, so the replica must
+            // dominate the range floor.
+            if !request.qos.reachable_from(&spec) {
+                continue;
+            }
+
+            // A4: transcoding targets — deliver as-is when in range, or
+            // transcode down to the cheapest in-range quality.
+            let mut deliveries: Vec<Option<Transcode>> = Vec::new();
+            if request.qos.accepts(&spec) {
+                deliveries.push(None);
+            }
+            if self.cfg.allow_transcode {
+                // Prefer the MPEG-1 streaming format when acceptable.
+                let fmt = if request.qos.accepts_format(VideoFormat::Mpeg1) {
+                    VideoFormat::Mpeg1
+                } else {
+                    spec.format
+                };
+                if let Some(target) = request.qos.cheapest_target(&spec, fmt) {
+                    if target != spec {
+                        if let Ok(t) = Transcode::plan(spec, target) {
+                            deliveries.push(Some(t));
+                        }
+                    }
+                }
+            }
+
+            // A2: target sites.
+            let targets: Vec<ServerId> = if self.cfg.allow_remote {
+                servers.clone()
+            } else {
+                vec![record.object.server]
+            };
+
+            // A3: frame dropping.
+            let drops: &[DropStrategy] = if self.cfg.allow_drop {
+                &DropStrategy::ALL
+            } else {
+                &[DropStrategy::None]
+            };
+
+            // A5: encryption.
+            let ciphers: Vec<CipherAlgo> = CipherAlgo::ALL
+                .into_iter()
+                .filter(|c| request.security.accepts(*c))
+                .filter(|c| {
+                    // Performance pitfall: encrypting an open stream is
+                    // pure waste.
+                    !self.cfg.prune_wasteful
+                        || request.security != QopSecurity::Open
+                        || !c.is_encrypting()
+                })
+                .collect();
+
+            for transcode in &deliveries {
+                let base = match transcode {
+                    Some(t) => *t.target(),
+                    None => spec,
+                };
+                for &drop in drops {
+                    // Static QoS rule: dropping must keep the delivered
+                    // frame rate within range.
+                    let effective_fps = drop.effective_fps(base.frame_rate.fps(), &gop);
+                    if FrameRate::from_fps(effective_fps.max(0.001)) < request.qos.min_frame_rate
+                    {
+                        continue;
+                    }
+                    for &target_server in &targets {
+                        for &cipher in &ciphers {
+                            let (resources, delivered_bps) = Plan::compute_resources(
+                                record,
+                                target_server,
+                                &gop,
+                                transcode.as_ref(),
+                                drop,
+                                cipher,
+                                &self.cfg.cost,
+                            );
+                            let mut delivered = base;
+                            delivered.frame_rate = FrameRate::from_fps(effective_fps);
+                            plans.push(Plan {
+                                object: record.clone(),
+                                target_server,
+                                drop,
+                                transcode: *transcode,
+                                cipher,
+                                delivered,
+                                delivered_bps,
+                                resources,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        plans
+    }
+
+    /// Instantly drops plans whose resource demand exceeds some bucket's
+    /// *total* capacity — "some of the plans can be immediately dropped
+    /// by the Plan Generator if their costs are intolerably high".
+    pub fn drop_infeasible(&self, plans: Vec<Plan>, api: &CompositeQosApi) -> Vec<Plan> {
+        plans
+            .into_iter()
+            .filter(|p| {
+                p.resources
+                    .iter()
+                    .all(|(key, demand)| api.capacity(key).is_some_and(|c| demand <= c + 1e-9))
+            })
+            .collect()
+    }
+
+    /// The unpruned combinatorial bound `O(d^n)` for a request: replicas ×
+    /// sites × drop strategies × transcode options × ciphers. Used by the
+    /// pruning ablation.
+    pub fn combinatorial_bound(&self, engine: &MetadataEngine, video: VideoId) -> usize {
+        let replicas = engine.replicas(video).len();
+        let sites = engine.sites().count();
+        replicas * sites * DropStrategy::ALL.len() * 2 * CipherAlgo::ALL.len()
+    }
+}
+
+/// Checks the formal plan-space conditions of §3.4: each plan draws at
+/// most one element from each activity set, all components come from the
+/// defined sets, and the activity order is fixed (retrieval first —
+/// structural in [`Plan`]). Used by tests and the paper-fidelity checks.
+pub fn satisfies_ordered_disjoint_sets(plan: &Plan) -> bool {
+    // A1 (exactly one object), A2 (exactly one target) are single fields.
+    // A3/A4/A5 each contribute at most one element by construction; the
+    // check validates the elements belong to their sets.
+    let a3_ok = DropStrategy::ALL.contains(&plan.drop);
+    let a5_ok = CipherAlgo::ALL.contains(&plan.cipher);
+    let a4_ok = match &plan.transcode {
+        Some(t) => t.source() == &plan.object.object.spec,
+        None => true,
+    };
+    a3_ok && a4_ok && a5_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasaq_media::{
+        ColorDepth, Library, LibraryConfig, Resolution,
+    };
+    use quasaq_store::{ObjectStore, Placement, QosSampler, ReplicationPlanner};
+    use std::collections::BTreeMap;
+
+    fn engine() -> MetadataEngine {
+        let lib = Library::generate(42, &LibraryConfig::default());
+        let mut stores = BTreeMap::new();
+        for s in ServerId::first_n(3) {
+            stores.insert(s, ObjectStore::new(s, 1 << 40));
+        }
+        let mut engine = MetadataEngine::new(ServerId::first_n(3), 16);
+        ReplicationPlanner::new(QosSampler::default(), Placement::Full)
+            .replicate(&lib, &mut stores, &mut engine)
+            .unwrap();
+        engine
+    }
+
+    fn vcd_request(video: u32) -> PlanRequest {
+        PlanRequest {
+            video: VideoId(video),
+            qos: QosRange {
+                min_resolution: Resolution::QVGA,
+                max_resolution: Resolution::CIF,
+                min_color: ColorDepth::BITS_12,
+                min_frame_rate: FrameRate::from_fps(20.0),
+                max_frame_rate: FrameRate::NTSC,
+                formats: None,
+            },
+            security: QopSecurity::Open,
+        }
+    }
+
+    #[test]
+    fn generates_plans_for_satisfiable_request() {
+        let e = engine();
+        let g = PlanGenerator::new(GeneratorConfig::default());
+        let plans = g.generate(&e, &vcd_request(0));
+        assert!(!plans.is_empty());
+        for p in &plans {
+            assert!(satisfies_ordered_disjoint_sets(p));
+            // Every plan's source replica can reach the requested range.
+            assert!(vcd_request(0).qos.reachable_from(&p.object.object.spec));
+        }
+    }
+
+    #[test]
+    fn no_plans_for_unknown_video() {
+        let e = engine();
+        let g = PlanGenerator::new(GeneratorConfig::default());
+        assert!(g.generate(&e, &vcd_request(99)).is_empty());
+    }
+
+    #[test]
+    fn static_rule_excludes_upscaling_replicas() {
+        let e = engine();
+        let g = PlanGenerator::new(GeneratorConfig::default());
+        let plans = g.generate(&e, &vcd_request(0));
+        // The modem tier (176x144) cannot satisfy a VCD floor; no plan
+        // may use it.
+        assert!(plans.iter().all(|p| p.object.object.tier != "modem"));
+    }
+
+    #[test]
+    fn dsl_replica_is_delivered_directly() {
+        let e = engine();
+        let g = PlanGenerator::new(GeneratorConfig::default());
+        let plans = g.generate(&e, &vcd_request(0));
+        // The DSL tier (352x288) is inside the VCD range: direct plans
+        // exist with no transcode.
+        assert!(plans
+            .iter()
+            .any(|p| p.object.object.tier == "dsl" && p.transcode.is_none()));
+        // Full-tier replicas exceed the ceiling, so they appear only with
+        // a transcode.
+        assert!(plans
+            .iter()
+            .filter(|p| p.object.object.tier == "full")
+            .all(|p| p.transcode.is_some()));
+    }
+
+    #[test]
+    fn open_security_prunes_encryption() {
+        let e = engine();
+        let g = PlanGenerator::new(GeneratorConfig::default());
+        let plans = g.generate(&e, &vcd_request(0));
+        assert!(plans.iter().all(|p| !p.cipher.is_encrypting()));
+        // Without wasteful-pruning, encrypted plans reappear.
+        let g2 = PlanGenerator::new(GeneratorConfig {
+            prune_wasteful: false,
+            ..GeneratorConfig::default()
+        });
+        let plans2 = g2.generate(&e, &vcd_request(0));
+        assert!(plans2.iter().any(|p| p.cipher.is_encrypting()));
+        assert!(plans2.len() > plans.len());
+    }
+
+    #[test]
+    fn confidential_requires_strong_cipher() {
+        let e = engine();
+        let g = PlanGenerator::new(GeneratorConfig::default());
+        let mut req = vcd_request(0);
+        req.security = QopSecurity::Confidential;
+        let plans = g.generate(&e, &req);
+        assert!(!plans.is_empty());
+        assert!(plans.iter().all(|p| p.cipher == CipherAlgo::Aes));
+    }
+
+    #[test]
+    fn drop_respects_frame_rate_floor() {
+        let e = engine();
+        let g = PlanGenerator::new(GeneratorConfig::default());
+        // Floor of 20 fps: AllB (keeps 1/3 of 23.97 = 8 fps) must be
+        // excluded; None stays.
+        let plans = g.generate(&e, &vcd_request(0));
+        assert!(plans.iter().any(|p| p.drop == DropStrategy::None));
+        assert!(plans.iter().all(|p| p.drop != DropStrategy::AllB));
+        // With a relaxed floor, AllB plans appear.
+        let mut relaxed = vcd_request(0);
+        relaxed.qos.min_frame_rate = FrameRate::from_fps(5.0);
+        let plans = g.generate(&e, &relaxed);
+        assert!(plans.iter().any(|p| p.drop == DropStrategy::AllB));
+    }
+
+    #[test]
+    fn remote_toggle_controls_cross_site_plans() {
+        let e = engine();
+        let local_only = PlanGenerator::new(GeneratorConfig {
+            allow_remote: false,
+            ..GeneratorConfig::default()
+        });
+        let plans = local_only.generate(&e, &vcd_request(0));
+        assert!(plans.iter().all(|p| p.is_local()));
+        let with_remote = PlanGenerator::new(GeneratorConfig::default());
+        let plans = with_remote.generate(&e, &vcd_request(0));
+        assert!(plans.iter().any(|p| !p.is_local()));
+    }
+
+    #[test]
+    fn pruning_shrinks_the_space() {
+        let e = engine();
+        let g = PlanGenerator::new(GeneratorConfig::default());
+        let generated = g.generate(&e, &vcd_request(0)).len();
+        let bound = g.combinatorial_bound(&e, VideoId(0));
+        assert!(generated < bound, "generated {generated} >= bound {bound}");
+    }
+
+    #[test]
+    fn infeasible_plans_are_dropped() {
+        let e = engine();
+        let g = PlanGenerator::new(GeneratorConfig::default());
+        let plans = g.generate(&e, &vcd_request(0));
+        let n = plans.len();
+        // A cluster with tiny links: every plan's delivery rate exceeds
+        // capacity.
+        let tiny = CompositeQosApi::homogeneous_cluster(3, 10.0, 10.0, 10.0);
+        assert!(g.drop_infeasible(plans.clone(), &tiny).is_empty());
+        // A sane cluster keeps them all.
+        let sane = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        assert_eq!(g.drop_infeasible(plans, &sane).len(), n);
+    }
+
+    #[test]
+    fn deterministic_enumeration_order() {
+        let e = engine();
+        let g = PlanGenerator::new(GeneratorConfig::default());
+        let a = g.generate(&e, &vcd_request(3));
+        let b = g.generate(&e, &vcd_request(3));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.object.object.oid, y.object.object.oid);
+            assert_eq!(x.target_server, y.target_server);
+            assert_eq!(x.drop, y.drop);
+            assert_eq!(x.cipher, y.cipher);
+        }
+    }
+}

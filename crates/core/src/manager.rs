@@ -1,0 +1,424 @@
+//! The Quality Manager — "the focal point of the entire system".
+//!
+//! For each QoS-aware query (after VDBMS resolves the content component
+//! to a logical OID) the manager: generates candidate plans, lets the
+//! Runtime Cost Evaluator sort them "in ascending cost order", and walks
+//! that order through admission control — "the first plan in this order
+//! that satisfies the QoS requirements is used to service the query" —
+//! reserving its resource vector through the Composite QoS API. When
+//! nothing is admittable, degraded alternatives from the User Profile are
+//! offered as the "second chance"; during playback, reservations can be
+//! renegotiated.
+
+use crate::cost::CostModel;
+use crate::generator::{PlanGenerator, PlanRequest};
+use crate::plan::Plan;
+use crate::qop::UserProfile;
+use quasaq_qosapi::{CompositeQosApi, ReservationId};
+use quasaq_sim::Rng;
+use quasaq_store::MetadataEngine;
+
+/// A plan that passed admission and holds its reservation.
+#[derive(Debug, Clone)]
+pub struct AdmittedPlan {
+    /// The chosen plan.
+    pub plan: Plan,
+    /// The composite reservation backing it.
+    pub reservation: ReservationId,
+}
+
+/// Why a query could not be serviced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The plan space is empty: no replica can satisfy the QoS range at
+    /// all (static infeasibility).
+    NoFeasiblePlan,
+    /// Plans exist but none passed admission under the current load.
+    AdmissionFailed,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::NoFeasiblePlan => write!(f, "no plan can satisfy the requested QoS"),
+            Rejection::AdmissionFailed => {
+                write!(f, "all candidate plans were rejected by admission control")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// Statistics of one planning pass (for the overhead analysis of §5.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanningStats {
+    /// Plans generated after static pruning.
+    pub generated: usize,
+    /// Plans surviving the instant feasibility drop.
+    pub feasible: usize,
+    /// Admission attempts before success (0 when rejected).
+    pub attempts: usize,
+}
+
+/// Outcome of the second-chance path.
+#[derive(Debug)]
+pub enum SecondChance {
+    /// Admitted at the originally requested quality.
+    AsRequested(AdmittedPlan),
+    /// Admitted at a degraded quality (the index into the profile's
+    /// degrade options is recorded).
+    Degraded {
+        /// The admitted plan.
+        admitted: AdmittedPlan,
+        /// Which degradation step was accepted (0 = first alternative).
+        option: usize,
+    },
+    /// Nothing admittable even after degradation.
+    Rejected(Rejection),
+}
+
+/// The Quality Manager.
+pub struct QualityManager {
+    api: CompositeQosApi,
+    generator: PlanGenerator,
+    cost_model: Box<dyn CostModel>,
+    last_stats: PlanningStats,
+}
+
+impl QualityManager {
+    /// Creates a manager over the given resource state, generator and
+    /// cost model.
+    pub fn new(
+        api: CompositeQosApi,
+        generator: PlanGenerator,
+        cost_model: Box<dyn CostModel>,
+    ) -> Self {
+        QualityManager { api, generator, cost_model, last_stats: PlanningStats::default() }
+    }
+
+    /// Read access to the resource state (for monitoring and the LRB
+    /// picture).
+    pub fn api(&self) -> &CompositeQosApi {
+        &self.api
+    }
+
+    /// The cost model's name.
+    pub fn cost_model_name(&self) -> &'static str {
+        self.cost_model.name()
+    }
+
+    /// Statistics of the most recent planning pass.
+    pub fn last_stats(&self) -> PlanningStats {
+        self.last_stats
+    }
+
+    /// Generates, ranks, and admits a plan for `request`.
+    pub fn process(
+        &mut self,
+        engine: &MetadataEngine,
+        request: &PlanRequest,
+        rng: &mut Rng,
+    ) -> Result<AdmittedPlan, Rejection> {
+        let generated = self.generator.generate(engine, request);
+        self.last_stats.generated = generated.len();
+        if generated.is_empty() {
+            self.last_stats.feasible = 0;
+            self.last_stats.attempts = 0;
+            return Err(Rejection::NoFeasiblePlan);
+        }
+        let plans = self.generator.drop_infeasible(generated, &self.api);
+        self.last_stats.feasible = plans.len();
+        if plans.is_empty() {
+            self.last_stats.attempts = 0;
+            return Err(Rejection::NoFeasiblePlan);
+        }
+        let order = self.cost_model.rank(&plans, &self.api, rng);
+        for (attempt, &i) in order.iter().enumerate() {
+            if let Ok(reservation) = self.api.reserve(&plans[i].resources) {
+                self.last_stats.attempts = attempt + 1;
+                return Ok(AdmittedPlan { plan: plans[i].clone(), reservation });
+            }
+        }
+        self.last_stats.attempts = order.len();
+        Err(Rejection::AdmissionFailed)
+    }
+
+    /// The full user-facing path: try the requested quality, then walk the
+    /// profile's degraded alternatives ("a number of admittable
+    /// alternative plans will be presented as a 'second chance'").
+    pub fn process_with_second_chance(
+        &mut self,
+        engine: &MetadataEngine,
+        request: &PlanRequest,
+        profile: &UserProfile,
+        rng: &mut Rng,
+    ) -> SecondChance {
+        match self.process(engine, request, rng) {
+            Ok(admitted) => SecondChance::AsRequested(admitted),
+            Err(first_err) => {
+                for (i, alt) in profile.degrade_options(&request.qos).into_iter().enumerate() {
+                    let alt_request = PlanRequest {
+                        video: request.video,
+                        qos: alt,
+                        security: request.security,
+                    };
+                    if let Ok(admitted) = self.process(engine, &alt_request, rng) {
+                        return SecondChance::Degraded { admitted, option: i };
+                    }
+                }
+                SecondChance::Rejected(first_err)
+            }
+        }
+    }
+
+    /// Releases an admitted plan's resources (session completion).
+    pub fn release(&mut self, admitted: &AdmittedPlan) {
+        self.api.release(admitted.reservation);
+    }
+
+    /// Releases by reservation id (for drivers that only track ids).
+    pub fn release_reservation(&mut self, reservation: ReservationId) {
+        self.api.release(reservation);
+    }
+
+    /// Handles the loss of a server: its resource buckets disappear and
+    /// every reservation touching it is cancelled. The caller should also
+    /// drop the server from the metadata engine
+    /// ([`MetadataEngine::fail_site`]) and then re-`process` the affected
+    /// sessions — the User Profile's statistics exist "enabling better
+    /// renegotiation decisions in case of resource failure".
+    pub fn handle_server_failure(&mut self, server: quasaq_sim::ServerId) -> Vec<ReservationId> {
+        self.api.fail_server(server)
+    }
+
+    /// Renegotiates a running session to a new QoS range (user action
+    /// during playback). On success the old reservation is replaced; on
+    /// failure it is kept untouched.
+    pub fn renegotiate(
+        &mut self,
+        engine: &MetadataEngine,
+        admitted: &AdmittedPlan,
+        new_request: &PlanRequest,
+        rng: &mut Rng,
+    ) -> Result<AdmittedPlan, Rejection> {
+        let generated = self.generator.generate(engine, new_request);
+        if generated.is_empty() {
+            return Err(Rejection::NoFeasiblePlan);
+        }
+        let plans = self.generator.drop_infeasible(generated, &self.api);
+        if plans.is_empty() {
+            return Err(Rejection::NoFeasiblePlan);
+        }
+        let order = self.cost_model.rank(&plans, &self.api, rng);
+        for &i in &order {
+            if let Ok(new_id) = self.api.renegotiate(admitted.reservation, &plans[i].resources) {
+                return Ok(AdmittedPlan { plan: plans[i].clone(), reservation: new_id });
+            }
+        }
+        Err(Rejection::AdmissionFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{LrbModel, RandomModel};
+    use crate::generator::GeneratorConfig;
+    use crate::qop::{QopRequest, QopSecurity};
+    use quasaq_media::{Library, LibraryConfig, VideoId};
+    use quasaq_qosapi::{ResourceKey, ResourceKind};
+    use quasaq_sim::ServerId;
+    use quasaq_store::{ObjectStore, Placement, QosSampler, ReplicationPlanner};
+    use std::collections::BTreeMap;
+
+    fn engine() -> MetadataEngine {
+        let lib = Library::generate(42, &LibraryConfig::default());
+        let mut stores = BTreeMap::new();
+        for s in ServerId::first_n(3) {
+            stores.insert(s, ObjectStore::new(s, 1 << 40));
+        }
+        let mut engine = MetadataEngine::new(ServerId::first_n(3), 16);
+        ReplicationPlanner::new(QosSampler::default(), Placement::Full)
+            .replicate(&lib, &mut stores, &mut engine)
+            .unwrap();
+        engine
+    }
+
+    fn manager() -> QualityManager {
+        QualityManager::new(
+            CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6),
+            PlanGenerator::new(GeneratorConfig::default()),
+            Box::new(LrbModel),
+        )
+    }
+
+    fn request(video: u32) -> PlanRequest {
+        let profile = UserProfile::new("u");
+        PlanRequest {
+            video: VideoId(video),
+            qos: profile.translate(&QopRequest::organizational()),
+            security: QopSecurity::Open,
+        }
+    }
+
+    #[test]
+    fn processes_and_reserves() {
+        let e = engine();
+        let mut m = manager();
+        let mut rng = Rng::new(1);
+        let admitted = m.process(&e, &request(0), &mut rng).unwrap();
+        assert!(m.api().reservation_count() == 1);
+        let stats = m.last_stats();
+        assert!(stats.generated > 0);
+        assert_eq!(stats.attempts, 1);
+        // The delivered quality satisfies the request.
+        assert!(request(0).qos.accepts(&admitted.plan.delivered)
+            || admitted.plan.delivered.frame_rate <= request(0).qos.max_frame_rate);
+        m.release(&admitted);
+        assert_eq!(m.api().reservation_count(), 0);
+    }
+
+    #[test]
+    fn lrb_spreads_sessions_across_servers() {
+        let e = engine();
+        let mut m = manager();
+        let mut rng = Rng::new(2);
+        let mut admitted = Vec::new();
+        for i in 0..9 {
+            admitted.push(m.process(&e, &request(i % 15), &mut rng).unwrap());
+        }
+        let mut by_server = BTreeMap::new();
+        for a in &admitted {
+            *by_server.entry(a.plan.target_server).or_insert(0) += 1;
+        }
+        assert_eq!(by_server.len(), 3, "sessions should spread: {by_server:?}");
+    }
+
+    #[test]
+    fn saturation_leads_to_admission_failure() {
+        let e = engine();
+        let mut m = manager();
+        let mut rng = Rng::new(3);
+        let mut count = 0;
+        loop {
+            match m.process(&e, &request(count as u32 % 15), &mut rng) {
+                Ok(_) => count += 1,
+                Err(rej) => {
+                    assert_eq!(rej, Rejection::AdmissionFailed);
+                    break;
+                }
+            }
+            assert!(count < 10_000, "admission never saturated");
+        }
+        assert!(count > 10, "only {count} sessions admitted");
+    }
+
+    #[test]
+    fn second_chance_degrades_when_full() {
+        let e = engine();
+        // A tiny cluster that can serve DSL-class but not the requested
+        // floor's bandwidth after a few sessions.
+        let mut m = QualityManager::new(
+            CompositeQosApi::homogeneous_cluster(3, 120_000.0, 20_000_000.0, 512e6),
+            PlanGenerator::new(GeneratorConfig::default()),
+            Box::new(LrbModel),
+        );
+        let profile = UserProfile::new("u");
+        let mut rng = Rng::new(4);
+        // High-quality request: t1 tier (193 kB/s) exceeds every link, so
+        // direct admission of the floor fails but a degraded option (lower
+        // resolution floor -> dsl tier at 48 kB/s) fits.
+        let req = PlanRequest {
+            video: VideoId(0),
+            qos: profile.translate(&QopRequest::diagnostic()),
+            security: QopSecurity::Open,
+        };
+        match m.process_with_second_chance(&e, &req, &profile, &mut rng) {
+            SecondChance::Degraded { admitted, .. } => {
+                assert!(admitted.plan.delivered_bps <= 120_000.0);
+            }
+            other => panic!("expected degraded outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn renegotiation_swaps_reservation() {
+        let e = engine();
+        let mut m = manager();
+        let mut rng = Rng::new(5);
+        let profile = UserProfile::new("u");
+        let admitted = m.process(&e, &request(0), &mut rng).unwrap();
+        let before = m.api().reservation_count();
+        // Renegotiate up to diagnostic quality mid-playback.
+        let up = PlanRequest {
+            video: VideoId(0),
+            qos: profile.translate(&QopRequest::diagnostic()),
+            security: QopSecurity::Open,
+        };
+        let renewed = m.renegotiate(&e, &admitted, &up, &mut rng).unwrap();
+        assert_eq!(m.api().reservation_count(), before);
+        assert!(renewed.plan.delivered_bps >= admitted.plan.delivered_bps);
+        m.release(&renewed);
+        assert_eq!(m.api().reservation_count(), 0);
+    }
+
+    #[test]
+    fn infeasible_qos_is_distinguished_from_overload() {
+        let e = engine();
+        let mut m = manager();
+        let mut rng = Rng::new(6);
+        // Ask for an impossible floor (above any stored replica).
+        let mut req = request(0);
+        req.qos.min_resolution = quasaq_media::Resolution::new(4000, 3000);
+        req.qos.max_resolution = quasaq_media::Resolution::new(8000, 6000);
+        assert_eq!(m.process(&e, &req, &mut rng).unwrap_err(), Rejection::NoFeasiblePlan);
+    }
+
+    #[test]
+    fn server_failure_triggers_replanning_on_survivors() {
+        let mut e = engine();
+        let mut m = manager();
+        let mut rng = Rng::new(8);
+        // Admit a handful of sessions across the cluster.
+        let mut sessions = Vec::new();
+        for i in 0..6 {
+            sessions.push(m.process(&e, &request(i), &mut rng).unwrap());
+        }
+        let failed = ServerId(0);
+        let cancelled = m.handle_server_failure(failed);
+        e.fail_site(failed);
+        // Every cancelled session can be re-planned, and the new plans
+        // avoid the dead server entirely (full replication).
+        for old in &sessions {
+            if !cancelled.contains(&old.reservation) {
+                continue;
+            }
+            let video = old.plan.object.object.video;
+            let req = request(video.0);
+            let renewed = m.process(&e, &req, &mut rng).expect("survivors have capacity");
+            assert_ne!(renewed.plan.target_server, failed);
+            assert_ne!(renewed.plan.source_server(), failed);
+        }
+        // No bucket on the failed server remains managed.
+        assert!(m
+            .api()
+            .buckets()
+            .all(|k| k.server != failed));
+    }
+
+    #[test]
+    fn random_model_admits_too() {
+        let e = engine();
+        let mut m = QualityManager::new(
+            CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6),
+            PlanGenerator::new(GeneratorConfig::default()),
+            Box::new(RandomModel),
+        );
+        let mut rng = Rng::new(7);
+        assert_eq!(m.cost_model_name(), "random");
+        let admitted = m.process(&e, &request(1), &mut rng).unwrap();
+        let key = ResourceKey::new(admitted.plan.target_server, ResourceKind::NetBandwidth);
+        assert!(m.api().used(key).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Encryption activity model (Fig 2's activity set A5).
+//!
+//! The paper's plan space includes a choice of encryption algorithm for
+//! secure delivery, and its pruning rules know that "encryption should
+//! always follow the frame dropping since it is a waste of CPU cycles to
+//! encrypt the data in frames that will be dropped". We model each
+//! algorithm by its CPU throughput and a relative strength rating; the
+//! query processor only needs those two numbers.
+
+use quasaq_sim::SimDuration;
+use std::fmt;
+
+/// An encryption algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CipherAlgo {
+    /// No encryption.
+    #[default]
+    None,
+    /// A fast stream cipher (RC4-class): high throughput, moderate
+    /// strength.
+    Stream,
+    /// A DES-class block cipher: slow, classic strength.
+    Block,
+    /// An AES-class block cipher: modern strength, mid throughput.
+    Aes,
+}
+
+impl CipherAlgo {
+    /// All algorithms.
+    pub const ALL: [CipherAlgo; 4] =
+        [CipherAlgo::None, CipherAlgo::Stream, CipherAlgo::Block, CipherAlgo::Aes];
+
+    /// Encryption throughput in bytes per CPU second, calibrated to
+    /// early-2000s measurements on the paper's hardware class.
+    pub fn throughput_bps(self) -> f64 {
+        match self {
+            CipherAlgo::None => f64::INFINITY,
+            CipherAlgo::Stream => 80e6, // RC4 ~80 MB/s
+            CipherAlgo::Block => 12e6,  // DES ~12 MB/s
+            CipherAlgo::Aes => 40e6,    // AES ~40 MB/s
+        }
+    }
+
+    /// Relative cryptographic strength in `[0, 1]` for security-aware gain
+    /// functions.
+    pub fn strength(self) -> f64 {
+        match self {
+            CipherAlgo::None => 0.0,
+            CipherAlgo::Stream => 0.5,
+            CipherAlgo::Block => 0.7,
+            CipherAlgo::Aes => 1.0,
+        }
+    }
+
+    /// True when the algorithm actually encrypts.
+    pub fn is_encrypting(self) -> bool {
+        self != CipherAlgo::None
+    }
+
+    /// CPU work to encrypt `bytes`.
+    pub fn cpu_for(self, bytes: u64) -> SimDuration {
+        if !self.is_encrypting() {
+            return SimDuration::ZERO;
+        }
+        let us = bytes as f64 / self.throughput_bps() * 1e6;
+        SimDuration::from_micros(us.ceil() as u64)
+    }
+
+    /// CPU utilization fraction to encrypt a stream of `bytes_per_second`.
+    pub fn cpu_share_for_rate(self, bytes_per_second: f64) -> f64 {
+        if !self.is_encrypting() {
+            return 0.0;
+        }
+        bytes_per_second / self.throughput_bps()
+    }
+}
+
+impl fmt::Display for CipherAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CipherAlgo::None => write!(f, "plain"),
+            CipherAlgo::Stream => write!(f, "stream-cipher"),
+            CipherAlgo::Block => write!(f, "block-cipher"),
+            CipherAlgo::Aes => write!(f, "aes"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_free() {
+        assert_eq!(CipherAlgo::None.cpu_for(1_000_000), SimDuration::ZERO);
+        assert_eq!(CipherAlgo::None.cpu_share_for_rate(1e6), 0.0);
+        assert!(!CipherAlgo::None.is_encrypting());
+    }
+
+    #[test]
+    fn cost_scales_linearly() {
+        let one = CipherAlgo::Aes.cpu_for(40_000_000);
+        assert_eq!(one, SimDuration::from_secs(1));
+        let half = CipherAlgo::Aes.cpu_for(20_000_000);
+        assert_eq!(half, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn slower_cipher_costs_more() {
+        let bytes = 1_000_000;
+        assert!(CipherAlgo::Block.cpu_for(bytes) > CipherAlgo::Aes.cpu_for(bytes));
+        assert!(CipherAlgo::Aes.cpu_for(bytes) > CipherAlgo::Stream.cpu_for(bytes));
+    }
+
+    #[test]
+    fn strength_ordering() {
+        assert!(CipherAlgo::Aes.strength() > CipherAlgo::Block.strength());
+        assert!(CipherAlgo::Block.strength() > CipherAlgo::Stream.strength());
+        assert_eq!(CipherAlgo::None.strength(), 0.0);
+    }
+
+    #[test]
+    fn share_for_typical_stream_is_small() {
+        // A 200 KB/s stream through AES costs 0.5% of a CPU.
+        let share = CipherAlgo::Aes.cpu_share_for_rate(200_000.0);
+        assert!((share - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_zero_cost() {
+        assert_eq!(CipherAlgo::Block.cpu_for(0), SimDuration::ZERO);
+    }
+}

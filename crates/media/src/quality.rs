@@ -1,0 +1,316 @@
+//! Application-level QoS: quality specifications and query-side ranges.
+//!
+//! In the paper's layering (Table 1), *application QoS* covers frame width
+//! and height, color resolution, and frame rate; user-level QoP maps onto
+//! ranges of these values ("we achieve some flexibility by allowing one QoP
+//! mapped to a range of QoS values"). [`QualitySpec`] describes what a
+//! physical replica delivers; [`QosRange`] describes what a QoS-aware query
+//! will accept.
+
+use crate::video::{ColorDepth, FrameRate, Resolution, VideoFormat};
+use std::fmt;
+
+/// The application-QoS description of one encoded video object — the
+/// paper's Quality Metadata: "resolution, color depth, frame rate, and file
+/// format".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QualitySpec {
+    /// Spatial resolution.
+    pub resolution: Resolution,
+    /// Color depth.
+    pub color: ColorDepth,
+    /// Temporal resolution.
+    pub frame_rate: FrameRate,
+    /// Container/codec format.
+    pub format: VideoFormat,
+}
+
+impl QualitySpec {
+    /// Creates a spec.
+    pub fn new(
+        resolution: Resolution,
+        color: ColorDepth,
+        frame_rate: FrameRate,
+        format: VideoFormat,
+    ) -> Self {
+        QualitySpec { resolution, color, frame_rate, format }
+    }
+
+    /// True when this spec is at least as good as `other` on every ordered
+    /// dimension (format is categorical and ignored). Used by the static
+    /// plan rules: "we cannot retrieve a video with resolution lower than
+    /// that required by the user. Similarly, it makes no sense to transcode
+    /// from low resolution to high resolution."
+    pub fn dominates(&self, other: &QualitySpec) -> bool {
+        self.resolution.covers(other.resolution)
+            && self.color >= other.color
+            && self.frame_rate >= other.frame_rate
+    }
+
+    /// A scalar "richness" proxy: bits of raw video per second. Useful for
+    /// ordering replicas of the same content by fidelity.
+    pub fn raw_bits_per_second(&self) -> f64 {
+        self.resolution.pixels() as f64 * self.color.bits() as f64 * self.frame_rate.fps()
+    }
+}
+
+impl fmt::Display for QualitySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.resolution, self.color, self.frame_rate, self.format
+        )
+    }
+}
+
+/// An inclusive range of acceptable application QoS attached to a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QosRange {
+    /// Smallest acceptable resolution.
+    pub min_resolution: Resolution,
+    /// Largest useful resolution (e.g. the client display size).
+    pub max_resolution: Resolution,
+    /// Smallest acceptable color depth.
+    pub min_color: ColorDepth,
+    /// Smallest acceptable frame rate.
+    pub min_frame_rate: FrameRate,
+    /// Largest useful frame rate.
+    pub max_frame_rate: FrameRate,
+    /// Acceptable formats; `None` accepts any.
+    pub formats: Option<Vec<VideoFormat>>,
+}
+
+impl QosRange {
+    /// A range that accepts anything — the "don't care" query.
+    pub fn any() -> Self {
+        QosRange {
+            min_resolution: Resolution::new(1, 1),
+            max_resolution: Resolution::new(u32::MAX, u32::MAX),
+            min_color: ColorDepth::from_bits(1),
+            min_frame_rate: FrameRate::from_millifps(1),
+            max_frame_rate: FrameRate::from_millifps(u32::MAX),
+            formats: None,
+        }
+    }
+
+    /// An exact-point range accepting only `spec`'s quality values (any
+    /// format).
+    pub fn exactly(spec: &QualitySpec) -> Self {
+        QosRange {
+            min_resolution: spec.resolution,
+            max_resolution: spec.resolution,
+            min_color: spec.color,
+            min_frame_rate: spec.frame_rate,
+            max_frame_rate: spec.frame_rate,
+            formats: None,
+        }
+    }
+
+    /// Internal consistency: min bounds must not exceed max bounds.
+    pub fn is_valid(&self) -> bool {
+        self.max_resolution.covers(self.min_resolution)
+            && self.min_frame_rate <= self.max_frame_rate
+            && self.formats.as_ref().is_none_or(|f| !f.is_empty())
+    }
+
+    /// True when a replica of quality `spec` can be delivered *as is* and
+    /// satisfy this range.
+    pub fn accepts(&self, spec: &QualitySpec) -> bool {
+        spec.resolution.covers(self.min_resolution)
+            && self.max_resolution.covers(spec.resolution)
+            && spec.color >= self.min_color
+            && spec.frame_rate >= self.min_frame_rate
+            && spec.frame_rate <= self.max_frame_rate
+            && self.accepts_format(spec.format)
+    }
+
+    /// True when the format is acceptable.
+    pub fn accepts_format(&self, format: VideoFormat) -> bool {
+        self.formats.as_ref().is_none_or(|f| f.contains(&format))
+    }
+
+    /// True when a replica of quality `spec` could satisfy this range after
+    /// *downgrading* transforms (transcoding down, frame dropping). Quality
+    /// can only be reduced, never improved, so the source must dominate the
+    /// range's floor.
+    pub fn reachable_from(&self, spec: &QualitySpec) -> bool {
+        spec.resolution.covers(self.min_resolution)
+            && spec.color >= self.min_color
+            && spec.frame_rate >= self.min_frame_rate
+    }
+
+    /// The cheapest in-range target quality reachable from `spec` by
+    /// downgrades: the floor of the range, clipped to the source where the
+    /// source sits inside the range. Returns `None` when unreachable.
+    pub fn cheapest_target(&self, spec: &QualitySpec, format: VideoFormat) -> Option<QualitySpec> {
+        if !self.reachable_from(spec) || !self.accepts_format(format) {
+            return None;
+        }
+        // The floor is reachable from any dominating source, and it is the
+        // cheapest point of the range on every dimension.
+        let resolution = self.min_resolution;
+        let color = self.min_color.min(spec.color);
+        let frame_rate = self.min_frame_rate.min(spec.frame_rate);
+        Some(QualitySpec { resolution, color, frame_rate, format })
+    }
+}
+
+impl fmt::Display for QosRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "res[{}..{}] color>={} rate[{}..{}]",
+            self.min_resolution,
+            self.max_resolution,
+            self.min_color,
+            self.min_frame_rate,
+            self.max_frame_rate
+        )?;
+        if let Some(fmts) = &self.formats {
+            write!(f, " formats{fmts:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_spec() -> QualitySpec {
+        QualitySpec::new(
+            Resolution::FULL,
+            ColorDepth::TRUE_COLOR,
+            FrameRate::NTSC_FILM,
+            VideoFormat::Mpeg2,
+        )
+    }
+
+    fn cif_spec() -> QualitySpec {
+        QualitySpec::new(
+            Resolution::CIF,
+            ColorDepth::TRUE_COLOR,
+            FrameRate::NTSC_FILM,
+            VideoFormat::Mpeg1,
+        )
+    }
+
+    fn vcd_range() -> QosRange {
+        // "a user input of 'VCD-like spatial resolution' can be interpreted
+        // as a resolution range of 320x240 - 352x288 pixels".
+        QosRange {
+            min_resolution: Resolution::QVGA,
+            max_resolution: Resolution::CIF,
+            min_color: ColorDepth::BITS_12,
+            min_frame_rate: FrameRate::from_fps(20.0),
+            max_frame_rate: FrameRate::NTSC,
+            formats: None,
+        }
+    }
+
+    #[test]
+    fn dominance() {
+        assert!(full_spec().dominates(&cif_spec()));
+        assert!(!cif_spec().dominates(&full_spec()));
+        // Reflexive.
+        assert!(full_spec().dominates(&full_spec()));
+    }
+
+    #[test]
+    fn accepts_in_range_spec() {
+        let r = vcd_range();
+        assert!(r.accepts(&cif_spec()));
+        // Full resolution exceeds the VCD ceiling.
+        assert!(!r.accepts(&full_spec()));
+    }
+
+    #[test]
+    fn accepts_checks_every_dimension() {
+        let r = vcd_range();
+        let mut low_color = cif_spec();
+        low_color.color = ColorDepth::PALETTE;
+        assert!(!r.accepts(&low_color));
+        let mut slow = cif_spec();
+        slow.frame_rate = FrameRate::LOW;
+        assert!(!r.accepts(&slow));
+    }
+
+    #[test]
+    fn format_filtering() {
+        let mut r = vcd_range();
+        r.formats = Some(vec![VideoFormat::Mpeg1]);
+        assert!(r.accepts(&cif_spec()));
+        let mut mpeg2 = cif_spec();
+        mpeg2.format = VideoFormat::Mpeg2;
+        assert!(!r.accepts(&mpeg2));
+    }
+
+    #[test]
+    fn reachable_only_by_downgrade() {
+        let r = vcd_range();
+        // The full-quality replica can be transcoded down into range.
+        assert!(r.reachable_from(&full_spec()));
+        // A QCIF replica cannot be upscaled into range.
+        let tiny = QualitySpec::new(
+            Resolution::QCIF,
+            ColorDepth::TRUE_COLOR,
+            FrameRate::NTSC_FILM,
+            VideoFormat::Mpeg1,
+        );
+        assert!(!r.reachable_from(&tiny));
+    }
+
+    #[test]
+    fn cheapest_target_is_range_floor() {
+        let r = vcd_range();
+        let target = r.cheapest_target(&full_spec(), VideoFormat::Mpeg1).unwrap();
+        assert_eq!(target.resolution, Resolution::QVGA);
+        assert_eq!(target.color, ColorDepth::BITS_12);
+        assert!((target.frame_rate.fps() - 20.0).abs() < 1e-9);
+        assert!(r.accepts(&target));
+    }
+
+    #[test]
+    fn cheapest_target_unreachable_is_none() {
+        let r = vcd_range();
+        let tiny = QualitySpec::new(
+            Resolution::QCIF,
+            ColorDepth::PALETTE,
+            FrameRate::LOW,
+            VideoFormat::Mpeg1,
+        );
+        assert_eq!(r.cheapest_target(&tiny, VideoFormat::Mpeg1), None);
+    }
+
+    #[test]
+    fn any_range_accepts_everything() {
+        let r = QosRange::any();
+        assert!(r.is_valid());
+        assert!(r.accepts(&full_spec()));
+        assert!(r.accepts(&cif_spec()));
+    }
+
+    #[test]
+    fn exact_range_accepts_only_itself() {
+        let r = QosRange::exactly(&cif_spec());
+        assert!(r.is_valid());
+        assert!(r.accepts(&cif_spec()));
+        assert!(!r.accepts(&full_spec()));
+    }
+
+    #[test]
+    fn invalid_range_detected() {
+        let mut r = vcd_range();
+        r.min_resolution = Resolution::FULL;
+        assert!(!r.is_valid());
+        let mut r2 = vcd_range();
+        r2.formats = Some(vec![]);
+        assert!(!r2.is_valid());
+    }
+
+    #[test]
+    fn raw_bits_order_matches_fidelity() {
+        assert!(full_spec().raw_bits_per_second() > cif_spec().raw_bits_per_second());
+    }
+}

@@ -1,0 +1,255 @@
+//! Online transcoding model.
+//!
+//! The paper integrates a modified version of the Linux `transcode` tool
+//! into its Transport API to convert a stored replica to a target quality
+//! on the fly (Fig 2's "Transcoding target" activity set). We model the
+//! aspects the query processor cares about: *feasibility* (quality can
+//! only be reduced), *output size* (bytes scale with the pixel, color and
+//! frame-rate ratios), and *CPU cost* (per-frame work proportional to the
+//! pixels decoded and re-encoded).
+
+use crate::quality::QualitySpec;
+use quasaq_sim::SimDuration;
+
+/// Why a transcode is not possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranscodeError {
+    /// Target resolution exceeds the source ("it makes no sense to
+    /// transcode from low resolution to high resolution").
+    Upscale,
+    /// Target color depth exceeds the source.
+    ColorUpscale,
+    /// Target frame rate exceeds the source.
+    RateUpscale,
+}
+
+impl std::fmt::Display for TranscodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranscodeError::Upscale => write!(f, "cannot upscale spatial resolution"),
+            TranscodeError::ColorUpscale => write!(f, "cannot increase color depth"),
+            TranscodeError::RateUpscale => write!(f, "cannot increase frame rate"),
+        }
+    }
+}
+
+impl std::error::Error for TranscodeError {}
+
+/// A feasible transcode from one quality to another, with its scaling
+/// factors precomputed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transcode {
+    source: QualitySpec,
+    target: QualitySpec,
+    /// Output bytes per input byte.
+    size_factor: f64,
+    /// Fraction of source frames kept (frame-rate reduction drops frames).
+    frame_keep: f64,
+}
+
+/// CPU cost coefficients of the transcoder, calibrated so that full-frame
+/// MPEG transcoding of a 720x480 frame costs a few milliseconds on the
+/// paper's 2.4 GHz Pentium 4 class server.
+#[derive(Debug, Clone, Copy)]
+pub struct TranscodeCost {
+    /// CPU microseconds per source megapixel decoded.
+    pub decode_us_per_mpx: f64,
+    /// CPU microseconds per target megapixel encoded.
+    pub encode_us_per_mpx: f64,
+}
+
+impl Default for TranscodeCost {
+    fn default() -> Self {
+        // Decode ~2 ms and encode ~4 ms per 0.35 Mpx frame.
+        TranscodeCost { decode_us_per_mpx: 6_000.0, encode_us_per_mpx: 12_000.0 }
+    }
+}
+
+impl Transcode {
+    /// Plans a transcode, validating that every dimension only goes down.
+    pub fn plan(source: QualitySpec, target: QualitySpec) -> Result<Transcode, TranscodeError> {
+        if !source.resolution.covers(target.resolution) {
+            return Err(TranscodeError::Upscale);
+        }
+        if target.color > source.color {
+            return Err(TranscodeError::ColorUpscale);
+        }
+        if target.frame_rate > source.frame_rate {
+            return Err(TranscodeError::RateUpscale);
+        }
+        let pixel_ratio = target.resolution.pixels() as f64 / source.resolution.pixels() as f64;
+        let color_ratio = target.color.bits() as f64 / source.color.bits() as f64;
+        let frame_keep =
+            target.frame_rate.millifps() as f64 / source.frame_rate.millifps() as f64;
+        // Compressed size scales roughly linearly in pixels, sub-linearly
+        // in color depth (chroma subsampling already discounts color).
+        let size_factor = pixel_ratio * color_ratio.sqrt();
+        Ok(Transcode { source, target, size_factor, frame_keep })
+    }
+
+    /// True when source and target are the same quality (identity — no
+    /// transcoder needs to run).
+    pub fn is_identity(&self) -> bool {
+        self.source == self.target
+    }
+
+    /// The source quality.
+    pub fn source(&self) -> &QualitySpec {
+        &self.source
+    }
+
+    /// The target quality.
+    pub fn target(&self) -> &QualitySpec {
+        &self.target
+    }
+
+    /// Output bytes for an input frame of `bytes` (0 when the frame is
+    /// dropped by frame-rate reduction — see [`Transcode::keeps_frame`]).
+    pub fn output_bytes(&self, bytes: u32) -> u32 {
+        ((bytes as f64) * self.size_factor).round().max(1.0) as u32
+    }
+
+    /// Whether source frame `index` survives frame-rate reduction.
+    /// Frames are kept on an evenly spread lattice so the output cadence
+    /// stays regular.
+    pub fn keeps_frame(&self, index: u64) -> bool {
+        if self.frame_keep >= 1.0 {
+            return true;
+        }
+        // Keep frame i when floor((i+1)*keep) > floor(i*keep).
+        let a = ((index + 1) as f64 * self.frame_keep).floor();
+        let b = (index as f64 * self.frame_keep).floor();
+        a > b
+    }
+
+    /// Fraction of frames kept.
+    pub fn frame_keep_fraction(&self) -> f64 {
+        self.frame_keep
+    }
+
+    /// Output bytes per input byte (over a long stream, including dropped
+    /// frames).
+    pub fn stream_size_factor(&self) -> f64 {
+        self.size_factor * self.frame_keep
+    }
+
+    /// CPU work to transcode one kept source frame.
+    pub fn cpu_per_frame(&self, cost: &TranscodeCost) -> SimDuration {
+        if self.is_identity() {
+            return SimDuration::ZERO;
+        }
+        let src_mpx = self.source.resolution.pixels() as f64 / 1e6;
+        let dst_mpx = self.target.resolution.pixels() as f64 / 1e6;
+        let us = cost.decode_us_per_mpx * src_mpx + cost.encode_us_per_mpx * dst_mpx;
+        SimDuration::from_micros(us.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::{ColorDepth, FrameRate, Resolution, VideoFormat};
+
+    fn full() -> QualitySpec {
+        QualitySpec::new(
+            Resolution::FULL,
+            ColorDepth::TRUE_COLOR,
+            FrameRate::NTSC_FILM,
+            VideoFormat::Mpeg2,
+        )
+    }
+
+    fn cif() -> QualitySpec {
+        QualitySpec::new(
+            Resolution::CIF,
+            ColorDepth::TRUE_COLOR,
+            FrameRate::NTSC_FILM,
+            VideoFormat::Mpeg1,
+        )
+    }
+
+    #[test]
+    fn downscale_is_feasible() {
+        let t = Transcode::plan(full(), cif()).unwrap();
+        assert!(!t.is_identity());
+        assert!(t.stream_size_factor() < 1.0);
+    }
+
+    #[test]
+    fn upscale_is_rejected() {
+        assert_eq!(Transcode::plan(cif(), full()).unwrap_err(), TranscodeError::Upscale);
+    }
+
+    #[test]
+    fn color_upscale_rejected() {
+        let mut lo = full();
+        lo.color = ColorDepth::BITS_12;
+        assert_eq!(
+            Transcode::plan(lo, full()).unwrap_err(),
+            TranscodeError::ColorUpscale
+        );
+    }
+
+    #[test]
+    fn rate_upscale_rejected() {
+        let mut slow = full();
+        slow.frame_rate = FrameRate::LOW;
+        assert_eq!(
+            Transcode::plan(slow, full()).unwrap_err(),
+            TranscodeError::RateUpscale
+        );
+    }
+
+    #[test]
+    fn identity_transcode_is_free() {
+        let t = Transcode::plan(full(), full()).unwrap();
+        assert!(t.is_identity());
+        assert_eq!(t.cpu_per_frame(&TranscodeCost::default()), SimDuration::ZERO);
+        assert_eq!(t.output_bytes(1000), 1000);
+        assert!(t.keeps_frame(0) && t.keeps_frame(7));
+    }
+
+    #[test]
+    fn output_size_scales_with_pixels() {
+        let t = Transcode::plan(full(), cif()).unwrap();
+        let ratio = Resolution::CIF.pixels() as f64 / Resolution::FULL.pixels() as f64;
+        let out = t.output_bytes(10_000) as f64;
+        assert!((out / 10_000.0 - ratio).abs() < 0.01);
+    }
+
+    #[test]
+    fn frame_rate_reduction_drops_evenly() {
+        let mut half = full();
+        half.frame_rate = FrameRate::from_millifps(full().frame_rate.millifps() / 2);
+        let t = Transcode::plan(full(), half).unwrap();
+        let kept = (0..1000).filter(|&i| t.keeps_frame(i)).count();
+        assert!((499..=501).contains(&kept), "kept {kept}");
+        // No long runs of drops: every window of 4 has >= 1 kept frame.
+        for w in 0..996 {
+            let k = (w..w + 4).filter(|&i| t.keeps_frame(i)).count();
+            assert!(k >= 1);
+        }
+    }
+
+    #[test]
+    fn cpu_cost_scales_with_resolution() {
+        let cost = TranscodeCost::default();
+        let big = Transcode::plan(full(), cif()).unwrap().cpu_per_frame(&cost);
+        let mut qcif = cif();
+        qcif.resolution = Resolution::QCIF;
+        let small = Transcode::plan(cif(), qcif).unwrap().cpu_per_frame(&cost);
+        assert!(big > small);
+        // Full-frame transcode costs milliseconds, not microseconds.
+        assert!(big >= SimDuration::from_millis(2));
+        assert!(big <= SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn output_bytes_never_zero() {
+        let mut tiny = full();
+        tiny.resolution = Resolution::QCIF;
+        tiny.color = ColorDepth::PALETTE;
+        let t = Transcode::plan(full(), tiny).unwrap();
+        assert!(t.output_bytes(1) >= 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Core video vocabulary: identifiers, formats, resolutions, frame rates.
+
+use quasaq_sim::SimDuration;
+use std::fmt;
+
+/// Identifies a *logical* video (the content, independent of any encoding).
+/// The paper calls this a logical OID: "these OIDs refer to the video
+/// content rather than the entity in storage since multiple copies of the
+/// same video exist."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VideoId(pub u32);
+
+impl fmt::Display for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "video#{}", self.0)
+    }
+}
+
+/// Container/codec format of a physical replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VideoFormat {
+    /// MPEG-1 — the paper's streaming format (its frame-dropping strategies
+    /// are implemented for MPEG-1 streams).
+    Mpeg1,
+    /// MPEG-2 — the paper's high-quality archival format (Fig 2 shows
+    /// MPEG-2 sources transcoded to MPEG-1).
+    Mpeg2,
+}
+
+impl VideoFormat {
+    /// All supported formats.
+    pub const ALL: [VideoFormat; 2] = [VideoFormat::Mpeg1, VideoFormat::Mpeg2];
+}
+
+impl fmt::Display for VideoFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VideoFormat::Mpeg1 => write!(f, "MPEG1"),
+            VideoFormat::Mpeg2 => write!(f, "MPEG2"),
+        }
+    }
+}
+
+/// Spatial resolution in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Resolution {
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+}
+
+impl Resolution {
+    /// Full NTSC DVD-class resolution (the paper's top replica, Fig 2).
+    pub const FULL: Resolution = Resolution::new(720, 480);
+    /// VGA-class.
+    pub const VGA: Resolution = Resolution::new(640, 480);
+    /// CIF / VCD-class ("a resolution range of 320x240 – 352x288 pixels").
+    pub const CIF: Resolution = Resolution::new(352, 288);
+    /// QVGA.
+    pub const QVGA: Resolution = Resolution::new(320, 240);
+    /// QCIF — modem-class.
+    pub const QCIF: Resolution = Resolution::new(176, 144);
+
+    /// Creates a resolution.
+    pub const fn new(width: u32, height: u32) -> Self {
+        Resolution { width, height }
+    }
+
+    /// Total pixel count.
+    pub const fn pixels(self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// True when every dimension is at least as large as `other`'s.
+    pub fn covers(self, other: Resolution) -> bool {
+        self.width >= other.width && self.height >= other.height
+    }
+}
+
+impl PartialOrd for Resolution {
+    /// Partial order by coverage: `a >= b` iff `a` covers `b` in both
+    /// dimensions. Mixed aspect ratios are incomparable.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering::*;
+        if self == other {
+            Some(Equal)
+        } else if self.covers(*other) {
+            Some(Greater)
+        } else if other.covers(*self) {
+            Some(Less)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+/// Frames per second, stored in milli-fps so 23.97 fps is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameRate {
+    millifps: u32,
+}
+
+impl FrameRate {
+    /// NTSC film rate — the Fig 5 sample video's 23.97 fps.
+    pub const NTSC_FILM: FrameRate = FrameRate::from_millifps(23_970);
+    /// PAL 25 fps.
+    pub const PAL: FrameRate = FrameRate::from_millifps(25_000);
+    /// NTSC 29.97 fps.
+    pub const NTSC: FrameRate = FrameRate::from_millifps(29_970);
+    /// Half film rate, for low-bandwidth replicas.
+    pub const LOW: FrameRate = FrameRate::from_millifps(12_000);
+
+    /// Creates a rate from milli-frames-per-second.
+    pub const fn from_millifps(millifps: u32) -> Self {
+        FrameRate { millifps }
+    }
+
+    /// Creates a rate from (possibly fractional) frames per second.
+    pub fn from_fps(fps: f64) -> Self {
+        assert!(fps > 0.0, "frame rate must be positive");
+        FrameRate { millifps: (fps * 1000.0).round() as u32 }
+    }
+
+    /// Frames per second as a float.
+    pub fn fps(self) -> f64 {
+        self.millifps as f64 / 1000.0
+    }
+
+    /// Raw milli-fps.
+    pub const fn millifps(self) -> u32 {
+        self.millifps
+    }
+
+    /// The ideal interval between consecutive frames — the paper's
+    /// "theoretical inter-frame delay" (1/23.97 = 41.72 ms for the sample
+    /// video).
+    pub fn frame_interval(self) -> SimDuration {
+        assert!(self.millifps > 0, "frame rate must be positive");
+        // 1e6 us/s * 1000 mfps scale.
+        SimDuration::from_micros(1_000_000_000 / self.millifps as u64)
+    }
+
+    /// Number of frames in a clip of the given duration.
+    pub fn frames_in(self, duration: SimDuration) -> u64 {
+        duration.as_micros() * self.millifps as u64 / 1_000_000_000
+    }
+}
+
+impl fmt::Display for FrameRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}fps", self.fps())
+    }
+}
+
+/// Color depth in bits per pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColorDepth {
+    bits: u8,
+}
+
+impl ColorDepth {
+    /// 24-bit true color (the paper's full-quality replicas).
+    pub const TRUE_COLOR: ColorDepth = ColorDepth { bits: 24 };
+    /// 16-bit high color.
+    pub const HIGH_COLOR: ColorDepth = ColorDepth { bits: 16 };
+    /// 12-bit color (Fig 2's "640x420, 12bit" replica).
+    pub const BITS_12: ColorDepth = ColorDepth { bits: 12 };
+    /// 8-bit palettized color.
+    pub const PALETTE: ColorDepth = ColorDepth { bits: 8 };
+
+    /// Creates a depth from raw bits (1..=48).
+    pub fn from_bits(bits: u8) -> Self {
+        assert!((1..=48).contains(&bits), "color depth out of range");
+        ColorDepth { bits }
+    }
+
+    /// Bits per pixel.
+    pub const fn bits(self) -> u8 {
+        self.bits
+    }
+}
+
+impl fmt::Display for ColorDepth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}bit", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_coverage_order() {
+        assert!(Resolution::FULL.covers(Resolution::CIF));
+        assert!(!Resolution::CIF.covers(Resolution::FULL));
+        assert!(Resolution::FULL > Resolution::CIF);
+        assert!(Resolution::QCIF < Resolution::QVGA);
+        // 352x288 vs 320x240: 352>=320 and 288>=240 -> comparable.
+        assert!(Resolution::CIF > Resolution::QVGA);
+    }
+
+    #[test]
+    fn incomparable_resolutions() {
+        let tall = Resolution::new(100, 400);
+        let wide = Resolution::new(400, 100);
+        assert_eq!(tall.partial_cmp(&wide), None);
+        assert!(!tall.covers(wide));
+        assert!(!wide.covers(tall));
+    }
+
+    #[test]
+    fn pixels_product() {
+        assert_eq!(Resolution::FULL.pixels(), 720 * 480);
+    }
+
+    #[test]
+    fn frame_rate_interval_matches_paper() {
+        // "the theoretical inter-frame delay for the sample video is
+        // 1/23.97 = 41.72ms".
+        let interval = FrameRate::NTSC_FILM.frame_interval();
+        assert_eq!(interval.as_micros(), 41_718);
+        assert!((interval.as_millis_f64() - 41.72).abs() < 0.01);
+    }
+
+    #[test]
+    fn frames_in_duration() {
+        let n = FrameRate::PAL.frames_in(SimDuration::from_secs(10));
+        assert_eq!(n, 250);
+        let n = FrameRate::NTSC_FILM.frames_in(SimDuration::from_secs(60));
+        assert_eq!(n, 1438); // 23.97 * 60 = 1438.2
+    }
+
+    #[test]
+    fn from_fps_round_trip() {
+        let r = FrameRate::from_fps(23.97);
+        assert_eq!(r, FrameRate::NTSC_FILM);
+        assert!((r.fps() - 23.97).abs() < 1e-9);
+    }
+
+    #[test]
+    fn color_depth_ordering() {
+        assert!(ColorDepth::TRUE_COLOR > ColorDepth::BITS_12);
+        assert_eq!(ColorDepth::from_bits(24), ColorDepth::TRUE_COLOR);
+    }
+
+    #[test]
+    #[should_panic(expected = "color depth out of range")]
+    fn zero_color_depth_rejected() {
+        let _ = ColorDepth::from_bits(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Resolution::CIF.to_string(), "352x288");
+        assert_eq!(ColorDepth::TRUE_COLOR.to_string(), "24bit");
+        assert_eq!(VideoFormat::Mpeg1.to_string(), "MPEG1");
+        assert_eq!(VideoId(3).to_string(), "video#3");
+        assert_eq!(FrameRate::PAL.to_string(), "25.00fps");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the media substrate's invariants.
+
+use proptest::prelude::*;
+use quasaq_media::{
+    ColorDepth, DropStrategy, FrameRate, FrameTrace, FrameType, GopPattern, QosRange,
+    QualitySpec, Resolution, TraceParams, Transcode, VideoFormat,
+};
+use quasaq_sim::SimDuration;
+
+fn spec_strategy() -> impl Strategy<Value = QualitySpec> {
+    (
+        1u32..8,  // width rung x 128
+        1u32..6,  // height rung x 96
+        prop::sample::select(vec![8u8, 12, 16, 24]),
+        5u32..31, // fps
+        prop::bool::ANY,
+    )
+        .prop_map(|(w, h, bits, fps, mpeg1)| {
+            QualitySpec::new(
+                Resolution::new(w * 128, h * 96),
+                ColorDepth::from_bits(bits),
+                FrameRate::from_fps(fps as f64),
+                if mpeg1 { VideoFormat::Mpeg1 } else { VideoFormat::Mpeg2 },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dominance is a partial order consistent with `QosRange::exactly`.
+    #[test]
+    fn dominance_partial_order(a in spec_strategy(), b in spec_strategy()) {
+        // Reflexive.
+        prop_assert!(a.dominates(&a));
+        // Antisymmetric up to equality of ordered dimensions.
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(a.resolution, b.resolution);
+            prop_assert_eq!(a.color, b.color);
+            prop_assert_eq!(a.frame_rate, b.frame_rate);
+        }
+        // A dominating spec can always reach the dominated spec's exact
+        // range by downgrades.
+        if a.dominates(&b) {
+            prop_assert!(QosRange::exactly(&b).reachable_from(&a));
+        }
+    }
+
+    /// A feasible transcode's output is always dominated by its source,
+    /// and its size factor is at most ~1.
+    #[test]
+    fn transcode_only_degrades(a in spec_strategy(), b in spec_strategy()) {
+        if let Ok(t) = Transcode::plan(a, b) {
+            prop_assert!(a.dominates(t.target()));
+            prop_assert!(t.stream_size_factor() <= 1.0 + 1e-9);
+            prop_assert!(t.frame_keep_fraction() > 0.0);
+            prop_assert!(t.frame_keep_fraction() <= 1.0 + 1e-9);
+            // Frame keeping matches the keep fraction over a long run.
+            let kept = (0..10_000).filter(|&i| t.keeps_frame(i)).count() as f64;
+            prop_assert!((kept / 10_000.0 - t.frame_keep_fraction()).abs() < 0.01);
+        }
+    }
+
+    /// Drop strategies' analytic keep fractions match the stateful filter
+    /// exactly over whole GOPs, for any admissible pattern.
+    #[test]
+    fn drop_fractions_match_filter(n_b_pairs in 0usize..6, strategy_idx in 0usize..4) {
+        // Build a pattern I (P B B)*k.
+        let mut frames = vec![FrameType::I];
+        for _ in 0..n_b_pairs {
+            frames.extend([FrameType::P, FrameType::B, FrameType::B]);
+        }
+        let gop = GopPattern::new(frames);
+        let strategy = DropStrategy::ALL[strategy_idx];
+        let mut filter = quasaq_media::DropFilter::new(strategy);
+        let gops = 20u64;
+        let total = gop.len() as u64 * gops;
+        let kept = (0..total).filter(|&i| filter.admit(gop.frame_type(i))).count() as f64;
+        let expected = strategy.frame_keep_fraction(&gop) * total as f64;
+        prop_assert!((kept - expected).abs() <= gops as f64, "kept {kept} vs {expected}");
+    }
+
+    /// Trace generation: deterministic, correct frame count, positive
+    /// sizes, realized bitrate within 15% of target. Clips must span
+    /// several scene-modulation periods (~10 s each) for the realized
+    /// bitrate to average out.
+    #[test]
+    fn trace_invariants(seed in any::<u64>(), secs in 30u64..120, rate in 5_000u64..400_000) {
+        let params = TraceParams::with_bitrate(
+            FrameRate::NTSC_FILM,
+            SimDuration::from_secs(secs),
+            GopPattern::mpeg1_n15(),
+            rate as f64,
+        );
+        let t = FrameTrace::generate(seed, &params);
+        let t2 = FrameTrace::generate(seed, &params);
+        prop_assert_eq!(t.frames(), t2.frames());
+        prop_assert_eq!(t.len() as u64, FrameRate::NTSC_FILM.frames_in(SimDuration::from_secs(secs)));
+        prop_assert!(t.frames().iter().all(|f| f.bytes >= 1));
+        let realized = t.mean_rate_bps();
+        prop_assert!(
+            (realized - rate as f64).abs() / (rate as f64) < 0.15,
+            "realized {realized} vs target {rate}"
+        );
+    }
+
+    /// QosRange acceptance is monotone: anything accepted is also
+    /// reachable, and the cheapest target is always accepted.
+    #[test]
+    fn range_acceptance_monotone(spec in spec_strategy(), floor in spec_strategy()) {
+        let range = QosRange {
+            min_resolution: floor.resolution,
+            max_resolution: Resolution::new(
+                floor.resolution.width * 2,
+                floor.resolution.height * 2,
+            ),
+            min_color: floor.color,
+            min_frame_rate: floor.frame_rate,
+            max_frame_rate: FrameRate::from_fps(floor.frame_rate.fps() + 10.0),
+            formats: None,
+        };
+        prop_assert!(range.is_valid());
+        if range.accepts(&spec) {
+            prop_assert!(range.reachable_from(&spec));
+        }
+        if let Some(target) = range.cheapest_target(&spec, VideoFormat::Mpeg1) {
+            prop_assert!(range.accepts(&target), "cheapest target {target} not accepted by {range}");
+            prop_assert!(spec.dominates(&target));
+        }
+    }
+}

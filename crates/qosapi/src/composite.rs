@@ -1,0 +1,430 @@
+//! The Composite QoS API.
+//!
+//! "The Composite QoS API hides implementation and access details of
+//! underlying APIs (i.e. system and network) and offers control to upper
+//! layers (e.g. Plan Generator) at the same time. The major functionality
+//! provided by the Composite QoS API is QoS-related resource management:
+//! 1. admission control … 2. resource reservation … 3. renegotiation."
+//!
+//! [`CompositeQosApi`] owns one [`ResourceManager`] per (server, kind)
+//! bucket and reserves entire [`ResourceVector`]s atomically: either every
+//! bucket admits its share or nothing is reserved.
+
+use crate::manager::{BucketFull, LeaseId, ResourceManager};
+use crate::resource::{ResourceKey, ResourceKind, ResourceVector};
+use quasaq_sim::ServerId;
+use std::collections::BTreeMap;
+
+/// A composite reservation spanning several buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReservationId(pub u64);
+
+/// Why a composite reservation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// A bucket would overflow.
+    Rejected(BucketFull),
+    /// The demand references a bucket with no registered manager.
+    UnknownBucket(ResourceKey),
+    /// The reservation id is not outstanding.
+    UnknownReservation(ReservationId),
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Rejected(b) => write!(f, "admission rejected: {b}"),
+            AdmissionError::UnknownBucket(k) => write!(f, "no resource manager for {k}"),
+            AdmissionError::UnknownReservation(r) => write!(f, "unknown reservation {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+struct Reservation {
+    demand: ResourceVector,
+    leases: Vec<(ResourceKey, LeaseId)>,
+}
+
+/// One manager per bucket plus composite (all-or-nothing) reservations.
+pub struct CompositeQosApi {
+    managers: BTreeMap<ResourceKey, ResourceManager>,
+    reservations: BTreeMap<ReservationId, Reservation>,
+    next_id: u64,
+}
+
+impl CompositeQosApi {
+    /// Creates an API with no managed buckets.
+    pub fn new() -> Self {
+        CompositeQosApi { managers: BTreeMap::new(), reservations: BTreeMap::new(), next_id: 0 }
+    }
+
+    /// Builds an API for a homogeneous cluster: `servers` servers, each
+    /// with one CPU, and the given bandwidth/memory capacities.
+    pub fn homogeneous_cluster(
+        servers: u32,
+        net_bps: f64,
+        disk_bps: f64,
+        memory_bytes: f64,
+    ) -> Self {
+        let mut api = CompositeQosApi::new();
+        for server in ServerId::first_n(servers) {
+            api.register(ResourceKey::new(server, ResourceKind::Cpu), 1.0);
+            api.register(ResourceKey::new(server, ResourceKind::NetBandwidth), net_bps);
+            api.register(ResourceKey::new(server, ResourceKind::DiskBandwidth), disk_bps);
+            api.register(ResourceKey::new(server, ResourceKind::Memory), memory_bytes);
+        }
+        api
+    }
+
+    /// Registers a manager for a bucket. Replaces any existing manager
+    /// (and its reservations' accounting), so call only at setup time.
+    pub fn register(&mut self, key: ResourceKey, capacity: f64) {
+        self.managers.insert(key, ResourceManager::new(key, capacity));
+    }
+
+    /// The managed buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = ResourceKey> + '_ {
+        self.managers.keys().copied()
+    }
+
+    /// Capacity of a bucket (`None` when unmanaged).
+    pub fn capacity(&self, key: ResourceKey) -> Option<f64> {
+        self.managers.get(&key).map(|m| m.capacity())
+    }
+
+    /// Current fill fraction of a bucket (`None` when unmanaged).
+    pub fn fill(&self, key: ResourceKey) -> Option<f64> {
+        self.managers.get(&key).map(|m| m.fill())
+    }
+
+    /// Current usage of a bucket in native units.
+    pub fn used(&self, key: ResourceKey) -> Option<f64> {
+        self.managers.get(&key).map(|m| m.used())
+    }
+
+    /// Number of outstanding composite reservations.
+    pub fn reservation_count(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// Admission check without reserving: can `demand` fit right now?
+    pub fn admits(&self, demand: &ResourceVector) -> Result<(), AdmissionError> {
+        for (key, amount) in demand.iter() {
+            let mgr = self
+                .managers
+                .get(&key)
+                .ok_or(AdmissionError::UnknownBucket(key))?;
+            if !mgr.can_reserve(amount) {
+                return Err(AdmissionError::Rejected(BucketFull {
+                    key,
+                    requested: amount,
+                    available: mgr.available(),
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// The LRB projection (Eq. 1): the maximum bucket fill if `demand`
+    /// were admitted, `max_i (U_i + r_i) / R_i`. Values above 1.0 mean the
+    /// demand does not fit. Unknown buckets project to infinity.
+    pub fn max_fill_with(&self, demand: &ResourceVector) -> f64 {
+        let mut max = 0.0f64;
+        for (key, amount) in demand.iter() {
+            match self.managers.get(&key) {
+                Some(m) => max = max.max(m.fill_with(amount)),
+                None => return f64::INFINITY,
+            }
+        }
+        max
+    }
+
+    /// Reserves `demand` atomically.
+    pub fn reserve(&mut self, demand: &ResourceVector) -> Result<ReservationId, AdmissionError> {
+        // Two-phase: check everything first so failure needs no rollback
+        // of partially acquired leases.
+        self.admits(demand)?;
+        let mut leases = Vec::with_capacity(demand.len());
+        for (key, amount) in demand.iter() {
+            let mgr = self.managers.get_mut(&key).expect("checked above");
+            match mgr.reserve(amount) {
+                Ok(lease) => leases.push((key, lease)),
+                Err(full) => {
+                    // Unreachable in single-threaded use, but roll back
+                    // defensively.
+                    for (k, l) in leases {
+                        self.managers.get_mut(&k).expect("held lease").release(l);
+                    }
+                    return Err(AdmissionError::Rejected(full));
+                }
+            }
+        }
+        let id = ReservationId(self.next_id);
+        self.next_id += 1;
+        self.reservations.insert(id, Reservation { demand: demand.clone(), leases });
+        Ok(id)
+    }
+
+    /// Releases a composite reservation (idempotent).
+    pub fn release(&mut self, id: ReservationId) {
+        if let Some(res) = self.reservations.remove(&id) {
+            for (key, lease) in res.leases {
+                if let Some(mgr) = self.managers.get_mut(&key) {
+                    mgr.release(lease);
+                }
+            }
+        }
+    }
+
+    /// The demand vector held by a reservation.
+    pub fn demand_of(&self, id: ReservationId) -> Option<&ResourceVector> {
+        self.reservations.get(&id).map(|r| &r.demand)
+    }
+
+    /// Simulates the loss of a server: every bucket it hosted disappears
+    /// and every composite reservation touching it is cancelled (its
+    /// shares on surviving servers are released too — a half-dead session
+    /// is useless). Returns the cancelled reservation ids so the caller
+    /// can re-plan the affected sessions.
+    pub fn fail_server(&mut self, server: ServerId) -> Vec<ReservationId> {
+        let affected: Vec<ReservationId> = self
+            .reservations
+            .iter()
+            .filter(|(_, r)| r.demand.iter().any(|(k, _)| k.server == server))
+            .map(|(&id, _)| id)
+            .collect();
+        for &id in &affected {
+            self.release(id);
+        }
+        self.managers.retain(|k, _| k.server != server);
+        affected
+    }
+
+    /// Renegotiates a reservation to `new_demand` atomically: on failure
+    /// the original reservation is kept. Returns the (possibly new)
+    /// reservation id.
+    ///
+    /// Renegotiation happens "when QoS requirements are modified during
+    /// media playback" or "when the user-specified QoP is rejected by the
+    /// admission control module".
+    pub fn renegotiate(
+        &mut self,
+        id: ReservationId,
+        new_demand: &ResourceVector,
+    ) -> Result<ReservationId, AdmissionError> {
+        if !self.reservations.contains_key(&id) {
+            return Err(AdmissionError::UnknownReservation(id));
+        }
+        // Feasibility test against usage with the old reservation removed:
+        // for each bucket, new demand must fit within available + old
+        // share.
+        let old = self.reservations[&id].demand.clone();
+        for (key, amount) in new_demand.iter() {
+            let mgr = self
+                .managers
+                .get(&key)
+                .ok_or(AdmissionError::UnknownBucket(key))?;
+            let slack = mgr.available() + old.get(key);
+            if amount > slack + 1e-9 {
+                return Err(AdmissionError::Rejected(BucketFull {
+                    key,
+                    requested: amount,
+                    available: slack,
+                }));
+            }
+        }
+        self.release(id);
+        match self.reserve(new_demand) {
+            Ok(new_id) => Ok(new_id),
+            Err(e) => {
+                // Should not happen given the feasibility test; restore the
+                // old reservation to keep the session alive.
+                let restored = self
+                    .reserve(&old)
+                    .expect("restoring a just-released reservation cannot fail");
+                let _ = restored;
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Default for CompositeQosApi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: u32, kind: ResourceKind) -> ResourceKey {
+        ResourceKey::new(ServerId(s), kind)
+    }
+
+    fn cluster() -> CompositeQosApi {
+        CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6)
+    }
+
+    fn stream_demand(server: u32, bps: f64, cpu: f64) -> ResourceVector {
+        ResourceVector::new()
+            .with(key(server, ResourceKind::NetBandwidth), bps)
+            .with(key(server, ResourceKind::DiskBandwidth), bps)
+            .with(key(server, ResourceKind::Cpu), cpu)
+    }
+
+    #[test]
+    fn cluster_has_all_buckets() {
+        let api = cluster();
+        assert_eq!(api.buckets().count(), 12);
+        assert_eq!(api.capacity(key(2, ResourceKind::NetBandwidth)), Some(3_200_000.0));
+        assert_eq!(api.capacity(key(3, ResourceKind::Cpu)), None);
+    }
+
+    #[test]
+    fn reserve_release_cycle() {
+        let mut api = cluster();
+        let d = stream_demand(0, 193_000.0, 0.04);
+        let r = api.reserve(&d).unwrap();
+        assert!((api.used(key(0, ResourceKind::NetBandwidth)).unwrap() - 193_000.0).abs() < 1e-6);
+        assert_eq!(api.reservation_count(), 1);
+        assert_eq!(api.demand_of(r), Some(&d));
+        api.release(r);
+        assert_eq!(api.used(key(0, ResourceKind::NetBandwidth)).unwrap(), 0.0);
+        assert_eq!(api.reservation_count(), 0);
+        // Idempotent.
+        api.release(r);
+    }
+
+    #[test]
+    fn admission_is_all_or_nothing() {
+        let mut api = cluster();
+        // Saturate server 0's CPU.
+        let hog = ResourceVector::new().with(key(0, ResourceKind::Cpu), 1.0);
+        api.reserve(&hog).unwrap();
+        // A demand touching both net (fine) and cpu (full) must not leave
+        // a dangling net reservation.
+        let d = stream_demand(0, 100_000.0, 0.1);
+        let before = api.used(key(0, ResourceKind::NetBandwidth)).unwrap();
+        assert!(matches!(api.reserve(&d), Err(AdmissionError::Rejected(_))));
+        assert_eq!(api.used(key(0, ResourceKind::NetBandwidth)).unwrap(), before);
+    }
+
+    #[test]
+    fn unknown_bucket_rejected() {
+        let mut api = cluster();
+        let d = ResourceVector::new().with(key(9, ResourceKind::Cpu), 0.1);
+        assert!(matches!(api.reserve(&d), Err(AdmissionError::UnknownBucket(_))));
+        assert_eq!(api.max_fill_with(&d), f64::INFINITY);
+    }
+
+    #[test]
+    fn max_fill_with_matches_lrb_eq1() {
+        let mut api = cluster();
+        // Pre-fill server 0's net to 42%.
+        let pre = ResourceVector::new().with(key(0, ResourceKind::NetBandwidth), 0.42 * 3_200_000.0);
+        api.reserve(&pre).unwrap();
+        // A plan adding 10% net and 30% cpu on server 0.
+        let d = ResourceVector::new()
+            .with(key(0, ResourceKind::NetBandwidth), 0.10 * 3_200_000.0)
+            .with(key(0, ResourceKind::Cpu), 0.30);
+        let f = api.max_fill_with(&d);
+        assert!((f - 0.52).abs() < 1e-9, "max fill {f}");
+    }
+
+    #[test]
+    fn renegotiate_shrink_always_fits() {
+        let mut api = cluster();
+        let big = stream_demand(0, 300_000.0, 0.1);
+        let small = stream_demand(0, 48_000.0, 0.02);
+        let r = api.reserve(&big).unwrap();
+        let r2 = api.renegotiate(r, &small).unwrap();
+        assert!((api.used(key(0, ResourceKind::NetBandwidth)).unwrap() - 48_000.0).abs() < 1e-6);
+        assert_eq!(api.reservation_count(), 1);
+        assert!(api.demand_of(r2).is_some());
+    }
+
+    #[test]
+    fn renegotiate_grow_uses_own_share() {
+        let mut api = CompositeQosApi::new();
+        api.register(key(0, ResourceKind::NetBandwidth), 100.0);
+        let r = api
+            .reserve(&ResourceVector::new().with(key(0, ResourceKind::NetBandwidth), 80.0))
+            .unwrap();
+        // 90 > available (20), but fits once our own 80 is returned.
+        let r2 = api
+            .renegotiate(r, &ResourceVector::new().with(key(0, ResourceKind::NetBandwidth), 90.0))
+            .unwrap();
+        assert!((api.used(key(0, ResourceKind::NetBandwidth)).unwrap() - 90.0).abs() < 1e-9);
+        let _ = r2;
+    }
+
+    #[test]
+    fn failed_renegotiation_keeps_original() {
+        let mut api = CompositeQosApi::new();
+        api.register(key(0, ResourceKind::NetBandwidth), 100.0);
+        let r = api
+            .reserve(&ResourceVector::new().with(key(0, ResourceKind::NetBandwidth), 50.0))
+            .unwrap();
+        let err = api
+            .renegotiate(r, &ResourceVector::new().with(key(0, ResourceKind::NetBandwidth), 200.0))
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::Rejected(_)));
+        // Original still held.
+        assert!((api.used(key(0, ResourceKind::NetBandwidth)).unwrap() - 50.0).abs() < 1e-9);
+        assert_eq!(api.reservation_count(), 1);
+    }
+
+    #[test]
+    fn renegotiate_unknown_reservation() {
+        let mut api = cluster();
+        let err = api.renegotiate(ReservationId(42), &ResourceVector::new()).unwrap_err();
+        assert!(matches!(err, AdmissionError::UnknownReservation(_)));
+    }
+
+    #[test]
+    fn server_failure_cancels_touching_reservations() {
+        let mut api = cluster();
+        let on_0 = api.reserve(&stream_demand(0, 100_000.0, 0.05)).unwrap();
+        let on_1 = api.reserve(&stream_demand(1, 100_000.0, 0.05)).unwrap();
+        // A cross-server demand touching both 1 and 2.
+        let cross = api
+            .reserve(
+                &ResourceVector::new()
+                    .with(key(1, ResourceKind::DiskBandwidth), 50_000.0)
+                    .with(key(2, ResourceKind::NetBandwidth), 50_000.0),
+            )
+            .unwrap();
+        let cancelled = api.fail_server(ServerId(1));
+        assert_eq!(cancelled.len(), 2);
+        assert!(cancelled.contains(&on_1));
+        assert!(cancelled.contains(&cross));
+        // Server 0's reservation survives; server 1's buckets are gone;
+        // the cross reservation's share on server 2 was released.
+        assert_eq!(api.reservation_count(), 1);
+        assert!(api.capacity(key(1, ResourceKind::Cpu)).is_none());
+        assert_eq!(api.used(key(2, ResourceKind::NetBandwidth)).unwrap(), 0.0);
+        assert!(api.demand_of(on_0).is_some());
+        // New demands on the failed server are now unknown-bucket errors.
+        assert!(matches!(
+            api.reserve(&stream_demand(1, 1000.0, 0.01)),
+            Err(AdmissionError::UnknownBucket(_))
+        ));
+    }
+
+    #[test]
+    fn many_sessions_until_saturation() {
+        let mut api = cluster();
+        // 48 KB/s DSL streams on one server's 3.2 MB/s link: exactly 66 fit.
+        let d = stream_demand(0, 48_000.0, 0.005);
+        let mut admitted = 0;
+        while api.reserve(&d).is_ok() {
+            admitted += 1;
+            assert!(admitted < 1000, "admission never saturated");
+        }
+        assert_eq!(admitted, 66);
+    }
+}

@@ -1,0 +1,226 @@
+//! Per-resource managers.
+//!
+//! GARA "contains separate managers for individual resources (e.g. CPU,
+//! network bandwidth and storage bandwidth)". A [`ResourceManager`] tracks
+//! one bucket's capacity and outstanding reservations; the composite API
+//! aggregates one manager per (server, kind) bucket.
+
+use crate::resource::ResourceKey;
+use std::collections::BTreeMap;
+
+/// Identifies one reservation inside a manager (composite reservations
+/// group several of these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LeaseId(pub u64);
+
+/// Why a single-bucket reservation failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketFull {
+    /// The saturated bucket.
+    pub key: ResourceKey,
+    /// Amount requested.
+    pub requested: f64,
+    /// Amount still available.
+    pub available: f64,
+}
+
+impl std::fmt::Display for BucketFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: requested {:.3} exceeds available {:.3}",
+            self.key, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for BucketFull {}
+
+/// Tracks capacity and reservations for one resource bucket.
+#[derive(Debug, Clone)]
+pub struct ResourceManager {
+    key: ResourceKey,
+    capacity: f64,
+    used: f64,
+    leases: BTreeMap<LeaseId, f64>,
+    next_lease: u64,
+}
+
+impl ResourceManager {
+    /// Creates a manager for `key` with the given capacity.
+    pub fn new(key: ResourceKey, capacity: f64) -> Self {
+        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
+        ResourceManager { key, capacity, used: 0.0, leases: BTreeMap::new(), next_lease: 0 }
+    }
+
+    /// The bucket this manager owns.
+    pub fn key(&self) -> ResourceKey {
+        self.key
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Currently reserved amount.
+    pub fn used(&self) -> f64 {
+        self.used
+    }
+
+    /// Amount still reservable.
+    pub fn available(&self) -> f64 {
+        (self.capacity - self.used).max(0.0)
+    }
+
+    /// Fraction of capacity in use — the bucket's fill level in the LRB
+    /// picture (Fig 3).
+    pub fn fill(&self) -> f64 {
+        self.used / self.capacity
+    }
+
+    /// Fill level if `amount` more were reserved (may exceed 1.0, which
+    /// admission rejects).
+    pub fn fill_with(&self, amount: f64) -> f64 {
+        (self.used + amount) / self.capacity
+    }
+
+    /// Number of outstanding leases.
+    pub fn lease_count(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Whether `amount` can be reserved.
+    pub fn can_reserve(&self, amount: f64) -> bool {
+        amount <= self.available() + 1e-9
+    }
+
+    /// Reserves `amount`, returning a lease.
+    pub fn reserve(&mut self, amount: f64) -> Result<LeaseId, BucketFull> {
+        assert!(amount >= 0.0 && amount.is_finite(), "reservation must be non-negative");
+        if !self.can_reserve(amount) {
+            return Err(BucketFull {
+                key: self.key,
+                requested: amount,
+                available: self.available(),
+            });
+        }
+        let id = LeaseId(self.next_lease);
+        self.next_lease += 1;
+        self.leases.insert(id, amount);
+        self.used += amount;
+        Ok(id)
+    }
+
+    /// Releases a lease. Unknown leases are a no-op (idempotent release).
+    pub fn release(&mut self, lease: LeaseId) {
+        if let Some(amount) = self.leases.remove(&lease) {
+            self.used = (self.used - amount).max(0.0);
+        }
+    }
+
+    /// Adjusts an existing lease to a new amount (renegotiation on one
+    /// bucket). On failure the lease is unchanged.
+    pub fn adjust(&mut self, lease: LeaseId, new_amount: f64) -> Result<(), BucketFull> {
+        assert!(new_amount >= 0.0 && new_amount.is_finite(), "reservation must be non-negative");
+        let Some(&old) = self.leases.get(&lease) else {
+            return Err(BucketFull { key: self.key, requested: new_amount, available: self.available() });
+        };
+        let delta = new_amount - old;
+        if delta > self.available() + 1e-9 {
+            return Err(BucketFull {
+                key: self.key,
+                requested: new_amount,
+                available: self.available() + old,
+            });
+        }
+        self.leases.insert(lease, new_amount);
+        self.used = (self.used + delta).max(0.0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceKind;
+    use quasaq_sim::ServerId;
+
+    fn mgr(cap: f64) -> ResourceManager {
+        ResourceManager::new(ResourceKey::new(ServerId(0), ResourceKind::NetBandwidth), cap)
+    }
+
+    #[test]
+    fn reserve_and_release() {
+        let mut m = mgr(100.0);
+        let a = m.reserve(40.0).unwrap();
+        assert_eq!(m.used(), 40.0);
+        assert_eq!(m.available(), 60.0);
+        assert!((m.fill() - 0.4).abs() < 1e-12);
+        m.release(a);
+        assert_eq!(m.used(), 0.0);
+        assert_eq!(m.lease_count(), 0);
+    }
+
+    #[test]
+    fn over_reservation_rejected() {
+        let mut m = mgr(100.0);
+        m.reserve(80.0).unwrap();
+        let err = m.reserve(30.0).unwrap_err();
+        assert_eq!(err.requested, 30.0);
+        assert!((err.available - 20.0).abs() < 1e-9);
+        // State unchanged after failure.
+        assert_eq!(m.used(), 80.0);
+    }
+
+    #[test]
+    fn release_is_idempotent() {
+        let mut m = mgr(100.0);
+        let a = m.reserve(50.0).unwrap();
+        m.release(a);
+        m.release(a);
+        assert_eq!(m.used(), 0.0);
+    }
+
+    #[test]
+    fn fill_with_projects_demand() {
+        let mut m = mgr(100.0);
+        m.reserve(42.0).unwrap();
+        assert!((m.fill_with(10.0) - 0.52).abs() < 1e-12);
+        // Projection can exceed 1.0; admission is the caller's decision.
+        assert!(m.fill_with(90.0) > 1.0);
+    }
+
+    #[test]
+    fn adjust_up_and_down() {
+        let mut m = mgr(100.0);
+        let a = m.reserve(30.0).unwrap();
+        m.adjust(a, 60.0).unwrap();
+        assert_eq!(m.used(), 60.0);
+        m.adjust(a, 10.0).unwrap();
+        assert_eq!(m.used(), 10.0);
+        // Adjust beyond capacity fails and leaves the lease intact.
+        assert!(m.adjust(a, 200.0).is_err());
+        assert_eq!(m.used(), 10.0);
+    }
+
+    #[test]
+    fn adjust_unknown_lease_fails() {
+        let mut m = mgr(100.0);
+        assert!(m.adjust(LeaseId(99), 10.0).is_err());
+    }
+
+    #[test]
+    fn zero_reservation_allowed() {
+        let mut m = mgr(100.0);
+        let a = m.reserve(0.0).unwrap();
+        assert_eq!(m.used(), 0.0);
+        m.release(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = mgr(0.0);
+    }
+}

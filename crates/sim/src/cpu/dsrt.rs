@@ -1,0 +1,661 @@
+//! DSRT-style soft-real-time CPU scheduler with (slice, period)
+//! reservations.
+//!
+//! Models the scheduler of Chu & Nahrstedt used by the paper's QoS API:
+//! a job reserves `slice` of CPU time per `period`; reserved jobs are
+//! scheduled earliest-deadline-first at real-time priority with a per-period
+//! budget, and best-effort jobs round-robin in the leftover time. A
+//! configurable overhead fraction models the scheduler daemon's own CPU
+//! consumption (the paper measures 0.16 ms per 10 ms = 1.6 %).
+
+use super::{Completion, CpuScheduler, JobId, TaskId};
+use crate::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Configuration for the [`Dsrt`] scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct DsrtConfig {
+    /// Maximum admissible total reserved utilization (sum of slice/period),
+    /// expressed before overhead. Defaults to 1.0.
+    pub utilization_limit: f64,
+    /// Fraction of the CPU consumed by scheduler maintenance; work executes
+    /// at rate `1 - overhead_fraction`. Defaults to 0.016 (the paper's
+    /// measured 1.6 %).
+    pub overhead_fraction: f64,
+    /// Quantum used for best-effort jobs in leftover time.
+    pub best_effort_quantum: SimDuration,
+}
+
+impl Default for DsrtConfig {
+    fn default() -> Self {
+        DsrtConfig {
+            utilization_limit: 1.0,
+            overhead_fraction: 0.016,
+            best_effort_quantum: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Why a reservation was refused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReservationError {
+    /// Admitting the reservation would push total utilization past the
+    /// admissible limit.
+    Overloaded {
+        /// Utilization the request would have added.
+        requested: f64,
+        /// Utilization still available.
+        available: f64,
+    },
+}
+
+impl std::fmt::Display for ReservationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReservationError::Overloaded { requested, available } => write!(
+                f,
+                "CPU reservation refused: requested utilization {requested:.4} exceeds available {available:.4}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReservationError {}
+
+#[derive(Debug)]
+struct Reservation {
+    slice: SimDuration,
+    period: SimDuration,
+    /// Work budget remaining in the current period.
+    budget: SimDuration,
+    /// Next period boundary: budget replenishes and the deadline moves.
+    next_replenish: SimTime,
+}
+
+#[derive(Debug)]
+struct Job {
+    tasks: VecDeque<(TaskId, SimDuration)>,
+    reservation: Option<Reservation>,
+    /// Best-effort only: whether the job sits in the run queue.
+    be_runnable: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Choice {
+    Reserved(JobId),
+    BestEffort(JobId),
+    Idle,
+}
+
+/// The DSRT scheduler.
+#[derive(Debug)]
+pub struct Dsrt {
+    cfg: DsrtConfig,
+    now: SimTime,
+    // BTreeMap keeps job iteration deterministic.
+    jobs: BTreeMap<JobId, Job>,
+    be_queue: VecDeque<JobId>,
+    /// Best-effort job currently holding (a remainder of) a quantum.
+    be_current: Option<(JobId, SimDuration)>,
+    completions: Vec<Completion>,
+    reserved_utilization: f64,
+    next_job: u64,
+    next_task: u64,
+}
+
+impl Dsrt {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(cfg: DsrtConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&cfg.overhead_fraction),
+            "overhead fraction must be in [0, 1)"
+        );
+        assert!(cfg.utilization_limit > 0.0, "utilization limit must be positive");
+        assert!(!cfg.best_effort_quantum.is_zero(), "quantum must be positive");
+        Dsrt {
+            cfg,
+            now: SimTime::ZERO,
+            jobs: BTreeMap::new(),
+            be_queue: VecDeque::new(),
+            be_current: None,
+            completions: Vec::new(),
+            reserved_utilization: 0.0,
+            next_job: 0,
+            next_task: 0,
+        }
+    }
+
+    /// Creates a scheduler with the default (paper-calibrated)
+    /// configuration.
+    pub fn paper_default() -> Self {
+        Self::new(DsrtConfig::default())
+    }
+
+    /// The configured overhead fraction.
+    pub fn overhead_fraction(&self) -> f64 {
+        self.cfg.overhead_fraction
+    }
+
+    /// Currently reserved utilization (sum of slice/period over admitted
+    /// reservations).
+    pub fn reserved_utilization(&self) -> f64 {
+        self.reserved_utilization
+    }
+
+    /// Utilization still admissible.
+    pub fn available_utilization(&self) -> f64 {
+        (self.effective_limit() - self.reserved_utilization).max(0.0)
+    }
+
+    fn effective_limit(&self) -> f64 {
+        self.cfg.utilization_limit * (1.0 - self.cfg.overhead_fraction)
+    }
+
+    /// Admits a reserved job with `slice` of work guaranteed every
+    /// `period`.
+    pub fn reserve(
+        &mut self,
+        now: SimTime,
+        slice: SimDuration,
+        period: SimDuration,
+    ) -> Result<JobId, ReservationError> {
+        assert!(!period.is_zero(), "reservation period must be positive");
+        assert!(slice <= period, "slice cannot exceed period");
+        self.advance_to(now);
+        let requested = slice.as_micros() as f64 / period.as_micros() as f64;
+        let available = self.available_utilization();
+        if requested > available + 1e-12 {
+            return Err(ReservationError::Overloaded { requested, available });
+        }
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                tasks: VecDeque::new(),
+                reservation: Some(Reservation {
+                    slice,
+                    period,
+                    budget: slice,
+                    next_replenish: now + period,
+                }),
+                be_runnable: false,
+            },
+        );
+        self.reserved_utilization += requested;
+        Ok(id)
+    }
+
+    /// Applies all period-boundary replenishments due at or before `now`.
+    fn settle_replenishments(&mut self) {
+        for job in self.jobs.values_mut() {
+            if let Some(res) = job.reservation.as_mut() {
+                while res.next_replenish <= self.now {
+                    res.budget = res.slice;
+                    res.next_replenish += res.period;
+                }
+            }
+        }
+    }
+
+    /// The earliest future replenishment instant, optionally restricted to
+    /// jobs with pending tasks.
+    fn next_replenish(&self, only_with_tasks: bool) -> Option<SimTime> {
+        self.jobs
+            .values()
+            .filter(|j| !only_with_tasks || !j.tasks.is_empty())
+            .filter_map(|j| j.reservation.as_ref().map(|r| r.next_replenish))
+            .min()
+    }
+
+    /// EDF choice among runnable reserved jobs (pending tasks and budget).
+    fn pick_reserved(&self) -> Option<JobId> {
+        self.jobs
+            .iter()
+            .filter(|(_, j)| !j.tasks.is_empty())
+            .filter_map(|(&id, j)| {
+                j.reservation
+                    .as_ref()
+                    .filter(|r| !r.budget.is_zero())
+                    .map(|r| (r.next_replenish, id))
+            })
+            .min()
+            .map(|(_, id)| id)
+    }
+
+    /// The best-effort job that would run next (the preempted current one,
+    /// or the head of the run queue with work).
+    fn pick_best_effort(&self) -> Option<JobId> {
+        if let Some((id, _)) = self.be_current {
+            if self.jobs.get(&id).is_some_and(|j| !j.tasks.is_empty()) {
+                return Some(id);
+            }
+        }
+        self.be_queue
+            .iter()
+            .copied()
+            .find(|id| self.jobs.get(id).is_some_and(|j| !j.tasks.is_empty()))
+    }
+
+    fn choose(&self) -> Choice {
+        if let Some(id) = self.pick_reserved() {
+            Choice::Reserved(id)
+        } else if let Some(id) = self.pick_best_effort() {
+            Choice::BestEffort(id)
+        } else {
+            Choice::Idle
+        }
+    }
+
+    /// The absolute time of the next internal state change under the
+    /// current choice, assuming no new submissions.
+    fn step_until(&self, choice: Choice) -> Option<SimTime> {
+        match choice {
+            Choice::Reserved(id) => {
+                let job = &self.jobs[&id];
+                let res = job.reservation.as_ref().expect("reserved job");
+                let task_left = job.tasks.front().map(|&(_, w)| w).expect("has task");
+                let executable = task_left.min(res.budget);
+                let wall = self.wall_for(executable);
+                let mut until = self.now + wall;
+                // Any replenishment can change the EDF order or wake a job.
+                if let Some(r) = self.next_replenish(false) {
+                    until = until.min(r);
+                }
+                Some(until)
+            }
+            Choice::BestEffort(id) => {
+                let job = &self.jobs[&id];
+                let task_left = job.tasks.front().map(|&(_, w)| w).expect("has task");
+                let quantum_left = match self.be_current {
+                    Some((cur, q)) if cur == id => q,
+                    _ => self.cfg.best_effort_quantum,
+                };
+                let wall = self.wall_for(task_left.min(self.work_in(quantum_left)).max(SimDuration::from_micros(1)))
+                    .min(quantum_left);
+                let mut until = self.now + wall.max(SimDuration::from_micros(1));
+                // A replenished reserved job preempts best-effort work.
+                if let Some(r) = self.next_replenish(true) {
+                    until = until.min(r);
+                }
+                Some(until)
+            }
+            Choice::Idle => self.next_replenish(true),
+        }
+    }
+
+    /// Executes the current choice up to `until` (which must be
+    /// `<= step_until`), mutating budgets/tasks and recording completions.
+    fn execute_step(&mut self, choice: Choice, until: SimTime) {
+        let wall = until - self.now;
+        let rate = 1.0 - self.cfg.overhead_fraction;
+        let wall_for = |work: SimDuration| {
+            SimDuration::from_micros((work.as_micros() as f64 / rate).ceil() as u64)
+        };
+        let work_in = |w: SimDuration| {
+            SimDuration::from_micros((w.as_micros() as f64 * rate).floor() as u64)
+        };
+        match choice {
+            Choice::Reserved(id) => {
+                let job = self.jobs.get_mut(&id).expect("reserved job");
+                let res = job.reservation.as_mut().expect("reservation");
+                let &(task_id, task_left) = job.tasks.front().expect("task");
+                let executable = task_left.min(res.budget);
+                let wall_needed = wall_for(executable);
+                let done = if wall >= wall_needed {
+                    executable
+                } else {
+                    work_in(wall).min(executable)
+                };
+                res.budget -= done;
+                if done >= task_left {
+                    job.tasks.pop_front();
+                    self.completions.push(Completion { job: id, task: task_id, at: until });
+                } else {
+                    job.tasks[0].1 = task_left - done;
+                }
+            }
+            Choice::BestEffort(id) => {
+                let quantum_left = match self.be_current {
+                    Some((cur, q)) if cur == id => q,
+                    _ => self.cfg.best_effort_quantum,
+                };
+                let used = wall.min(quantum_left);
+                let job = self.jobs.get_mut(&id).expect("be job");
+                let &(task_id, task_left) = job.tasks.front().expect("task");
+                let wall_needed = wall_for(task_left);
+                let done = if used >= wall_needed {
+                    task_left
+                } else {
+                    work_in(used).min(task_left)
+                };
+                let finished_task = done >= task_left;
+                if finished_task {
+                    job.tasks.pop_front();
+                    self.completions.push(Completion { job: id, task: task_id, at: until });
+                } else {
+                    job.tasks[0].1 = task_left - done;
+                }
+                let quantum_after = quantum_left - used;
+                if finished_task && self.jobs[&id].tasks.is_empty() {
+                    // Blocked: drop the quantum remainder and dequeue.
+                    self.be_current = None;
+                    self.jobs.get_mut(&id).unwrap().be_runnable = false;
+                    self.be_queue.retain(|&j| j != id);
+                } else if quantum_after.is_zero() {
+                    // Quantum expired: rotate to the tail.
+                    self.be_current = None;
+                    self.be_queue.retain(|&j| j != id);
+                    self.be_queue.push_back(id);
+                } else {
+                    self.be_current = Some((id, quantum_after));
+                }
+            }
+            Choice::Idle => {}
+        }
+    }
+
+    /// Wall-clock time needed to execute `work` at the effective rate
+    /// (scheduler overhead slows execution by `overhead_fraction`).
+    fn wall_for(&self, work: SimDuration) -> SimDuration {
+        let rate = 1.0 - self.cfg.overhead_fraction;
+        SimDuration::from_micros((work.as_micros() as f64 / rate).ceil() as u64)
+    }
+    fn work_in(&self, wall: SimDuration) -> SimDuration {
+        let rate = 1.0 - self.cfg.overhead_fraction;
+        SimDuration::from_micros((wall.as_micros() as f64 * rate).floor() as u64)
+    }
+}
+
+impl CpuScheduler for Dsrt {
+    fn add_job(&mut self, now: SimTime) -> JobId {
+        self.advance_to(now);
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.jobs
+            .insert(id, Job { tasks: VecDeque::new(), reservation: None, be_runnable: false });
+        id
+    }
+
+    fn remove_job(&mut self, now: SimTime, job: JobId) {
+        self.advance_to(now);
+        if let Some(j) = self.jobs.remove(&job) {
+            if let Some(res) = j.reservation {
+                let u = res.slice.as_micros() as f64 / res.period.as_micros() as f64;
+                self.reserved_utilization = (self.reserved_utilization - u).max(0.0);
+            }
+        }
+        self.be_queue.retain(|&id| id != job);
+        if self.be_current.map(|(id, _)| id) == Some(job) {
+            self.be_current = None;
+        }
+    }
+
+    fn submit(&mut self, now: SimTime, job: JobId, work: SimDuration) -> TaskId {
+        self.advance_to(now);
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        let entry = self.jobs.get_mut(&job).expect("submit to unknown job");
+        entry.tasks.push_back((id, work));
+        if entry.reservation.is_none() && !entry.be_runnable {
+            entry.be_runnable = true;
+            self.be_queue.push_back(job);
+        }
+        id
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        self.step_until(self.choose())
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_to into the past");
+        loop {
+            self.settle_replenishments();
+            let choice = self.choose();
+            let Some(until) = self.step_until(choice) else {
+                self.now = t;
+                return;
+            };
+            if choice == Choice::Idle {
+                // Nothing runnable until the next replenishment.
+                self.now = until.min(t);
+                if until > t {
+                    return;
+                }
+                continue;
+            }
+            if until > t {
+                // The next state change lies beyond the horizon: run the
+                // chosen job partially up to t and stop.
+                if self.now < t {
+                    self.execute_step(choice, t);
+                    self.now = t;
+                }
+                return;
+            }
+            // Full step, possibly zero-length (a zero-work task completes
+            // at the current instant — execute_step pops it, guaranteeing
+            // progress).
+            self.execute_step(choice, until);
+            self.now = until;
+        }
+    }
+
+    fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn pending_completions(&self) -> usize {
+        self.completions.len()
+    }
+
+    fn backlog_jobs(&self) -> usize {
+        self.jobs.values().filter(|j| !j.tasks.is_empty()).count()
+    }
+
+    fn backlog_work(&self) -> SimDuration {
+        self.jobs
+            .values()
+            .flat_map(|j| j.tasks.iter().map(|&(_, w)| w))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_until_idle;
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+    fn at_ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn no_overhead() -> Dsrt {
+        Dsrt::new(DsrtConfig { overhead_fraction: 0.0, ..DsrtConfig::default() })
+    }
+
+    #[test]
+    fn reserved_job_runs_immediately() {
+        let mut cpu = no_overhead();
+        let j = cpu.reserve(SimTime::ZERO, ms(5), ms(40)).unwrap();
+        cpu.submit(SimTime::ZERO, j, ms(2));
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].at, at_ms(2));
+    }
+
+    #[test]
+    fn reserved_preempts_best_effort() {
+        let mut cpu = no_overhead();
+        let be = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, be, ms(50));
+        // Let the best-effort hog start, then a reserved task arrives.
+        cpu.advance_to(at_ms(3));
+        let r = cpu.reserve(at_ms(3), ms(5), ms(40)).unwrap();
+        cpu.submit(at_ms(3), r, ms(2));
+        let done = run_until_idle(&mut cpu, at_ms(200));
+        let reserved_done = done.iter().find(|c| c.job == r).unwrap();
+        // The reserved task runs 3..5 ms despite the hog.
+        assert_eq!(reserved_done.at, at_ms(5));
+        // The hog still finishes, 2 ms later than it would have alone.
+        let hog_done = done.iter().find(|c| c.job == be).unwrap();
+        assert_eq!(hog_done.at, at_ms(52));
+    }
+
+    #[test]
+    fn budget_exhaustion_defers_to_next_period() {
+        let mut cpu = no_overhead();
+        let j = cpu.reserve(SimTime::ZERO, ms(5), ms(20)).unwrap();
+        // 12 ms of work against a 5 ms/20 ms reservation and no best-effort
+        // competition: DSRT still caps the job at its budget each period.
+        cpu.submit(SimTime::ZERO, j, ms(12));
+        let done = run_until_idle(&mut cpu, at_ms(200));
+        // 5 ms in period 1 (0-20), 5 ms in period 2 (20-40), 2 ms in
+        // period 3 -> completes at 42 ms.
+        assert_eq!(done[0].at, at_ms(42));
+    }
+
+    #[test]
+    fn best_effort_consumes_leftover() {
+        let mut cpu = no_overhead();
+        let r = cpu.reserve(SimTime::ZERO, ms(10), ms(20)).unwrap();
+        cpu.submit(SimTime::ZERO, r, ms(10));
+        let be = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, be, ms(5));
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        // Reserved runs 0-10, best-effort 10-15.
+        assert_eq!(done.iter().find(|c| c.job == r).unwrap().at, at_ms(10));
+        assert_eq!(done.iter().find(|c| c.job == be).unwrap().at, at_ms(15));
+    }
+
+    #[test]
+    fn edf_orders_reserved_jobs() {
+        let mut cpu = no_overhead();
+        // Job A: deadline at 10 ms; job B: deadline at 30 ms.
+        let a = cpu.reserve(SimTime::ZERO, ms(3), ms(10)).unwrap();
+        let b = cpu.reserve(SimTime::ZERO, ms(3), ms(30)).unwrap();
+        cpu.submit(SimTime::ZERO, b, ms(3));
+        cpu.submit(SimTime::ZERO, a, ms(3));
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        // A has the earlier deadline and runs first even though B was
+        // submitted first.
+        assert_eq!(done[0].job, a);
+        assert_eq!(done[0].at, at_ms(3));
+        assert_eq!(done[1].job, b);
+        assert_eq!(done[1].at, at_ms(6));
+    }
+
+    #[test]
+    fn admission_control_rejects_overload() {
+        let mut cpu = no_overhead();
+        // 60% + 50% > 100%.
+        cpu.reserve(SimTime::ZERO, ms(12), ms(20)).unwrap();
+        let err = cpu.reserve(SimTime::ZERO, ms(10), ms(20)).unwrap_err();
+        match err {
+            ReservationError::Overloaded { requested, available } => {
+                assert!((requested - 0.5).abs() < 1e-9);
+                assert!((available - 0.4).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn removing_reservation_frees_utilization() {
+        let mut cpu = no_overhead();
+        let j = cpu.reserve(SimTime::ZERO, ms(10), ms(20)).unwrap();
+        assert!((cpu.reserved_utilization() - 0.5).abs() < 1e-9);
+        cpu.remove_job(at_ms(1), j);
+        assert!(cpu.reserved_utilization().abs() < 1e-9);
+        // Freed capacity is admissible again.
+        cpu.reserve(at_ms(1), ms(18), ms(20)).unwrap();
+    }
+
+    #[test]
+    fn overhead_limits_admission_and_slows_work() {
+        let mut cpu = Dsrt::new(DsrtConfig { overhead_fraction: 0.016, ..DsrtConfig::default() });
+        assert!((cpu.available_utilization() - 0.984).abs() < 1e-9);
+        let j = cpu.reserve(SimTime::ZERO, ms(10), ms(20)).unwrap();
+        cpu.submit(SimTime::ZERO, j, ms(10));
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        // 10 ms of work at rate 0.984 takes ~10.163 ms of wall time.
+        let at = done[0].at.as_micros();
+        assert!((10_150..10_180).contains(&at), "completed at {at}us");
+    }
+
+    #[test]
+    fn periodic_frames_complete_on_time_under_contention() {
+        // The Fig 5d scenario in miniature: a reserved streaming job stays
+        // timely despite many best-effort competitors.
+        let mut cpu = no_overhead();
+        let frame_interval = SimDuration::from_micros(41_708); // 23.97 fps
+        let stream = cpu.reserve(SimTime::ZERO, ms(4), frame_interval).unwrap();
+        let hogs: Vec<JobId> = (0..8).map(|_| cpu.add_job(SimTime::ZERO)).collect();
+        let mut t = SimTime::ZERO;
+        let mut completions = Vec::new();
+        for _ in 0..50 {
+            cpu.submit(t, stream, ms(2));
+            for &h in &hogs {
+                cpu.submit(t, h, ms(20));
+            }
+            let next = t + frame_interval;
+            completions.extend(run_until_idle(&mut cpu, next).into_iter().filter(|c| c.job == stream));
+            t = next;
+        }
+        // Drain any stragglers.
+        completions.extend(
+            run_until_idle(&mut cpu, t + SimDuration::from_secs(5))
+                .into_iter()
+                .filter(|c| c.job == stream),
+        );
+        assert_eq!(completions.len(), 50);
+        // Each frame completes ~2 ms after its submission instant.
+        for (i, c) in completions.iter().enumerate() {
+            let ideal = SimTime::ZERO + frame_interval * i as u64 + ms(2);
+            let lag = c.at.duration_since(ideal);
+            assert!(lag <= ms(1), "frame {i} lagged {lag}");
+        }
+    }
+
+    #[test]
+    fn best_effort_round_robin_without_reservations() {
+        let mut cpu = no_overhead();
+        let a = cpu.add_job(SimTime::ZERO);
+        let b = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, a, ms(20));
+        cpu.submit(SimTime::ZERO, b, ms(20));
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        assert_eq!(done.len(), 2);
+        // Fair interleave: both finish in 30-40 ms.
+        assert_eq!(done[0].job, a);
+        assert_eq!(done[0].at, at_ms(30));
+        assert_eq!(done[1].at, at_ms(40));
+    }
+
+    #[test]
+    fn idle_advance_is_cheap_and_correct() {
+        let mut cpu = no_overhead();
+        cpu.advance_to(SimTime::from_secs(1000));
+        assert_eq!(cpu.next_event(), None);
+        assert_eq!(cpu.backlog_jobs(), 0);
+    }
+
+    #[test]
+    fn zero_work_task_completes_at_submission() {
+        let mut cpu = no_overhead();
+        let j = cpu.reserve(SimTime::ZERO, ms(1), ms(10)).unwrap();
+        cpu.submit(at_ms(3), j, SimDuration::ZERO);
+        let done = run_until_idle(&mut cpu, at_ms(20));
+        assert_eq!(done[0].at, at_ms(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice cannot exceed period")]
+    fn slice_larger_than_period_panics() {
+        let mut cpu = no_overhead();
+        let _ = cpu.reserve(SimTime::ZERO, ms(30), ms(20));
+    }
+}

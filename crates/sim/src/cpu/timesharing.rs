@@ -1,0 +1,434 @@
+//! Round-robin time-sharing CPU scheduler (Solaris-like, 10 ms quantum).
+
+use super::{Completion, CpuScheduler, JobId, TaskId};
+use crate::time::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug)]
+struct Job {
+    /// FIFO of `(task, remaining work)`.
+    tasks: VecDeque<(TaskId, SimDuration)>,
+    /// Whether the job is in the run queue or currently running. Jobs with
+    /// no tasks are "blocked" and leave the run queue.
+    runnable: bool,
+}
+
+/// A round-robin quantum scheduler.
+///
+/// Jobs with pending tasks rotate through a run queue; each dispatch grants
+/// a fixed quantum (default 10 ms, matching Solaris as cited in the paper).
+/// A job that exhausts its task queue blocks and yields the remainder of
+/// its quantum; a job that exhausts its quantum with work remaining is
+/// requeued at the tail. An optional context-switch overhead is charged on
+/// every dispatch.
+#[derive(Debug)]
+pub struct TimeSharing {
+    quantum: SimDuration,
+    switch_overhead: SimDuration,
+    now: SimTime,
+    jobs: HashMap<JobId, Job>,
+    run_queue: VecDeque<JobId>,
+    /// Currently dispatched job and its remaining quantum.
+    current: Option<(JobId, SimDuration)>,
+    /// Overhead remaining to be paid before the current dispatch runs.
+    pending_overhead: SimDuration,
+    completions: Vec<Completion>,
+    next_job: u64,
+    next_task: u64,
+}
+
+impl TimeSharing {
+    /// Creates a scheduler with the given quantum and zero context-switch
+    /// overhead.
+    pub fn new(quantum: SimDuration) -> Self {
+        Self::with_overhead(quantum, SimDuration::ZERO)
+    }
+
+    /// Creates a scheduler with the Solaris default 10 ms quantum.
+    pub fn solaris_default() -> Self {
+        Self::new(SimDuration::from_millis(10))
+    }
+
+    /// Creates a scheduler charging `switch_overhead` of CPU time on every
+    /// dispatch.
+    pub fn with_overhead(quantum: SimDuration, switch_overhead: SimDuration) -> Self {
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        TimeSharing {
+            quantum,
+            switch_overhead,
+            now: SimTime::ZERO,
+            jobs: HashMap::new(),
+            run_queue: VecDeque::new(),
+            current: None,
+            pending_overhead: SimDuration::ZERO,
+            completions: Vec::new(),
+            next_job: 0,
+            next_task: 0,
+        }
+    }
+
+    /// The scheduling quantum.
+    pub fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    /// Current internal clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Dispatches the next runnable job if the CPU is idle.
+    fn dispatch(&mut self) {
+        if self.current.is_some() {
+            return;
+        }
+        while let Some(job_id) = self.run_queue.pop_front() {
+            // A job may have been removed while queued.
+            let Some(job) = self.jobs.get(&job_id) else { continue };
+            if job.tasks.is_empty() {
+                continue;
+            }
+            self.current = Some((job_id, self.quantum));
+            self.pending_overhead = self.switch_overhead;
+            return;
+        }
+    }
+
+    /// Wakes a job that received new work while blocked.
+    fn make_runnable(&mut self, job_id: JobId) {
+        let job = self.jobs.get_mut(&job_id).expect("unknown job");
+        if !job.runnable {
+            job.runnable = true;
+            self.run_queue.push_back(job_id);
+        }
+    }
+}
+
+impl CpuScheduler for TimeSharing {
+    fn add_job(&mut self, now: SimTime) -> JobId {
+        self.advance_to(now);
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.jobs.insert(id, Job { tasks: VecDeque::new(), runnable: false });
+        id
+    }
+
+    fn remove_job(&mut self, now: SimTime, job: JobId) {
+        self.advance_to(now);
+        if let Some((cur, _)) = self.current {
+            if cur == job {
+                self.current = None;
+                self.pending_overhead = SimDuration::ZERO;
+            }
+        }
+        self.jobs.remove(&job);
+        // Stale run-queue entries are skipped in dispatch().
+    }
+
+    fn submit(&mut self, now: SimTime, job: JobId, work: SimDuration) -> TaskId {
+        self.advance_to(now);
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        let entry = self.jobs.get_mut(&job).expect("submit to unknown job");
+        entry.tasks.push_back((id, work));
+        let currently_running = self.current.map(|(j, _)| j) == Some(job);
+        if !currently_running {
+            self.make_runnable(job);
+        }
+        id
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        if let Some((job_id, quantum_left)) = self.current {
+            let job = self.jobs.get(&job_id).expect("current job missing");
+            let task_left = job.tasks.front().map(|&(_, w)| w).unwrap_or(SimDuration::ZERO);
+            let step = self.pending_overhead + task_left.min(quantum_left);
+            Some(self.now + step)
+        } else {
+            // Peek the job that dispatch() would pick and report its first
+            // state change, so a driver advancing to this instant observes
+            // the dispatch *and* its outcome in one step.
+            for id in &self.run_queue {
+                let Some(job) = self.jobs.get(id) else { continue };
+                let Some(&(_, w)) = job.tasks.front() else { continue };
+                let step = self.switch_overhead + w.min(self.quantum);
+                return Some(self.now + step);
+            }
+            None
+        }
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_to into the past");
+        loop {
+            self.dispatch();
+            let Some((job_id, quantum_left)) = self.current else {
+                // Idle: jump straight to t.
+                self.now = t;
+                return;
+            };
+            let available = t - self.now;
+
+            // Pay any context-switch overhead first.
+            if !self.pending_overhead.is_zero() {
+                if available.is_zero() {
+                    return;
+                }
+                let pay = self.pending_overhead.min(available);
+                self.now += pay;
+                self.pending_overhead -= pay;
+                continue;
+            }
+
+            let job = self.jobs.get_mut(&job_id).expect("current job missing");
+            let Some(&(task_id, task_left)) = job.tasks.front() else {
+                // Job blocked (no tasks): yield the CPU.
+                job.runnable = false;
+                self.current = None;
+                continue;
+            };
+
+            // Zero-length tasks complete at the current instant, even when
+            // the horizon has been reached.
+            if task_left.is_zero() {
+                job.tasks.pop_front();
+                self.completions.push(Completion { job: job_id, task: task_id, at: self.now });
+                if job.tasks.is_empty() {
+                    job.runnable = false;
+                    self.current = None;
+                }
+                continue;
+            }
+
+            if available.is_zero() {
+                return;
+            }
+
+            let step = task_left.min(quantum_left).min(available);
+            self.now += step;
+            let task_left = task_left - step;
+            let quantum_left = quantum_left - step;
+
+            if task_left.is_zero() {
+                job.tasks.pop_front();
+                self.completions.push(Completion { job: job_id, task: task_id, at: self.now });
+                if job.tasks.is_empty() {
+                    // Nothing more to do: block and yield.
+                    job.runnable = false;
+                    self.current = None;
+                } else if quantum_left.is_zero() {
+                    // Quantum used up exactly at task boundary: requeue.
+                    self.run_queue.push_back(job_id);
+                    self.current = None;
+                } else {
+                    self.current = Some((job_id, quantum_left));
+                }
+            } else {
+                job.tasks[0].1 = task_left;
+                if quantum_left.is_zero() {
+                    // Preempted: go to the back of the line.
+                    self.run_queue.push_back(job_id);
+                    self.current = None;
+                } else {
+                    // Ran out of `available` (reached t).
+                    self.current = Some((job_id, quantum_left));
+                    debug_assert_eq!(self.now, t);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn pending_completions(&self) -> usize {
+        self.completions.len()
+    }
+
+    fn backlog_jobs(&self) -> usize {
+        self.jobs.values().filter(|j| !j.tasks.is_empty()).count()
+    }
+
+    fn backlog_work(&self) -> SimDuration {
+        self.jobs
+            .values()
+            .flat_map(|j| j.tasks.iter().map(|&(_, w)| w))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_until_idle;
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+    fn at_ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let mut cpu = TimeSharing::new(ms(10));
+        let j = cpu.add_job(SimTime::ZERO);
+        let t = cpu.submit(SimTime::ZERO, j, ms(25));
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].job, j);
+        assert_eq!(done[0].task, t);
+        // 25 ms of work on an otherwise idle CPU finishes at 25 ms; the
+        // quantum does not delay a lone job because it is requeued alone.
+        assert_eq!(done[0].at, at_ms(25));
+    }
+
+    #[test]
+    fn two_jobs_round_robin_fairly() {
+        let mut cpu = TimeSharing::new(ms(10));
+        let a = cpu.add_job(SimTime::ZERO);
+        let b = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, a, ms(20));
+        cpu.submit(SimTime::ZERO, b, ms(20));
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        // Interleaving: a 0-10, b 10-20, a 20-30 (done), b 30-40 (done).
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].job, a);
+        assert_eq!(done[0].at, at_ms(30));
+        assert_eq!(done[1].job, b);
+        assert_eq!(done[1].at, at_ms(40));
+    }
+
+    #[test]
+    fn job_processes_backlog_within_quantum() {
+        // The paper's observation: a starved streaming job processes all
+        // overdue frames in one quantum once it gets the CPU.
+        let mut cpu = TimeSharing::new(ms(10));
+        let hog = cpu.add_job(SimTime::ZERO);
+        let stream = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, hog, ms(10));
+        // Four 2 ms "frames" queued while the hog runs.
+        for _ in 0..4 {
+            cpu.submit(SimTime::ZERO, stream, ms(2));
+        }
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        let frame_times: Vec<SimTime> =
+            done.iter().filter(|c| c.job == stream).map(|c| c.at).collect();
+        // Stream gets the CPU at 10 ms and burns through all four frames
+        // back to back: 12, 14, 16, 18 ms.
+        assert_eq!(frame_times, vec![at_ms(12), at_ms(14), at_ms(16), at_ms(18)]);
+    }
+
+    #[test]
+    fn quantum_expiry_requeues_at_tail() {
+        let mut cpu = TimeSharing::new(ms(10));
+        let a = cpu.add_job(SimTime::ZERO);
+        let b = cpu.add_job(SimTime::ZERO);
+        let c = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, a, ms(15));
+        cpu.submit(SimTime::ZERO, b, ms(5));
+        cpu.submit(SimTime::ZERO, c, ms(5));
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        // a runs 0-10 (preempted), b 10-15, c 15-20, a 20-25.
+        let order: Vec<(JobId, SimTime)> = done.iter().map(|d| (d.job, d.at)).collect();
+        assert_eq!(order, vec![(b, at_ms(15)), (c, at_ms(20)), (a, at_ms(25))]);
+    }
+
+    #[test]
+    fn blocked_job_yields_rest_of_quantum() {
+        let mut cpu = TimeSharing::new(ms(10));
+        let a = cpu.add_job(SimTime::ZERO);
+        let b = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, a, ms(2));
+        cpu.submit(SimTime::ZERO, b, ms(2));
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        // a finishes at 2 and blocks; b starts immediately, not at 10.
+        assert_eq!(done[0].at, at_ms(2));
+        assert_eq!(done[1].at, at_ms(4));
+    }
+
+    #[test]
+    fn late_submission_wakes_job() {
+        let mut cpu = TimeSharing::new(ms(10));
+        let j = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, j, ms(1));
+        let done = run_until_idle(&mut cpu, at_ms(10));
+        assert_eq!(done[0].at, at_ms(1));
+        // Job is now blocked; submit again at t = 30 ms.
+        cpu.submit(at_ms(30), j, ms(1));
+        let done = run_until_idle(&mut cpu, at_ms(50));
+        assert_eq!(done[0].at, at_ms(31));
+    }
+
+    #[test]
+    fn removed_job_never_completes() {
+        let mut cpu = TimeSharing::new(ms(10));
+        let a = cpu.add_job(SimTime::ZERO);
+        let b = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, a, ms(30));
+        cpu.submit(SimTime::ZERO, b, ms(5));
+        cpu.advance_to(at_ms(5));
+        cpu.remove_job(at_ms(5), a);
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        assert!(done.iter().all(|c| c.job == b));
+        assert_eq!(cpu.backlog_jobs(), 0);
+    }
+
+    #[test]
+    fn context_switch_overhead_is_charged() {
+        let mut cpu = TimeSharing::with_overhead(ms(10), ms(1));
+        let j = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, j, ms(5));
+        let done = run_until_idle(&mut cpu, at_ms(50));
+        assert_eq!(done[0].at, at_ms(6));
+    }
+
+    #[test]
+    fn backlog_accounting() {
+        let mut cpu = TimeSharing::new(ms(10));
+        let a = cpu.add_job(SimTime::ZERO);
+        let b = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, a, ms(4));
+        cpu.submit(SimTime::ZERO, a, ms(4));
+        cpu.submit(SimTime::ZERO, b, ms(4));
+        assert_eq!(cpu.backlog_jobs(), 2);
+        assert_eq!(cpu.backlog_work(), ms(12));
+        cpu.advance_to(at_ms(2));
+        assert_eq!(cpu.backlog_work(), ms(10));
+    }
+
+    #[test]
+    fn zero_length_task_completes_immediately() {
+        let mut cpu = TimeSharing::new(ms(10));
+        let j = cpu.add_job(SimTime::ZERO);
+        cpu.submit(SimTime::ZERO, j, SimDuration::ZERO);
+        let done = run_until_idle(&mut cpu, at_ms(10));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn next_event_none_when_idle() {
+        let mut cpu = TimeSharing::new(ms(10));
+        let j = cpu.add_job(SimTime::ZERO);
+        assert_eq!(cpu.next_event(), None);
+        cpu.submit(SimTime::ZERO, j, ms(3));
+        assert!(cpu.next_event().is_some());
+        run_until_idle(&mut cpu, at_ms(10));
+        assert_eq!(cpu.next_event(), None);
+    }
+
+    #[test]
+    fn per_job_fifo_order_is_preserved() {
+        let mut cpu = TimeSharing::new(ms(10));
+        let j = cpu.add_job(SimTime::ZERO);
+        let t1 = cpu.submit(SimTime::ZERO, j, ms(3));
+        let t2 = cpu.submit(SimTime::ZERO, j, ms(3));
+        let t3 = cpu.submit(SimTime::ZERO, j, ms(3));
+        let done = run_until_idle(&mut cpu, at_ms(100));
+        let order: Vec<TaskId> = done.iter().map(|c| c.task).collect();
+        assert_eq!(order, vec![t1, t2, t3]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # quasaq-sim — deterministic discrete-event simulation kernel
+//!
+//! The QuaSAQ reproduction evaluates a distributed multimedia database on a
+//! simulated testbed instead of the paper's three Solaris servers. This
+//! crate is that testbed's foundation:
+//!
+//! * [`time`] — integer-microsecond virtual time ([`SimTime`],
+//!   [`SimDuration`]).
+//! * [`queue`] — a deterministic event queue generic over the driver's
+//!   event type.
+//! * [`rng`] — an in-tree xoshiro256++ generator with forkable streams so
+//!   experiments replay bit-for-bit from one seed.
+//! * [`cpu`] — two CPU scheduling models: the Solaris-like round-robin
+//!   [`cpu::TimeSharing`] (the plain VDBMS regime of Fig 5a/5c) and the
+//!   DSRT-style reservation scheduler [`cpu::Dsrt`] (the QuaSAQ regime of
+//!   Fig 5b/5d).
+//! * [`link`] — fluid-flow shared bandwidth for server outbound links and
+//!   disks, with fair-share and reservation policies.
+//! * [`stats`] — accumulators for the measurements the paper reports
+//!   (mean/S.D. tables, delay traces, session counts, completion rates).
+//!
+//! All resource models are *passive incremental simulators*: an experiment
+//! driver owns the [`queue::EventQueue`], asks each resource for its next
+//! interesting instant, advances it, and drains typed completions. Nothing
+//! in this crate spawns threads or reads wall-clock time.
+
+pub mod cpu;
+pub mod link;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use cpu::{
+    Completion, CpuScheduler, Dsrt, DsrtConfig, JobId, ReservationError, TaskId, TimeSharing,
+};
+pub use link::{FlowId, LinkError, SharePolicy, SharedLink, XferDone, XferId};
+pub use queue::{EventId, EventQueue};
+pub use rng::Rng;
+pub use stats::{Histogram, LevelTracker, OnlineStats, RateCounter, Series};
+pub use time::{SimDuration, SimTime};
+pub use topology::ServerId;

@@ -1,0 +1,551 @@
+//! Shared-bandwidth resources: network links and disks.
+//!
+//! The paper's testbed bottleneck is each server's outbound link, with
+//! 3200 KB/s of total streaming bandwidth. [`SharedLink`] models such a
+//! resource as a fluid-flow server under one of two policies:
+//!
+//! * [`SharePolicy::FairShare`] — all backlogged flows split the capacity
+//!   equally (processor sharing). This is the plain-VDBMS regime: with no
+//!   admission control an oversubscribed link stretches every transfer.
+//! * [`SharePolicy::Reserved`] — each flow transmits at its reserved rate,
+//!   and opening a flow fails if the reservations would exceed capacity.
+//!   This is the QoS-API regime.
+//!
+//! Like the CPU schedulers, the link is a passive incremental simulator:
+//! submit transfers, query [`SharedLink::next_event`], advance, drain
+//! completions. Disks are the same abstraction with a different capacity,
+//! so the storage layer reuses `SharedLink`.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Identifies an open flow (one streaming session's use of a link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// Identifies a submitted transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XferId(pub u64);
+
+/// A finished transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XferDone {
+    /// Flow the transfer belonged to.
+    pub flow: FlowId,
+    /// The completed transfer.
+    pub xfer: XferId,
+    /// Completion instant.
+    pub at: SimTime,
+}
+
+/// Bandwidth-sharing discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharePolicy {
+    /// Max-min fair sharing: backlogged flows split capacity equally, up
+    /// to each flow's optional pacing cap (water-filling).
+    FairShare,
+    /// Reservation: each flow transmits at its own reserved rate; admission
+    /// keeps the sum within capacity.
+    Reserved,
+}
+
+/// Why a flow could not be opened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkError {
+    /// Requested reservation exceeds the remaining capacity.
+    Saturated {
+        /// Requested rate in bytes/second.
+        requested: u64,
+        /// Remaining reservable rate in bytes/second.
+        available: u64,
+    },
+    /// A reservation rate was required (Reserved policy) but not given, or
+    /// given under FairShare.
+    PolicyMismatch,
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::Saturated { requested, available } => write!(
+                f,
+                "link reservation refused: requested {requested} B/s exceeds available {available} B/s"
+            ),
+            LinkError::PolicyMismatch => {
+                write!(f, "reservation rate required under Reserved policy and forbidden under FairShare")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+#[derive(Debug)]
+struct Flow {
+    /// Reserved rate (Reserved policy) or pacing cap (FairShare, 0 = no
+    /// cap), in bytes/second.
+    rate_bps: u64,
+    /// FIFO of `(transfer, remaining bytes)`.
+    queue: VecDeque<(XferId, f64)>,
+}
+
+/// A fluid-flow shared bandwidth resource.
+#[derive(Debug)]
+pub struct SharedLink {
+    capacity_bps: u64,
+    policy: SharePolicy,
+    now: SimTime,
+    flows: BTreeMap<FlowId, Flow>,
+    reserved_total: u64,
+    completions: Vec<XferDone>,
+    next_flow: u64,
+    next_xfer: u64,
+}
+
+impl SharedLink {
+    /// Creates a fair-share (processor-sharing) link.
+    pub fn fair_share(capacity_bps: u64) -> Self {
+        Self::new(capacity_bps, SharePolicy::FairShare)
+    }
+
+    /// Creates a reservation-based link.
+    pub fn reserved(capacity_bps: u64) -> Self {
+        Self::new(capacity_bps, SharePolicy::Reserved)
+    }
+
+    fn new(capacity_bps: u64, policy: SharePolicy) -> Self {
+        assert!(capacity_bps > 0, "link capacity must be positive");
+        SharedLink {
+            capacity_bps,
+            policy,
+            now: SimTime::ZERO,
+            flows: BTreeMap::new(),
+            reserved_total: 0,
+            completions: Vec::new(),
+            next_flow: 0,
+            next_xfer: 0,
+        }
+    }
+
+    /// Total capacity in bytes/second.
+    pub fn capacity_bps(&self) -> u64 {
+        self.capacity_bps
+    }
+
+    /// The sharing policy.
+    pub fn policy(&self) -> SharePolicy {
+        self.policy
+    }
+
+    /// Sum of reserved rates (0 under FairShare).
+    pub fn reserved_bps(&self) -> u64 {
+        self.reserved_total
+    }
+
+    /// Rate still reservable.
+    pub fn available_bps(&self) -> u64 {
+        self.capacity_bps - self.reserved_total
+    }
+
+    /// Number of open flows.
+    pub fn open_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of flows with queued bytes.
+    pub fn backlogged_flows(&self) -> usize {
+        self.flows.values().filter(|f| !f.queue.is_empty()).count()
+    }
+
+    /// Total bytes still queued across all flows.
+    pub fn backlog_bytes(&self) -> f64 {
+        self.flows
+            .values()
+            .flat_map(|f| f.queue.iter().map(|&(_, b)| b))
+            .sum()
+    }
+
+    /// Opens a flow. Under [`SharePolicy::Reserved`] a rate must be given
+    /// and is admission-checked; under [`SharePolicy::FairShare`] an
+    /// optional rate acts as a pacing cap (no admission check).
+    pub fn open_flow(&mut self, now: SimTime, rate_bps: Option<u64>) -> Result<FlowId, LinkError> {
+        self.advance_to(now);
+        let (rate, reserved) = match (self.policy, rate_bps) {
+            (SharePolicy::Reserved, Some(rate)) => {
+                let available = self.available_bps();
+                if rate > available {
+                    return Err(LinkError::Saturated { requested: rate, available });
+                }
+                (rate, rate)
+            }
+            (SharePolicy::FairShare, cap) => (cap.unwrap_or(0), 0),
+            (SharePolicy::Reserved, None) => return Err(LinkError::PolicyMismatch),
+        };
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(id, Flow { rate_bps: rate, queue: VecDeque::new() });
+        self.reserved_total += reserved;
+        Ok(id)
+    }
+
+    /// Closes a flow, discarding any queued transfers and releasing its
+    /// reservation.
+    pub fn close_flow(&mut self, now: SimTime, flow: FlowId) {
+        self.advance_to(now);
+        if let Some(f) = self.flows.remove(&flow) {
+            if self.policy == SharePolicy::Reserved {
+                self.reserved_total -= f.rate_bps;
+            }
+        }
+    }
+
+    /// Queues `bytes` for transmission on `flow`.
+    pub fn send(&mut self, now: SimTime, flow: FlowId, bytes: u64) -> XferId {
+        self.advance_to(now);
+        let id = XferId(self.next_xfer);
+        self.next_xfer += 1;
+        let f = self.flows.get_mut(&flow).expect("send on unknown flow");
+        f.queue.push_back((id, bytes as f64));
+        id
+    }
+
+    /// Instantaneous per-flow transmission rates for all backlogged flows.
+    ///
+    /// Under `Reserved`, each flow runs at its reserved rate. Under
+    /// `FairShare`, rates are the max-min fair (water-filling) allocation
+    /// of the capacity subject to each flow's pacing cap.
+    pub fn current_rates(&self) -> Vec<(FlowId, f64)> {
+        match self.policy {
+            SharePolicy::Reserved => self
+                .flows
+                .iter()
+                .filter(|(_, f)| !f.queue.is_empty())
+                .map(|(&id, f)| (id, f.rate_bps as f64))
+                .collect(),
+            SharePolicy::FairShare => {
+                let mut active: Vec<(FlowId, f64)> = self
+                    .flows
+                    .iter()
+                    .filter(|(_, f)| !f.queue.is_empty())
+                    .map(|(&id, f)| {
+                        let cap =
+                            if f.rate_bps == 0 { f64::INFINITY } else { f.rate_bps as f64 };
+                        (id, cap)
+                    })
+                    .collect();
+                // Water-filling: tight caps first.
+                active.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                let mut remaining = self.capacity_bps as f64;
+                let mut rates = Vec::with_capacity(active.len());
+                let mut i = 0;
+                while i < active.len() {
+                    let share = (remaining / (active.len() - i) as f64).max(0.0);
+                    let (id, cap) = active[i];
+                    if cap <= share {
+                        rates.push((id, cap));
+                        remaining = (remaining - cap).max(0.0);
+                        i += 1;
+                    } else {
+                        for &(id2, _) in &active[i..] {
+                            rates.push((id2, share));
+                        }
+                        break;
+                    }
+                }
+                rates
+            }
+        }
+    }
+
+    /// Current transmission rate of a flow in bytes/second (0 when idle).
+    pub fn flow_rate_bps(&self, flow: FlowId) -> f64 {
+        self.current_rates()
+            .into_iter()
+            .find(|&(id, _)| id == flow)
+            .map(|(_, r)| r)
+            .unwrap_or(0.0)
+    }
+
+    /// Earliest future transfer completion, or `None` when fully idle.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let mut best: Option<SimDuration> = None;
+        for (id, rate) in self.current_rates() {
+            if rate <= 0.0 {
+                continue;
+            }
+            let f = &self.flows[&id];
+            let Some(&(_, bytes)) = f.queue.front() else { continue };
+            let secs = bytes / rate;
+            // Round *up* to the next microsecond: the completing transfer
+            // must have fully drained by the event time, or residue smaller
+            // than the clock tick would stall the fluid loop.
+            let d = SimDuration::from_micros((secs * 1e6).ceil() as u64);
+            best = Some(match best {
+                Some(b) => b.min(d),
+                None => d,
+            });
+        }
+        best.map(|d| self.now + d)
+    }
+
+    /// Advances the fluid model to `t`.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_to into the past");
+        loop {
+            let Some(next_done) = self.next_event() else {
+                self.now = t;
+                return;
+            };
+            let step_end = next_done.min(t);
+            let step = step_end - self.now;
+            // Drain bytes proportionally to each flow's current rate.
+            let rates = self.current_rates();
+            let secs = step.as_secs_f64();
+            for (id, rate) in rates {
+                if rate <= 0.0 {
+                    continue;
+                }
+                let f = self.flows.get_mut(&id).expect("flow");
+                if let Some(front) = f.queue.front_mut() {
+                    front.1 -= rate * secs;
+                }
+            }
+            self.now = step_end;
+            // Pop transfers that completed (tolerance for float residue).
+            for (&id, f) in self.flows.iter_mut() {
+                while let Some(&(xfer, bytes)) = f.queue.front() {
+                    if bytes <= 1e-6 {
+                        f.queue.pop_front();
+                        self.completions.push(XferDone { flow: id, xfer, at: self.now });
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if self.now >= t {
+                return;
+            }
+        }
+    }
+
+    /// Number of completions recorded but not yet drained. Drivers must
+    /// check this when scheduling wakes: internal advances (inside `send`,
+    /// `open_flow`, `close_flow`) can buffer completions while leaving the
+    /// link idle, so `next_event()` alone under-reports pending work.
+    pub fn pending_completions(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Removes and returns completions recorded so far.
+    pub fn drain_completions(&mut self) -> Vec<XferDone> {
+        std::mem::take(&mut self.completions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_idle(link: &mut SharedLink, horizon: SimTime) -> Vec<XferDone> {
+        let mut done = Vec::new();
+        loop {
+            match link.next_event() {
+                Some(t) if t <= horizon => {
+                    link.advance_to(t);
+                    done.extend(link.drain_completions());
+                }
+                _ => {
+                    link.advance_to(horizon);
+                    done.extend(link.drain_completions());
+                    return done;
+                }
+            }
+        }
+    }
+
+    const KB: u64 = 1_000;
+
+    #[test]
+    fn reserved_flow_transmits_at_its_rate() {
+        let mut link = SharedLink::reserved(3200 * KB);
+        let f = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
+        link.send(SimTime::ZERO, f, 50 * KB);
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        assert_eq!(done.len(), 1);
+        // 50 KB at 100 KB/s = 0.5 s.
+        let at = done[0].at.as_micros();
+        assert!((499_000..=501_000).contains(&at), "{at}");
+    }
+
+    #[test]
+    fn reserved_flows_do_not_interfere() {
+        let mut link = SharedLink::reserved(3200 * KB);
+        let a = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
+        let b = link.open_flow(SimTime::ZERO, Some(200 * KB)).unwrap();
+        link.send(SimTime::ZERO, a, 100 * KB);
+        link.send(SimTime::ZERO, b, 100 * KB);
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        let t_a = done.iter().find(|d| d.flow == a).unwrap().at.as_secs_f64();
+        let t_b = done.iter().find(|d| d.flow == b).unwrap().at.as_secs_f64();
+        assert!((t_a - 1.0).abs() < 1e-3);
+        assert!((t_b - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reservation_admission_control() {
+        let mut link = SharedLink::reserved(1000 * KB);
+        link.open_flow(SimTime::ZERO, Some(800 * KB)).unwrap();
+        let err = link.open_flow(SimTime::ZERO, Some(300 * KB)).unwrap_err();
+        assert_eq!(err, LinkError::Saturated { requested: 300 * KB, available: 200 * KB });
+        assert_eq!(link.available_bps(), 200 * KB);
+    }
+
+    #[test]
+    fn closing_a_flow_releases_its_reservation() {
+        let mut link = SharedLink::reserved(1000 * KB);
+        let f = link.open_flow(SimTime::ZERO, Some(800 * KB)).unwrap();
+        link.close_flow(SimTime::from_secs(1), f);
+        assert_eq!(link.available_bps(), 1000 * KB);
+        link.open_flow(SimTime::from_secs(1), Some(1000 * KB)).unwrap();
+    }
+
+    #[test]
+    fn fair_share_splits_capacity() {
+        let mut link = SharedLink::fair_share(1000 * KB);
+        let a = link.open_flow(SimTime::ZERO, None).unwrap();
+        let b = link.open_flow(SimTime::ZERO, None).unwrap();
+        link.send(SimTime::ZERO, a, 500 * KB);
+        link.send(SimTime::ZERO, b, 500 * KB);
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        // Both get 500 KB/s -> both finish at ~1 s.
+        for d in &done {
+            assert!((d.at.as_secs_f64() - 1.0).abs() < 1e-3, "{}", d.at);
+        }
+    }
+
+    #[test]
+    fn fair_share_speeds_up_when_a_flow_drains() {
+        let mut link = SharedLink::fair_share(1000 * KB);
+        let a = link.open_flow(SimTime::ZERO, None).unwrap();
+        let b = link.open_flow(SimTime::ZERO, None).unwrap();
+        link.send(SimTime::ZERO, a, 250 * KB);
+        link.send(SimTime::ZERO, b, 750 * KB);
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        let t_a = done.iter().find(|d| d.flow == a).unwrap().at.as_secs_f64();
+        let t_b = done.iter().find(|d| d.flow == b).unwrap().at.as_secs_f64();
+        // a: 250 KB at 500 KB/s = 0.5 s. b: 250 KB by then, 500 KB left at
+        // full rate -> 0.5 + 0.5 = 1.0 s.
+        assert!((t_a - 0.5).abs() < 1e-3, "{t_a}");
+        assert!((t_b - 1.0).abs() < 1e-3, "{t_b}");
+    }
+
+    #[test]
+    fn fair_share_oversubscription_stretches_transfers() {
+        // The plain-VDBMS failure mode: 10 concurrent 100 KB/s-worth
+        // streams on a link sized for 5.
+        let mut link = SharedLink::fair_share(500 * KB);
+        let flows: Vec<FlowId> =
+            (0..10).map(|_| link.open_flow(SimTime::ZERO, None).unwrap()).collect();
+        for &f in &flows {
+            link.send(SimTime::ZERO, f, 100 * KB);
+        }
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        // Each flow gets 50 KB/s -> 2 s instead of the nominal 1 s.
+        for d in &done {
+            assert!((d.at.as_secs_f64() - 2.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn per_flow_fifo_order() {
+        let mut link = SharedLink::reserved(1000 * KB);
+        let f = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
+        let x1 = link.send(SimTime::ZERO, f, 10 * KB);
+        let x2 = link.send(SimTime::ZERO, f, 10 * KB);
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        assert_eq!(done[0].xfer, x1);
+        assert_eq!(done[1].xfer, x2);
+        assert!(done[0].at < done[1].at);
+    }
+
+    #[test]
+    fn policy_mismatch_errors() {
+        let mut res = SharedLink::reserved(KB);
+        assert_eq!(res.open_flow(SimTime::ZERO, None).unwrap_err(), LinkError::PolicyMismatch);
+    }
+
+    #[test]
+    fn fair_share_pacing_cap_limits_lone_flow() {
+        // A paced streaming flow alone on the link transmits at its
+        // bitrate, not the full capacity.
+        let mut link = SharedLink::fair_share(1000 * KB);
+        let f = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
+        link.send(SimTime::ZERO, f, 100 * KB);
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        assert!((done[0].at.as_secs_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn water_filling_redistributes_capped_slack() {
+        // Cap 100 KB/s + uncapped flow on a 1000 KB/s link: the uncapped
+        // flow gets 900 KB/s, not 500.
+        let mut link = SharedLink::fair_share(1000 * KB);
+        let capped = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
+        let free = link.open_flow(SimTime::ZERO, None).unwrap();
+        link.send(SimTime::ZERO, capped, 1000 * KB);
+        link.send(SimTime::ZERO, free, 900 * KB);
+        let rates = link.current_rates();
+        let rate_of = |id| {
+            rates
+                .iter()
+                .find(|&&(f, _)| f == id)
+                .map(|&(_, r)| r)
+                .unwrap()
+        };
+        assert!((rate_of(capped) - 100_000.0).abs() < 1e-6);
+        assert!((rate_of(free) - 900_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oversubscribed_caps_fall_back_to_equal_share() {
+        // Ten 100 KB/s-capped flows on a 500 KB/s link: each gets 50 KB/s.
+        let mut link = SharedLink::fair_share(500 * KB);
+        let flows: Vec<FlowId> = (0..10)
+            .map(|_| link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap())
+            .collect();
+        for &f in &flows {
+            link.send(SimTime::ZERO, f, KB);
+        }
+        for (_, r) in link.current_rates() {
+            assert!((r - 50_000.0).abs() < 1e-6, "rate {r}");
+        }
+    }
+
+    #[test]
+    fn idle_link_reports_no_events() {
+        let mut link = SharedLink::fair_share(KB);
+        assert_eq!(link.next_event(), None);
+        link.advance_to(SimTime::from_secs(100));
+        assert_eq!(link.backlog_bytes(), 0.0);
+    }
+
+    #[test]
+    fn close_flow_discards_queue() {
+        let mut link = SharedLink::reserved(1000 * KB);
+        let f = link.open_flow(SimTime::ZERO, Some(10 * KB)).unwrap();
+        link.send(SimTime::ZERO, f, 1000 * KB);
+        link.close_flow(SimTime::from_millis(1), f);
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        assert!(done.is_empty());
+        assert_eq!(link.open_flows(), 0);
+    }
+
+    #[test]
+    fn late_send_measured_from_submission() {
+        let mut link = SharedLink::reserved(1000 * KB);
+        let f = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
+        link.send(SimTime::from_secs(5), f, 100 * KB);
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        assert!((done[0].at.as_secs_f64() - 6.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,530 @@
+//! Statistics collection for experiments.
+//!
+//! The paper reports means and standard deviations of inter-frame and
+//! inter-GOP delays (Table 2), per-frame delay traces (Fig 5), and session
+//! counts over time (Figs 6 and 7). This module provides the accumulators
+//! those harnesses need: a numerically stable running mean/variance
+//! ([`OnlineStats`]), a raw time-series recorder ([`Series`]), a bucketed
+//! event counter for "jobs per minute"-style plots ([`RateCounter`]), and a
+//! step-function sampler for "outstanding sessions over time"
+//! ([`LevelTracker`]).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Welford's online algorithm for mean and variance, plus min/max.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds a duration observation in milliseconds (the paper's unit).
+    pub fn push_millis(&mut self, d: SimDuration) {
+        self.push(d.as_millis_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A recorded time series of `(time, value)` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Series { points: Vec::new() }
+    }
+
+    /// Appends a sample. Samples are expected in non-decreasing time order;
+    /// this is asserted in debug builds.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(last, _)| last <= t),
+            "series samples must be time-ordered"
+        );
+        self.points.push((t, value));
+    }
+
+    /// All samples in order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Values only, discarding times.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, v)| v)
+    }
+
+    /// Mean of the values in the window `[from, to)` (`None` if no samples).
+    pub fn window_mean(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let mut n = 0u64;
+        let mut sum = 0.0;
+        for &(t, v) in &self.points {
+            if t >= from && t < to {
+                n += 1;
+                sum += v;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// A percentile (0..=100) of the values, by nearest-rank on a sorted
+    /// copy. `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut vals: Vec<f64> = self.values().collect();
+        vals.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (vals.len() - 1) as f64).round() as usize;
+        Some(vals[rank])
+    }
+
+    /// Summary statistics over all values.
+    pub fn stats(&self) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        for v in self.values() {
+            s.push(v);
+        }
+        s
+    }
+}
+
+/// A fixed-bin histogram over a bounded value range, with overflow and
+/// underflow counters — used for delay-distribution summaries.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let idx = (((x - self.lo) / (self.hi - self.lo) * n as f64) as usize).min(n - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The value range covered by bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The fraction of in-range mass at or below `x` (0 when empty).
+    pub fn cdf(&self, x: f64) -> f64 {
+        let total: u64 = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut below = self.underflow;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if self.bin_range(i).1 <= x {
+                below += c;
+            }
+        }
+        below as f64 / total as f64
+    }
+}
+
+/// Counts events into fixed-width time buckets, e.g. completed streaming
+/// jobs per minute (Fig 6b).
+#[derive(Debug, Clone)]
+pub struct RateCounter {
+    bucket: SimDuration,
+    counts: Vec<u64>,
+}
+
+impl RateCounter {
+    /// Creates a counter with the given bucket width.
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        RateCounter { bucket, counts: Vec::new() }
+    }
+
+    /// Records one event at time `t`.
+    pub fn record(&mut self, t: SimTime) {
+        let idx = (t.as_micros() / self.bucket.as_micros()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Bucket width.
+    pub fn bucket(&self) -> SimDuration {
+        self.bucket
+    }
+
+    /// Events per bucket, indexed from t = 0.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean events per bucket over buckets `[from_idx, to_idx)`.
+    pub fn window_rate(&self, from_idx: usize, to_idx: usize) -> f64 {
+        let to = to_idx.min(self.counts.len());
+        if from_idx >= to {
+            return 0.0;
+        }
+        let sum: u64 = self.counts[from_idx..to].iter().sum();
+        sum as f64 / (to - from_idx) as f64
+    }
+}
+
+/// Tracks an integer level (e.g. number of outstanding sessions) as a step
+/// function, and samples it at fixed intervals for plotting.
+#[derive(Debug, Clone, Default)]
+pub struct LevelTracker {
+    level: i64,
+    changes: Vec<(SimTime, i64)>,
+}
+
+impl LevelTracker {
+    /// Creates a tracker at level 0.
+    pub fn new() -> Self {
+        LevelTracker::default()
+    }
+
+    /// Current level.
+    pub fn level(&self) -> i64 {
+        self.level
+    }
+
+    /// Applies a delta (+1 on session start, -1 on completion) at time `t`.
+    pub fn adjust(&mut self, t: SimTime, delta: i64) {
+        self.level += delta;
+        self.changes.push((t, self.level));
+    }
+
+    /// The raw change log.
+    pub fn changes(&self) -> &[(SimTime, i64)] {
+        &self.changes
+    }
+
+    /// Samples the step function every `step` from t = 0 to `until`
+    /// inclusive of the first sample at 0.
+    pub fn sample(&self, step: SimDuration, until: SimTime) -> Series {
+        assert!(!step.is_zero(), "sample step must be positive");
+        let mut out = Series::new();
+        let mut t = SimTime::ZERO;
+        let mut idx = 0usize;
+        let mut level = 0i64;
+        while t <= until {
+            while idx < self.changes.len() && self.changes[idx].0 <= t {
+                level = self.changes[idx].1;
+                idx += 1;
+            }
+            out.push(t, level as f64);
+            t += step;
+        }
+        out
+    }
+
+    /// Time-weighted average level over `[0, until)`.
+    pub fn time_average(&self, until: SimTime) -> f64 {
+        if until == SimTime::ZERO {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        let mut prev_t = SimTime::ZERO;
+        let mut level = 0i64;
+        for &(t, new_level) in &self.changes {
+            if t >= until {
+                break;
+            }
+            area += level as f64 * (t - prev_t).as_secs_f64();
+            prev_t = t;
+            level = new_level;
+        }
+        area += level as f64 * (until - prev_t).as_secs_f64();
+        area / until.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty_and_single() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - all.std_dev()).abs() < 1e-9);
+        // Merging an empty accumulator changes nothing.
+        let snapshot = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), snapshot);
+    }
+
+    #[test]
+    fn push_millis_uses_milliseconds() {
+        let mut s = OnlineStats::new();
+        s.push_millis(SimDuration::from_millis(42));
+        assert!((s.mean() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_window_and_percentile() {
+        let mut s = Series::new();
+        for i in 0..10 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(
+            s.window_mean(SimTime::from_secs(2), SimTime::from_secs(5)),
+            Some(3.0)
+        );
+        assert_eq!(s.window_mean(SimTime::from_secs(50), SimTime::from_secs(60)), None);
+        assert_eq!(s.percentile(0.0), Some(0.0));
+        assert_eq!(s.percentile(100.0), Some(9.0));
+        assert_eq!(s.percentile(50.0), Some(5.0));
+        assert_eq!(Series::new().percentile(50.0), None);
+    }
+
+    #[test]
+    fn histogram_binning_and_edges() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.push(-1.0); // underflow
+        h.push(0.0); // first bin
+        h.push(9.999); // first bin
+        h.push(10.0); // second bin
+        h.push(99.9); // last bin
+        h.push(100.0); // overflow
+        h.push(1e9); // overflow
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[1], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_range(0), (0.0, 10.0));
+        assert_eq!(h.bin_range(9), (90.0, 100.0));
+    }
+
+    #[test]
+    fn histogram_cdf() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [1.5, 2.5, 3.5, 4.5] {
+            h.push(x);
+        }
+        assert!((h.cdf(3.0) - 0.5).abs() < 1e-12);
+        assert!((h.cdf(10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(0.0, 1.0, 4).cdf(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-empty")]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(5.0, 5.0, 4);
+    }
+
+    #[test]
+    fn rate_counter_buckets() {
+        let mut rc = RateCounter::new(SimDuration::from_secs(60));
+        rc.record(SimTime::from_secs(10));
+        rc.record(SimTime::from_secs(59));
+        rc.record(SimTime::from_secs(61));
+        rc.record(SimTime::from_secs(179));
+        assert_eq!(rc.counts(), &[2, 1, 1]);
+        assert_eq!(rc.total(), 4);
+        assert!((rc.window_rate(0, 3) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rc.window_rate(5, 9), 0.0);
+    }
+
+    #[test]
+    fn level_tracker_sampling() {
+        let mut lt = LevelTracker::new();
+        lt.adjust(SimTime::from_secs(1), 1);
+        lt.adjust(SimTime::from_secs(2), 1);
+        lt.adjust(SimTime::from_secs(4), -1);
+        assert_eq!(lt.level(), 1);
+        let s = lt.sample(SimDuration::from_secs(1), SimTime::from_secs(5));
+        let vals: Vec<f64> = s.values().collect();
+        assert_eq!(vals, vec![0.0, 1.0, 2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn level_tracker_time_average() {
+        let mut lt = LevelTracker::new();
+        lt.adjust(SimTime::from_secs(0), 2);
+        lt.adjust(SimTime::from_secs(5), -2);
+        // Level 2 for half of a 10-second window -> average 1.0.
+        assert!((lt.time_average(SimTime::from_secs(10)) - 1.0).abs() < 1e-12);
+        assert_eq!(LevelTracker::new().time_average(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Property-based tests of the simulation kernel's invariants.
+
+use proptest::prelude::*;
+use quasaq_sim::cpu::{CpuScheduler, Dsrt, DsrtConfig, TimeSharing};
+use quasaq_sim::{EventQueue, OnlineStats, Rng, SharedLink, SimDuration, SimTime};
+
+/// Drives a scheduler until idle, returning completions.
+fn drain_cpu<S: CpuScheduler>(cpu: &mut S, horizon: SimTime) -> Vec<quasaq_sim::Completion> {
+    let mut done = Vec::new();
+    let mut guard = 0u32;
+    loop {
+        guard += 1;
+        assert!(guard < 1_000_000, "scheduler failed to converge");
+        match cpu.next_event() {
+            Some(t) if t <= horizon => {
+                cpu.advance_to(t);
+                done.extend(cpu.drain_completions());
+            }
+            _ => {
+                cpu.advance_to(horizon);
+                done.extend(cpu.drain_completions());
+                return done;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events always pop in non-decreasing time order regardless of the
+    /// insertion order.
+    #[test]
+    fn event_queue_pops_in_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn event_queue_cancellation_is_exact(
+        times in proptest::collection::vec(0u64..100_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_micros(t), i)))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in &ids {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                q.cancel(*id);
+            } else {
+                expected.push(*i);
+            }
+        }
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            got.push(e);
+        }
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Time-sharing conservation: every submitted task completes exactly
+    /// once, no earlier than its total work, and per-job FIFO order holds.
+    #[test]
+    fn timesharing_conserves_tasks(
+        jobs in 1usize..6,
+        tasks in proptest::collection::vec((0usize..6, 0u64..20_000), 1..40),
+    ) {
+        let mut cpu = TimeSharing::solaris_default();
+        let ids: Vec<_> = (0..jobs).map(|_| cpu.add_job(SimTime::ZERO)).collect();
+        let mut total_work = 0u64;
+        let mut submitted = Vec::new();
+        for &(j, w) in &tasks {
+            let job = ids[j % jobs];
+            let task = cpu.submit(SimTime::ZERO, job, SimDuration::from_micros(w));
+            submitted.push((job, task));
+            total_work += w;
+        }
+        let done = drain_cpu(&mut cpu, SimTime::from_secs(3600));
+        prop_assert_eq!(done.len(), submitted.len());
+        // The CPU is work-conserving: the last completion is exactly the
+        // total work (single processor, no idling while work pending).
+        let last = done.iter().map(|c| c.at).max().unwrap();
+        prop_assert_eq!(last.as_micros(), total_work);
+        // FIFO per job.
+        for &(job, _) in &submitted {
+            let seq: Vec<_> = done.iter().filter(|c| c.job == job).map(|c| c.task).collect();
+            let mut sorted = seq.clone();
+            sorted.sort();
+            prop_assert_eq!(seq, sorted);
+        }
+    }
+
+    /// DSRT admission accounting: utilization never exceeds the effective
+    /// limit and releasing restores capacity.
+    #[test]
+    fn dsrt_admission_accounting(reqs in proptest::collection::vec((1u64..50, 50u64..100), 1..30)) {
+        let mut cpu = Dsrt::new(DsrtConfig { overhead_fraction: 0.0, ..DsrtConfig::default() });
+        let mut admitted = Vec::new();
+        for &(slice, period) in &reqs {
+            if let Ok(j) = cpu.reserve(
+                SimTime::ZERO,
+                SimDuration::from_millis(slice),
+                SimDuration::from_millis(period),
+            ) {
+                admitted.push((j, slice as f64 / period as f64));
+            }
+            prop_assert!(cpu.reserved_utilization() <= 1.0 + 1e-9);
+        }
+        let expected: f64 = admitted.iter().map(|&(_, u)| u).sum();
+        prop_assert!((cpu.reserved_utilization() - expected).abs() < 1e-9);
+        for (j, _) in admitted {
+            cpu.remove_job(SimTime::ZERO, j);
+        }
+        prop_assert!(cpu.reserved_utilization().abs() < 1e-9);
+    }
+
+    /// DSRT conservation: all tasks complete (given enough slack) exactly
+    /// once.
+    #[test]
+    fn dsrt_conserves_tasks(
+        reserved_tasks in proptest::collection::vec(0u64..5_000, 1..20),
+        be_tasks in proptest::collection::vec(0u64..5_000, 0..20),
+    ) {
+        let mut cpu = Dsrt::new(DsrtConfig { overhead_fraction: 0.0, ..DsrtConfig::default() });
+        let r = cpu
+            .reserve(SimTime::ZERO, SimDuration::from_millis(5), SimDuration::from_millis(10))
+            .unwrap();
+        let be = cpu.add_job(SimTime::ZERO);
+        let mut n = 0;
+        for &w in &reserved_tasks {
+            cpu.submit(SimTime::ZERO, r, SimDuration::from_micros(w));
+            n += 1;
+        }
+        for &w in &be_tasks {
+            cpu.submit(SimTime::ZERO, be, SimDuration::from_micros(w));
+            n += 1;
+        }
+        let done = drain_cpu(&mut cpu, SimTime::from_secs(3600));
+        prop_assert_eq!(done.len(), n);
+        prop_assert_eq!(cpu.backlog_jobs(), 0);
+    }
+
+    /// Link conservation under fair share: every transfer completes, and
+    /// total completion time is at least total_bytes/capacity.
+    #[test]
+    fn link_conserves_transfers(
+        sizes in proptest::collection::vec(1u64..200_000, 1..30),
+        nflows in 1usize..5,
+    ) {
+        let mut link = SharedLink::fair_share(1_000_000);
+        let flows: Vec<_> =
+            (0..nflows).map(|_| link.open_flow(SimTime::ZERO, None).unwrap()).collect();
+        for (i, &s) in sizes.iter().enumerate() {
+            link.send(SimTime::ZERO, flows[i % nflows], s);
+        }
+        let mut done = Vec::new();
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            prop_assert!(guard < 100_000, "link failed to converge");
+            match link.next_event() {
+                Some(t) => {
+                    link.advance_to(t);
+                    done.extend(link.drain_completions());
+                }
+                None => break,
+            }
+        }
+        prop_assert_eq!(done.len(), sizes.len());
+        let total: u64 = sizes.iter().sum();
+        let min_finish = total as f64 / 1_000_000.0;
+        let last = done.iter().map(|d| d.at).max().unwrap().as_secs_f64();
+        // Work-conserving: finishes within a tick of the fluid bound.
+        prop_assert!(last >= min_finish - 1e-3, "{} < {}", last, min_finish);
+        prop_assert!(last <= min_finish + 0.05 * sizes.len() as f64 + 1e-3);
+    }
+
+    /// Reserved-link isolation: a flow's completion times depend only on
+    /// its own reservation.
+    #[test]
+    fn reserved_link_isolation(
+        rate_a in 1_000u64..100_000,
+        rate_b in 1_000u64..100_000,
+        bytes in 1u64..1_000_000,
+    ) {
+        prop_assume!(rate_a + rate_b <= 3_200_000);
+        // Flow A alone.
+        let mut solo = SharedLink::reserved(3_200_000);
+        let fa = solo.open_flow(SimTime::ZERO, Some(rate_a)).unwrap();
+        solo.send(SimTime::ZERO, fa, bytes);
+        let t_solo = solo.next_event().unwrap();
+        // Flow A with a competing reserved flow B.
+        let mut both = SharedLink::reserved(3_200_000);
+        let fa2 = both.open_flow(SimTime::ZERO, Some(rate_a)).unwrap();
+        let fb = both.open_flow(SimTime::ZERO, Some(rate_b)).unwrap();
+        both.send(SimTime::ZERO, fb, bytes);
+        both.send(SimTime::ZERO, fa2, bytes);
+        both.advance_to(t_solo);
+        let done = both.drain_completions();
+        prop_assert!(
+            done.iter().any(|d| d.flow == fa2 && d.at == t_solo),
+            "reserved flow was perturbed"
+        );
+    }
+
+    /// OnlineStats matches a direct two-pass computation.
+    #[test]
+    fn online_stats_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var));
+    }
+
+    /// Forked RNG streams are reproducible and uniform draws stay in
+    /// bounds.
+    #[test]
+    fn rng_fork_reproducible(seed in any::<u64>(), stream in any::<u64>(), bound in 1u64..1_000_000) {
+        let root = Rng::new(seed);
+        let mut a = root.fork(stream);
+        let mut b = root.fork(stream);
+        for _ in 0..32 {
+            let x = a.below(bound);
+            prop_assert_eq!(x, b.below(bound));
+            prop_assert!(x < bound);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # quasaq-store — storage and metadata substrate
+//!
+//! Stands in for the paper's Shore storage manager plus QuaSAQ's
+//! Distributed Metadata Engine:
+//!
+//! * [`object`] — physical OIDs, stored replicas, and per-server
+//!   disk-space accounting ([`ObjectStore`]).
+//! * [`metadata`] — object records and static per-replica QoS profiles.
+//! * [`engine`] — the [`MetadataEngine`]: replicated content metadata,
+//!   per-site object partitions, a distribution directory mapping logical
+//!   to physical OIDs, and bounded caches for non-local lookups.
+//! * [`replication`] — offline replication ([`ReplicationPlanner`], full
+//!   or round-robin placement), the [`QosSampler`], and an online
+//!   access-driven migration planner (extension).
+
+pub mod engine;
+pub mod metadata;
+pub mod object;
+pub mod replication;
+
+pub use engine::{CacheStats, MetadataEngine};
+pub use metadata::{ObjectRecord, QosProfile};
+pub use object::{ObjectStore, PhysicalObject, PhysicalOid, StoreError};
+pub use replication::{
+    plan_migrations, AccessStats, Migration, Placement, QosSampler, ReplicationPlanner,
+};

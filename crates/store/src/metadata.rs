@@ -1,0 +1,88 @@
+//! Metadata records kept by the distributed metadata engine.
+//!
+//! The paper requires four metadata types for a QoS-aware DBMS
+//! (§3.3): Content Metadata (descriptors for search — carried by
+//! [`quasaq_media::VideoMeta`]), Quality Metadata (resolution, color
+//! depth, frame rate, file format — carried by
+//! [`quasaq_media::QualitySpec`] on each object), Distribution Metadata
+//! (logical→physical OID mapping with locations), and the QoS profile
+//! ("describe the resource consumption in the delivery of individual
+//! media objects … the basis for cost estimation").
+
+use crate::object::PhysicalObject;
+
+/// Static per-replica resource-consumption profile produced by the QoS
+/// sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosProfile {
+    /// Mean CPU share (fraction of one processor) to stream the replica
+    /// untransformed.
+    pub cpu_share: f64,
+    /// Network bandwidth in bytes/second.
+    pub net_bps: f64,
+    /// Disk read bandwidth in bytes/second.
+    pub disk_bps: f64,
+    /// Session buffer memory in bytes.
+    pub memory_bytes: f64,
+}
+
+impl QosProfile {
+    /// A zero profile (useful as an accumulator identity).
+    pub const ZERO: QosProfile =
+        QosProfile { cpu_share: 0.0, net_bps: 0.0, disk_bps: 0.0, memory_bytes: 0.0 };
+
+    /// Component-wise scaling (e.g. when frame dropping reduces the
+    /// delivered stream).
+    pub fn scaled(&self, k: f64) -> QosProfile {
+        assert!(k >= 0.0, "scale factor must be non-negative");
+        QosProfile {
+            cpu_share: self.cpu_share * k,
+            net_bps: self.net_bps * k,
+            disk_bps: self.disk_bps * k,
+            memory_bytes: self.memory_bytes * k,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &QosProfile) -> QosProfile {
+        QosProfile {
+            cpu_share: self.cpu_share + other.cpu_share,
+            net_bps: self.net_bps + other.net_bps,
+            disk_bps: self.disk_bps + other.disk_bps,
+            memory_bytes: self.memory_bytes + other.memory_bytes,
+        }
+    }
+}
+
+/// One object's full metadata entry: the physical object (quality +
+/// distribution metadata) and its QoS profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectRecord {
+    /// The stored replica.
+    pub object: PhysicalObject,
+    /// Its sampled resource-consumption profile.
+    pub profile: QosProfile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_and_sum() {
+        let p = QosProfile { cpu_share: 0.1, net_bps: 100.0, disk_bps: 100.0, memory_bytes: 10.0 };
+        let half = p.scaled(0.5);
+        assert!((half.cpu_share - 0.05).abs() < 1e-12);
+        assert!((half.net_bps - 50.0).abs() < 1e-12);
+        let sum = p.plus(&half);
+        assert!((sum.net_bps - 150.0).abs() < 1e-12);
+        let zero = QosProfile::ZERO.plus(&QosProfile::ZERO);
+        assert_eq!(zero, QosProfile::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scale_panics() {
+        let _ = QosProfile::ZERO.scaled(-1.0);
+    }
+}

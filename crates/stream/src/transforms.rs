@@ -1,0 +1,67 @@
+//! The per-session transform pipeline: transcode → frame dropping →
+//! encryption.
+//!
+//! These are the server activities of the paper's plan space (Fig 2, sets
+//! A3–A5) as they apply to an individual delivery. The pruning rule that
+//! "encryption should always follow the frame dropping since it is a
+//! waste of CPU cycles to encrypt the data in frames that will be
+//! dropped" is structural here: the pipeline only ever encrypts delivered
+//! frames.
+
+use quasaq_media::{CipherAlgo, DropFilter, DropStrategy, Transcode};
+
+/// The transforms applied by one delivery session.
+#[derive(Debug, Clone, Default)]
+pub struct Transforms {
+    /// Optional online transcode of the stored replica.
+    pub transcode: Option<Transcode>,
+    /// Runtime frame-dropping strategy.
+    pub drop: DropStrategy,
+    /// Encryption of delivered frames.
+    pub cipher: CipherAlgo,
+}
+
+impl Transforms {
+    /// The identity pipeline: deliver the replica untouched.
+    pub fn none() -> Self {
+        Transforms::default()
+    }
+
+    /// A fresh stateful drop filter for this pipeline.
+    pub fn drop_filter(&self) -> DropFilter {
+        DropFilter::new(self.drop)
+    }
+
+    /// True when nothing transforms the stream.
+    pub fn is_identity(&self) -> bool {
+        self.transcode.as_ref().is_none_or(|t| t.is_identity())
+            && self.drop == DropStrategy::None
+            && self.cipher == CipherAlgo::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasaq_media::{
+        ColorDepth, FrameRate, QualitySpec, Resolution, VideoFormat,
+    };
+
+    #[test]
+    fn identity_detection() {
+        assert!(Transforms::none().is_identity());
+        let t = Transforms { drop: DropStrategy::AllB, ..Transforms::none() };
+        assert!(!t.is_identity());
+        let t = Transforms { cipher: CipherAlgo::Aes, ..Transforms::none() };
+        assert!(!t.is_identity());
+        let full = QualitySpec::new(
+            Resolution::FULL,
+            ColorDepth::TRUE_COLOR,
+            FrameRate::NTSC_FILM,
+            VideoFormat::Mpeg2,
+        );
+        let ident = Transcode::plan(full, full).unwrap();
+        let t = Transforms { transcode: Some(ident), ..Transforms::none() };
+        assert!(t.is_identity());
+    }
+}

@@ -1,0 +1,90 @@
+//! Query AST: content predicates plus optional QoS enhancement.
+//!
+//! "To incorporate QoS control into the database, user-level QoS
+//! parameters are translated into application QoS and become an augmented
+//! component of the query." A [`Query`] carries the conventional content
+//! component (resolved by VDBMS into logical OIDs) and the optional
+//! [`QosRange`] the QuaSAQ layer plans against.
+
+use quasaq_media::{QosRange, VideoId};
+
+/// The content component of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentPredicate {
+    /// Every video.
+    All,
+    /// Exact logical OID.
+    ById(VideoId),
+    /// Match any of the keywords.
+    KeywordAny(Vec<String>),
+    /// Match all of the keywords.
+    KeywordAll(Vec<String>),
+    /// Feature-vector similarity to an existing video, with a minimum
+    /// cosine score in `[-1, 1]`.
+    SimilarTo {
+        /// Reference video.
+        video: VideoId,
+        /// Minimum similarity score.
+        min_score: f64,
+    },
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Content component (what to find).
+    pub predicate: ContentPredicate,
+    /// Quality component (how to deliver), if QoS-enhanced.
+    pub qos: Option<QosRange>,
+    /// Maximum number of results.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// A content-only query.
+    pub fn content(predicate: ContentPredicate) -> Self {
+        Query { predicate, qos: None, limit: None }
+    }
+
+    /// Attaches a QoS range, making this a QoS-aware query.
+    pub fn with_qos(mut self, qos: QosRange) -> Self {
+        self.qos = Some(qos);
+        self
+    }
+
+    /// Caps the result count.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// True when the query carries QoS requirements.
+    pub fn is_qos_aware(&self) -> bool {
+        self.qos.is_some()
+    }
+}
+
+/// One content-search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Matching logical video.
+    pub video: VideoId,
+    /// Relevance score (higher is better).
+    pub score: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let q = Query::content(ContentPredicate::KeywordAny(vec!["surgery".into()]))
+            .with_qos(QosRange::any())
+            .with_limit(5);
+        assert!(q.is_qos_aware());
+        assert_eq!(q.limit, Some(5));
+        let plain = Query::content(ContentPredicate::All);
+        assert!(!plain.is_qos_aware());
+    }
+}

@@ -1,0 +1,467 @@
+//! A small SQL-ish surface for QoS-enhanced video queries.
+//!
+//! VDBMS extends PREDATOR's SQL with video operations; QuaSAQ further
+//! augments queries with QoS requirements. The grammar here covers the
+//! reproduction's needs:
+//!
+//! ```text
+//! SELECT * FROM videos
+//!   [WHERE <predicate>]
+//!   [WITH QOS (<clause> [, <clause>]*)]
+//!   [LIMIT <n>]
+//!
+//! predicate := TRUE
+//!            | id = <n>
+//!            | contains('kw') [AND contains('kw')]*
+//!            | contains('kw') [OR contains('kw')]*
+//!            | similar_to(<n>, <score>)
+//!
+//! clause := resolution >= <w>x<h> | resolution <= <w>x<h>
+//!         | color >= <bits>
+//!         | framerate >= <fps> | framerate <= <fps>
+//!         | format = mpeg1 | format = mpeg2
+//! ```
+//!
+//! Example:
+//! `SELECT * FROM videos WHERE contains('surgery') WITH QOS (resolution >= 320x240, resolution <= 352x288, framerate >= 20) LIMIT 3`
+
+use crate::query::{ContentPredicate, Query};
+use quasaq_media::{ColorDepth, FrameRate, QosRange, Resolution, VideoFormat, VideoId};
+use std::fmt;
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { message: message.into() })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    Star,
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Ge,
+    Le,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '*' => {
+                chars.next();
+                toks.push(Tok::Star);
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            '=' => {
+                chars.next();
+                toks.push(Tok::Eq);
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    toks.push(Tok::Ge);
+                } else {
+                    return err("expected '>='");
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    toks.push(Tok::Le);
+                } else {
+                    return err("expected '<='");
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(ch) => s.push(ch),
+                        None => return err("unterminated string literal"),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match s.parse::<f64>() {
+                    Ok(n) => toks.push(Tok::Num(n)),
+                    Err(_) => return err(format!("bad number '{s}'")),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s.to_ascii_lowercase()));
+            }
+            other => return err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_ident(&mut self, word: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s == word => Ok(()),
+            other => err(format!("expected '{word}', found {other:?}")),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => err(format!("expected {tok:?}, found {other:?}")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(n),
+            other => err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        self.expect_ident("select")?;
+        self.expect(Tok::Star)?;
+        self.expect_ident("from")?;
+        self.expect_ident("videos")?;
+        let mut predicate = ContentPredicate::All;
+        let mut qos = None;
+        let mut limit = None;
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Ident(w) if w == "where" => {
+                    self.next();
+                    predicate = self.parse_predicate()?;
+                }
+                Tok::Ident(w) if w == "with" => {
+                    self.next();
+                    self.expect_ident("qos")?;
+                    qos = Some(self.parse_qos()?);
+                }
+                Tok::Ident(w) if w == "limit" => {
+                    self.next();
+                    let n = self.number()?;
+                    if n < 1.0 || n.fract() != 0.0 {
+                        return err("LIMIT must be a positive integer");
+                    }
+                    limit = Some(n as usize);
+                }
+                other => return err(format!("unexpected token {other:?}")),
+            }
+        }
+        Ok(Query { predicate, qos, limit })
+    }
+
+    fn parse_predicate(&mut self) -> Result<ContentPredicate, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(w)) if w == "true" => Ok(ContentPredicate::All),
+            Some(Tok::Ident(w)) if w == "id" => {
+                self.expect(Tok::Eq)?;
+                let n = self.number()?;
+                Ok(ContentPredicate::ById(VideoId(n as u32)))
+            }
+            Some(Tok::Ident(w)) if w == "similar_to" => {
+                self.expect(Tok::LParen)?;
+                let id = self.number()?;
+                self.expect(Tok::Comma)?;
+                let score = self.number()?;
+                self.expect(Tok::RParen)?;
+                if !(-1.0..=1.0).contains(&score) {
+                    return err("similarity score must be in [-1, 1]");
+                }
+                Ok(ContentPredicate::SimilarTo { video: VideoId(id as u32), min_score: score })
+            }
+            Some(Tok::Ident(w)) if w == "contains" => {
+                let first = self.parse_contains_arg()?;
+                let mut keywords = vec![first];
+                let mut connective: Option<&str> = None;
+                loop {
+                    match self.peek() {
+                        Some(Tok::Ident(w)) if w == "and" || w == "or" => {
+                            let this = if w == "and" { "and" } else { "or" };
+                            if let Some(prev) = connective {
+                                if prev != this {
+                                    return err("cannot mix AND and OR in one predicate");
+                                }
+                            }
+                            connective = Some(this);
+                            self.next();
+                            self.expect_ident("contains")?;
+                            keywords.push(self.parse_contains_arg()?);
+                        }
+                        _ => break,
+                    }
+                }
+                match connective {
+                    Some("and") => Ok(ContentPredicate::KeywordAll(keywords)),
+                    _ => Ok(ContentPredicate::KeywordAny(keywords)),
+                }
+            }
+            other => err(format!("unsupported predicate starting at {other:?}")),
+        }
+    }
+
+    fn parse_contains_arg(&mut self) -> Result<String, ParseError> {
+        self.expect(Tok::LParen)?;
+        let kw = match self.next() {
+            Some(Tok::Str(s)) => s,
+            other => return err(format!("contains() expects a string, found {other:?}")),
+        };
+        self.expect(Tok::RParen)?;
+        Ok(kw.to_ascii_lowercase())
+    }
+
+    fn parse_qos(&mut self) -> Result<QosRange, ParseError> {
+        self.expect(Tok::LParen)?;
+        let mut range = QosRange::any();
+        loop {
+            let field = match self.next() {
+                Some(Tok::Ident(s)) => s,
+                other => return err(format!("expected QoS field, found {other:?}")),
+            };
+            match field.as_str() {
+                "resolution" => {
+                    let op = self.next();
+                    let res = self.parse_resolution()?;
+                    match op {
+                        Some(Tok::Ge) => range.min_resolution = res,
+                        Some(Tok::Le) => range.max_resolution = res,
+                        other => return err(format!("resolution expects >= or <=, found {other:?}")),
+                    }
+                }
+                "color" => {
+                    self.expect(Tok::Ge)?;
+                    let bits = self.number()?;
+                    if !(1.0..=48.0).contains(&bits) {
+                        return err("color depth out of range");
+                    }
+                    range.min_color = ColorDepth::from_bits(bits as u8);
+                }
+                "framerate" => {
+                    let op = self.next();
+                    let fps = self.number()?;
+                    if fps <= 0.0 {
+                        return err("framerate must be positive");
+                    }
+                    match op {
+                        Some(Tok::Ge) => range.min_frame_rate = FrameRate::from_fps(fps),
+                        Some(Tok::Le) => range.max_frame_rate = FrameRate::from_fps(fps),
+                        other => return err(format!("framerate expects >= or <=, found {other:?}")),
+                    }
+                }
+                "format" => {
+                    self.expect(Tok::Eq)?;
+                    let fmt = match self.next() {
+                        Some(Tok::Ident(s)) if s == "mpeg1" => VideoFormat::Mpeg1,
+                        Some(Tok::Ident(s)) if s == "mpeg2" => VideoFormat::Mpeg2,
+                        other => return err(format!("unknown format {other:?}")),
+                    };
+                    match &mut range.formats {
+                        Some(list) => list.push(fmt),
+                        None => range.formats = Some(vec![fmt]),
+                    }
+                }
+                other => return err(format!("unknown QoS field '{other}'")),
+            }
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => return err(format!("expected ',' or ')', found {other:?}")),
+            }
+        }
+        if !range.is_valid() {
+            return err("inconsistent QoS range (min exceeds max)");
+        }
+        Ok(range)
+    }
+
+    fn parse_resolution(&mut self) -> Result<Resolution, ParseError> {
+        // 320x240 lexes as Num(320), Ident("x240").
+        let w = self.number()?;
+        match self.next() {
+            Some(Tok::Ident(s)) if s.starts_with('x') => match s[1..].parse::<u32>() {
+                Ok(h) if h > 0 && w >= 1.0 => Ok(Resolution::new(w as u32, h)),
+                _ => err("bad resolution"),
+            },
+            other => err(format!("expected WxH resolution, found {other:?}")),
+        }
+    }
+}
+
+/// Parses one query.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.parse_query()?;
+    if p.peek().is_some() {
+        return err("trailing tokens after query");
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("SELECT * FROM videos").unwrap();
+        assert_eq!(q.predicate, ContentPredicate::All);
+        assert!(q.qos.is_none());
+        assert!(q.limit.is_none());
+    }
+
+    #[test]
+    fn keyword_query_with_limit() {
+        let q = parse("SELECT * FROM videos WHERE contains('surgery') LIMIT 3").unwrap();
+        assert_eq!(q.predicate, ContentPredicate::KeywordAny(vec!["surgery".into()]));
+        assert_eq!(q.limit, Some(3));
+    }
+
+    #[test]
+    fn and_or_keywords() {
+        let q = parse("SELECT * FROM videos WHERE contains('a') AND contains('b')").unwrap();
+        assert_eq!(q.predicate, ContentPredicate::KeywordAll(vec!["a".into(), "b".into()]));
+        let q = parse("SELECT * FROM videos WHERE contains('a') OR contains('b')").unwrap();
+        assert_eq!(q.predicate, ContentPredicate::KeywordAny(vec!["a".into(), "b".into()]));
+        assert!(parse("SELECT * FROM videos WHERE contains('a') AND contains('b') OR contains('c')").is_err());
+    }
+
+    #[test]
+    fn similarity_predicate() {
+        let q = parse("SELECT * FROM videos WHERE similar_to(3, 0.8)").unwrap();
+        assert_eq!(
+            q.predicate,
+            ContentPredicate::SimilarTo { video: VideoId(3), min_score: 0.8 }
+        );
+        assert!(parse("SELECT * FROM videos WHERE similar_to(3, 1.5)").is_err());
+    }
+
+    #[test]
+    fn id_predicate() {
+        let q = parse("SELECT * FROM videos WHERE id = 7").unwrap();
+        assert_eq!(q.predicate, ContentPredicate::ById(VideoId(7)));
+    }
+
+    #[test]
+    fn qos_clause_full() {
+        let q = parse(
+            "SELECT * FROM videos WHERE contains('sunset') \
+             WITH QOS (resolution >= 320x240, resolution <= 352x288, \
+             color >= 12, framerate >= 20, framerate <= 30, format = mpeg1)",
+        )
+        .unwrap();
+        let qos = q.qos.unwrap();
+        assert_eq!(qos.min_resolution, Resolution::new(320, 240));
+        assert_eq!(qos.max_resolution, Resolution::new(352, 288));
+        assert_eq!(qos.min_color.bits(), 12);
+        assert!((qos.min_frame_rate.fps() - 20.0).abs() < 1e-9);
+        assert!((qos.max_frame_rate.fps() - 30.0).abs() < 1e-9);
+        assert_eq!(qos.formats, Some(vec![VideoFormat::Mpeg1]));
+    }
+
+    #[test]
+    fn invalid_qos_range_rejected() {
+        let e = parse(
+            "SELECT * FROM videos WITH QOS (resolution >= 720x480, resolution <= 320x240)",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("inconsistent"));
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse("select * from videos where CONTAINS('Sunset')").unwrap();
+        assert_eq!(q.predicate, ContentPredicate::KeywordAny(vec!["sunset".into()]));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("SELECT * FROM tables").is_err());
+        assert!(parse("SELECT * FROM videos WHERE").is_err());
+        assert!(parse("SELECT * FROM videos LIMIT 0").is_err());
+        assert!(parse("SELECT * FROM videos LIMIT 2.5").is_err());
+        assert!(parse("SELECT * FROM videos WITH QOS (color >= 99)").is_err());
+        assert!(parse("SELECT * FROM videos trailing").is_err());
+        assert!(parse("SELECT * FROM videos WHERE contains(unquoted)").is_err());
+        assert!(parse("SELECT * FROM videos WITH QOS (framerate >= 0)").is_err());
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(parse("SELECT * FROM videos WHERE contains('oops").is_err());
+    }
+}

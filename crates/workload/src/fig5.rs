@@ -1,0 +1,256 @@
+//! The Fig 5 / Table 2 experiment: server-side inter-frame delays of one
+//! monitored stream under low and high contention, on plain VDBMS versus
+//! QuaSAQ.
+//!
+//! "Figure 5 shows the inter-frame delay of a representative streaming
+//! session for a video with frame rate of 23.97 fps. The data is
+//! collected on the server side … On the first row, streaming is done
+//! without competition from other programs (low contention) while the
+//! number of concurrent video streams are high (high contention) for
+//! experiments on the second row."
+
+use quasaq_media::{DeliveryCostModel, FrameRate, FrameTrace, GopPattern, TraceParams};
+use quasaq_sim::{ServerId, SimDuration, SimTime};
+use quasaq_stream::{
+    CpuPolicy, DispatchConfig, FrameSchedule, NodeConfig, SessionConfig, SessionReport,
+    StreamEngine, Transforms,
+};
+
+/// Which delivery stack streams the monitored video.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig5System {
+    /// Plain VDBMS: time-sharing CPU, best-effort everything.
+    Vdbms,
+    /// QuaSAQ: DSRT CPU reservation + link reservation.
+    Quasaq,
+}
+
+impl Fig5System {
+    /// Label matching the paper's panels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig5System::Vdbms => "VDBMS",
+            Fig5System::Quasaq => "VDBMS+QuaSAQ",
+        }
+    }
+}
+
+/// Contention level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contention {
+    /// The monitored stream runs alone.
+    Low,
+    /// Many concurrent streams compete for the server.
+    High,
+}
+
+impl Contention {
+    /// Label matching the paper's panels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Contention::Low => "Low contention",
+            Contention::High => "High contention",
+        }
+    }
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Fig5Config {
+    /// Competing streams under high contention (sized to push a
+    /// 2.4 GHz-class server's CPU slightly past saturation, as in the
+    /// paper).
+    pub competing_streams: usize,
+    /// Length of the monitored clip (must cover the ~1000 frames the
+    /// paper plots).
+    pub clip: SimDuration,
+    /// Monitored/competing replica bitrate (T1 class).
+    pub stream_rate_bps: u64,
+    /// Server outbound capacity. The paper's 3200 KB/s link cannot carry
+    /// ~27 T1 streams, so the high-contention experiment is CPU-bound
+    /// with the link deliberately oversized; we keep a large link so the
+    /// server-side (CPU) measurement matches the paper's setup.
+    pub link_capacity_bps: u64,
+    /// Seed for the traces.
+    pub seed: u64,
+    /// Delivery cost model.
+    pub cost: DeliveryCostModel,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Fig5Config {
+            competing_streams: 27,
+            clip: SimDuration::from_secs(60),
+            stream_rate_bps: 193_000,
+            link_capacity_bps: 16_000_000,
+            seed: 5,
+            cost: DeliveryCostModel::default(),
+        }
+    }
+}
+
+fn schedule(cfg: &Fig5Config, seed: u64) -> FrameSchedule {
+    let trace = FrameTrace::generate(
+        seed,
+        &TraceParams::with_bitrate(
+            FrameRate::NTSC_FILM,
+            cfg.clip,
+            GopPattern::mpeg1_n15(),
+            cfg.stream_rate_bps as f64,
+        ),
+    );
+    FrameSchedule::build(&trace, &Transforms::none(), &cfg.cost, &DispatchConfig::default())
+}
+
+/// Runs one panel of Fig 5 and returns the monitored session's report
+/// plus how many competing sessions were actually running.
+pub fn run_fig5(system: Fig5System, contention: Contention, cfg: &Fig5Config) -> (SessionReport, usize) {
+    let node = match system {
+        Fig5System::Vdbms => NodeConfig::vdbms(cfg.link_capacity_bps),
+        Fig5System::Quasaq => NodeConfig::qos(cfg.link_capacity_bps),
+    };
+    let mut engine = StreamEngine::new([(ServerId(0), node)]);
+    // DSRT budgets pool over one GOP so decode-order bursts are not
+    // throttled mid-burst (see PlanExecutor::session_config).
+    let period = FrameRate::NTSC_FILM.frame_interval() * 15;
+
+    let monitored_schedule = schedule(cfg, cfg.seed);
+    let share = (monitored_schedule.mean_cpu_share() * cfg.cost.reservation_headroom).min(1.0);
+    let link_rate = (monitored_schedule.delivered_rate_bps() * 1.25).ceil() as u64;
+
+    let monitored = engine
+        .add_session(
+            SimTime::ZERO,
+            SessionConfig {
+                server: ServerId(0),
+                schedule: monitored_schedule,
+                cpu: match system {
+                    Fig5System::Vdbms => CpuPolicy::BestEffort,
+                    Fig5System::Quasaq => CpuPolicy::Reserved { share, period },
+                },
+                link_rate_bps: Some(link_rate),
+            },
+        )
+        .expect("monitored session admits on an empty server");
+
+    let mut competitors = 0;
+    if contention == Contention::High {
+        for i in 0..cfg.competing_streams {
+            let s = schedule(cfg, cfg.seed ^ (0x1000 + i as u64));
+            let cpu = match system {
+                Fig5System::Vdbms => CpuPolicy::BestEffort,
+                Fig5System::Quasaq => CpuPolicy::Reserved {
+                    share: (s.mean_cpu_share() * cfg.cost.reservation_headroom).min(1.0),
+                    period,
+                },
+            };
+            let rate = (s.delivered_rate_bps() * 1.25).ceil() as u64;
+            // Under QuaSAQ admission control caps the competitor count;
+            // rejected sessions simply do not run (that is the system
+            // working as designed).
+            if engine
+                .add_session(
+                    SimTime::ZERO,
+                    SessionConfig {
+                        server: ServerId(0),
+                        schedule: s,
+                        cpu,
+                        link_rate_bps: Some(rate),
+                    },
+                )
+                .is_ok()
+            {
+                competitors += 1;
+            }
+        }
+    }
+
+    engine.run_until(SimTime::ZERO + cfg.clip + SimDuration::from_secs(30));
+    (engine.report(monitored).clone(), competitors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> Fig5Config {
+        Fig5Config { clip: SimDuration::from_secs(30), ..Fig5Config::default() }
+    }
+
+    #[test]
+    fn low_contention_is_timely_on_both_systems() {
+        for system in [Fig5System::Vdbms, Fig5System::Quasaq] {
+            let (report, n) = run_fig5(system, Contention::Low, &quick_cfg());
+            assert_eq!(n, 0);
+            let stats = report.frame_delay_stats();
+            assert!(
+                (stats.mean() - 41.72).abs() < 1.5,
+                "{}: mean {}",
+                system.label(),
+                stats.mean()
+            );
+            assert!(stats.std_dev() < 45.0, "{}: sd {}", system.label(), stats.std_dev());
+        }
+    }
+
+    #[test]
+    fn vdbms_degrades_under_high_contention() {
+        let cfg = quick_cfg();
+        let (low, _) = run_fig5(Fig5System::Vdbms, Contention::Low, &cfg);
+        let (high, n) = run_fig5(Fig5System::Vdbms, Contention::High, &cfg);
+        assert_eq!(n, cfg.competing_streams, "plain VDBMS admits everything");
+        let low_sd = low.frame_delay_stats().std_dev();
+        let high_sd = high.frame_delay_stats().std_dev();
+        // Fig 5c: "the scale of the vertical axis … is one magnitude
+        // higher"; variance explodes.
+        assert!(high_sd > 2.5 * low_sd, "high {high_sd} vs low {low_sd}");
+        // Mean inter-frame delay is also elevated (Table 2: 48.84 vs
+        // 42.07).
+        assert!(high.frame_delay_stats().mean() > low.frame_delay_stats().mean() + 2.0);
+    }
+
+    #[test]
+    fn quasaq_holds_qos_under_high_contention() {
+        let cfg = quick_cfg();
+        let (low, _) = run_fig5(Fig5System::Quasaq, Contention::Low, &cfg);
+        let (high, n) = run_fig5(Fig5System::Quasaq, Contention::High, &cfg);
+        // Admission control caps the competitors below the config ask.
+        assert!(n < cfg.competing_streams, "admitted {n}");
+        assert!(n > 5);
+        let low_stats = low.frame_delay_stats();
+        let high_stats = high.frame_delay_stats();
+        // Table 2: QuaSAQ's high-contention stats match its
+        // low-contention stats.
+        assert!((high_stats.mean() - low_stats.mean()).abs() < 2.0);
+        assert!(high_stats.std_dev() < low_stats.std_dev() * 1.3 + 5.0);
+    }
+
+    #[test]
+    fn gop_level_smoothing_matches_table2() {
+        let (report, _) = run_fig5(Fig5System::Quasaq, Contention::Low, &quick_cfg());
+        let gop = report.gop_delay_stats();
+        assert!((gop.mean() - 625.8).abs() < 15.0, "gop mean {}", gop.mean());
+        assert!(gop.std_dev() < report.frame_delay_stats().std_dev());
+    }
+
+    #[test]
+    fn client_side_shows_similar_results() {
+        // "Data collected on the client side show similar results [7]":
+        // under QuaSAQ the delivery-instant statistics match the
+        // server-side processing statistics.
+        let (report, _) = run_fig5(Fig5System::Quasaq, Contention::High, &quick_cfg());
+        let server = report.frame_delay_stats();
+        let mut client = quasaq_sim::OnlineStats::new();
+        for d in report.client_inter_frame_delays_ms() {
+            client.push(d);
+        }
+        assert!((client.mean() - server.mean()).abs() < 3.0, "client mean {}", client.mean());
+        assert!(
+            client.std_dev() < server.std_dev() * 1.5 + 5.0,
+            "client sd {} vs server {}",
+            client.std_dev(),
+            server.std_dev()
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # quasaq-workload — traffic generation and experiment scenarios
+//!
+//! Assembles the full systems under test and drives them with the paper's
+//! workload:
+//!
+//! * [`testbed`] — the three-server deployment (catalog, replication,
+//!   metadata, QoS API sizing) and cost-model selection.
+//! * [`traffic`] — the Poisson query generator ("inter-arrival time …
+//!   exponentially distributed with an average of 1 second", uniform
+//!   video access, uniform QoS parameters).
+//! * [`throughput`] — the Fig 6 / Fig 7 driver over the fluid session
+//!   engine (outstanding sessions, jobs per minute, cumulative rejects).
+//! * [`fig5`] — the inter-frame-delay experiment driver over the
+//!   frame-level engine (Fig 5, Table 2).
+
+pub mod fig5;
+pub mod testbed;
+pub mod throughput;
+pub mod traffic;
+
+pub use fig5::{run_fig5, Contention, Fig5Config, Fig5System};
+pub use testbed::{CostKind, Testbed, TestbedConfig};
+pub use throughput::{run_throughput, run_throughput_on, SystemKind, ThroughputConfig, ThroughputResult};
+pub use traffic::{generate_queries, random_qop, GeneratedQuery, TrafficConfig};

@@ -1,0 +1,200 @@
+//! Testbed assembly: the paper's experimental deployment in one struct.
+//!
+//! "The experiments are performed on a small distributed system containing
+//! three servers … Each server has a total streaming bandwidth of
+//! 3200KBps. … Our experimental video database contains 15 videos in
+//! MPEG-1 format with playback time ranging from 30 seconds to 18
+//! minutes. For each video, three to four copies with different quality
+//! are generated and fully replicated on three servers so that each
+//! server has all copies."
+
+use quasaq_core::{
+    CostModel, EfficiencyModel, GeneratorConfig, LrbModel, MinBitrateModel, PlanGenerator,
+    QualityManager, QosWeights, RandomModel, UtilityGain, WeightedSumModel,
+};
+use quasaq_media::{DeliveryCostModel, Library, LibraryConfig};
+use quasaq_qosapi::CompositeQosApi;
+use quasaq_sim::ServerId;
+use quasaq_store::{MetadataEngine, ObjectStore, Placement, QosSampler, ReplicationPlanner};
+use std::collections::BTreeMap;
+
+/// Cost-model selection for QuaSAQ runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostKind {
+    /// The paper's Lowest Resource Bucket model.
+    Lrb,
+    /// The paper's randomized baseline.
+    Random,
+    /// Static greedy (min delivered bitrate) — ablation.
+    MinBitrate,
+    /// Sum-of-fills instead of max — ablation.
+    WeightedSum,
+    /// The configurable optimizer extension: cost efficiency `E = G/C`
+    /// with a perceptual-utility gain (paper future work).
+    Utility,
+}
+
+impl CostKind {
+    /// Instantiates the model.
+    pub fn build(self) -> Box<dyn CostModel> {
+        match self {
+            CostKind::Lrb => Box::new(LrbModel),
+            CostKind::Random => Box::new(RandomModel),
+            CostKind::MinBitrate => Box::new(MinBitrateModel),
+            CostKind::WeightedSum => Box::new(WeightedSumModel::default()),
+            CostKind::Utility => {
+                Box::new(EfficiencyModel::new(UtilityGain { weights: QosWeights::default() }))
+            }
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostKind::Lrb => "LRB",
+            CostKind::Random => "Random",
+            CostKind::MinBitrate => "MinBitrate",
+            CostKind::WeightedSum => "WeightedSum",
+            CostKind::Utility => "Utility",
+        }
+    }
+}
+
+/// Deployment parameters.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Master seed for catalog generation.
+    pub seed: u64,
+    /// Number of servers (paper: 3).
+    pub servers: u32,
+    /// Per-server streaming bandwidth in bytes/second (paper: 3200 KB/s).
+    pub link_capacity_bps: u64,
+    /// Per-server disk read bandwidth in bytes/second.
+    pub disk_bps: f64,
+    /// Per-server stream-buffer memory in bytes.
+    pub memory_bytes: f64,
+    /// Catalog shape.
+    pub library: LibraryConfig,
+    /// Replica placement (paper: full replication).
+    pub placement: Placement,
+    /// Delivery cost model shared by sampler, planner and executor.
+    pub cost: DeliveryCostModel,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            seed: 42,
+            servers: 3,
+            link_capacity_bps: 3_200_000,
+            disk_bps: 20_000_000.0,
+            memory_bytes: 512e6,
+            library: LibraryConfig::default(),
+            placement: Placement::Full,
+            cost: DeliveryCostModel::default(),
+        }
+    }
+}
+
+/// The assembled deployment: catalog, stores, metadata.
+pub struct Testbed {
+    /// Configuration it was built from.
+    pub config: TestbedConfig,
+    /// The generated catalog.
+    pub library: Library,
+    /// Per-server object stores.
+    pub stores: BTreeMap<ServerId, ObjectStore>,
+    /// The distributed metadata engine.
+    pub engine: MetadataEngine,
+}
+
+impl Testbed {
+    /// Builds the deployment: generate the catalog, replicate it, sample
+    /// QoS profiles.
+    pub fn build(config: TestbedConfig) -> Self {
+        let library = Library::generate(config.seed, &config.library);
+        let mut stores = BTreeMap::new();
+        for s in ServerId::first_n(config.servers) {
+            stores.insert(s, ObjectStore::new(s, 1 << 42));
+        }
+        let mut engine = MetadataEngine::new(ServerId::first_n(config.servers), 64);
+        ReplicationPlanner::new(QosSampler { cost: config.cost }, config.placement)
+            .replicate(&library, &mut stores, &mut engine)
+            .expect("testbed replication fits");
+        Testbed { config, library, stores, engine }
+    }
+
+    /// A fresh Composite QoS API sized to this deployment.
+    pub fn qos_api(&self) -> CompositeQosApi {
+        CompositeQosApi::homogeneous_cluster(
+            self.config.servers,
+            self.config.link_capacity_bps as f64,
+            self.config.disk_bps,
+            self.config.memory_bytes,
+        )
+    }
+
+    /// A fresh Quality Manager with the chosen cost model.
+    pub fn quality_manager(&self, cost: CostKind) -> QualityManager {
+        self.quality_manager_with(cost, GeneratorConfig {
+            cost: self.config.cost,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    /// A fresh Quality Manager with an explicit generator configuration
+    /// (e.g. local-only planning for placement studies).
+    pub fn quality_manager_with(
+        &self,
+        cost: CostKind,
+        generator: GeneratorConfig,
+    ) -> QualityManager {
+        QualityManager::new(self.qos_api(), PlanGenerator::new(generator), cost.build())
+    }
+
+    /// The server ids of this deployment.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> {
+        ServerId::first_n(self.config.servers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_testbed_matches_paper() {
+        let tb = Testbed::build(TestbedConfig::default());
+        assert_eq!(tb.library.len(), 15);
+        assert_eq!(tb.stores.len(), 3);
+        // Full replication: each store holds every tier of every video.
+        let total_tiers: usize = tb.library.entries().iter().map(|e| e.replicas.len()).sum();
+        for store in tb.stores.values() {
+            assert_eq!(store.object_count(), total_tiers);
+        }
+        assert_eq!(tb.engine.object_count(), total_tiers * 3);
+    }
+
+    #[test]
+    fn qos_api_has_capacity() {
+        let tb = Testbed::build(TestbedConfig::default());
+        let api = tb.qos_api();
+        assert_eq!(api.buckets().count(), 12);
+    }
+
+    #[test]
+    fn managers_use_selected_model() {
+        let tb = Testbed::build(TestbedConfig::default());
+        for kind in [
+            CostKind::Lrb,
+            CostKind::Random,
+            CostKind::MinBitrate,
+            CostKind::WeightedSum,
+            CostKind::Utility,
+        ] {
+            let m = tb.quality_manager(kind);
+            assert!(!m.cost_model_name().is_empty());
+        }
+        assert_eq!(CostKind::Lrb.label(), "LRB");
+    }
+}

@@ -1,0 +1,422 @@
+//! The throughput experiment driver (Fig 6 and Fig 7).
+//!
+//! Feeds the same Poisson query stream into one of the three systems —
+//! plain VDBMS, VDBMS + QoS API, or VDBMS + QuaSAQ (with a selectable
+//! cost model) — over the fluid session engine, and records what the
+//! paper plots: outstanding sessions over time (Figs 6a, 7a),
+//! accomplished jobs per minute (Fig 6b), and cumulative rejects
+//! (Fig 7b).
+
+use crate::testbed::{CostKind, Testbed, TestbedConfig};
+use crate::traffic::{generate_queries, GeneratedQuery, TrafficConfig};
+use quasaq_core::{PlanExecutor, PlanRequest, QopSecurity, QosWeights, QualityManager, UtilityGain};
+use quasaq_qosapi::{CompositeQosApi, ReservationId, ResourceKey, ResourceKind, ResourceVector};
+use quasaq_sim::link::SharePolicy;
+use quasaq_sim::{LevelTracker, RateCounter, Rng, Series, SimDuration, SimTime};
+use quasaq_stream::{FluidEngine, FluidSessionId};
+use quasaq_store::AccessStats;
+use quasaq_vdbms::{BaselineKind, BaselinePlanner};
+use std::collections::HashMap;
+
+/// Which system services the query stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Plain VDBMS: admit everything, stream the original best-effort.
+    Vdbms,
+    /// VDBMS with the QoS API: reserve the full-quality stream, reject on
+    /// saturation.
+    VdbmsQosApi,
+    /// Full QuaSAQ with the given cost model.
+    Quasaq(CostKind),
+}
+
+impl SystemKind {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> String {
+        match self {
+            SystemKind::Vdbms => "VDBMS".to_string(),
+            SystemKind::VdbmsQosApi => "VDBMS+QoS API".to_string(),
+            SystemKind::Quasaq(c) => format!("VDBMS+QuaSAQ({})", c.label()),
+        }
+    }
+}
+
+/// Run parameters.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Deployment.
+    pub testbed: TestbedConfig,
+    /// Run length (Fig 6: 1000 s; Fig 7: 7000 s).
+    pub horizon: SimTime,
+    /// Sampling step for the outstanding-sessions series.
+    pub sample_step: SimDuration,
+    /// Master seed (traffic and tie-breaking).
+    pub seed: u64,
+    /// Zipf skew over videos (0 = the paper's uniform access).
+    pub video_skew: f64,
+    /// Restrict QuaSAQ plans to the replica's own site (placement
+    /// studies; the paper's default allows cross-site delivery).
+    pub local_plans_only: bool,
+}
+
+impl ThroughputConfig {
+    /// The Fig 6 configuration (1000 s horizon).
+    pub fn fig6() -> Self {
+        ThroughputConfig {
+            testbed: TestbedConfig::default(),
+            horizon: SimTime::from_secs(1000),
+            sample_step: SimDuration::from_secs(10),
+            seed: 7,
+            video_skew: 0.0,
+            local_plans_only: false,
+        }
+    }
+
+    /// The Fig 7 configuration (7000 s horizon).
+    pub fn fig7() -> Self {
+        ThroughputConfig { horizon: SimTime::from_secs(7000), ..Self::fig6() }
+    }
+}
+
+/// Everything the paper plots for one run.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// System label.
+    pub label: String,
+    /// Outstanding sessions sampled over time (Figs 6a, 7a).
+    pub outstanding: Series,
+    /// Completed jobs per minute (Fig 6b).
+    pub completions_per_min: RateCounter,
+    /// Cumulative rejects over time (Fig 7b).
+    pub rejects: Series,
+    /// Total queries issued.
+    pub queries: u64,
+    /// Sessions admitted.
+    pub admitted: u64,
+    /// Queries rejected.
+    pub rejected: u64,
+    /// Sessions completed within the horizon.
+    pub completed: u64,
+    /// Which video was served from which server, per admitted session
+    /// (drives the online-migration extension).
+    pub access: AccessStats,
+    /// Mean perceptual utility of admitted plans (QuaSAQ systems only).
+    pub mean_utility: Option<f64>,
+}
+
+impl ThroughputResult {
+    /// Mean outstanding sessions over the stable stage (second half of the
+    /// run).
+    pub fn stable_outstanding(&self, horizon: SimTime) -> f64 {
+        self.outstanding
+            .window_mean(SimTime::from_micros(horizon.as_micros() / 2), horizon + SimDuration::from_secs(1))
+            .unwrap_or(0.0)
+    }
+}
+
+enum SystemState {
+    Plain {
+        planner: BaselinePlanner,
+    },
+    QosApi {
+        planner: BaselinePlanner,
+        api: CompositeQosApi,
+        headroom: f64,
+    },
+    Quasaq {
+        manager: QualityManager,
+        executor: PlanExecutor,
+    },
+}
+
+/// Runs one system against the shared query stream on a fresh testbed.
+pub fn run_throughput(system: SystemKind, cfg: &ThroughputConfig) -> ThroughputResult {
+    let testbed = Testbed::build(cfg.testbed.clone());
+    run_throughput_on(&testbed, system, cfg)
+}
+
+/// Runs one system against the query stream on an existing testbed (so
+/// callers can mutate the replica layout between runs, e.g. for the
+/// online-migration extension).
+pub fn run_throughput_on(
+    testbed: &Testbed,
+    system: SystemKind,
+    cfg: &ThroughputConfig,
+) -> ThroughputResult {
+    let mut traffic = TrafficConfig::paper(testbed.library.len(), cfg.horizon);
+    traffic.video_skew = cfg.video_skew;
+    let queries = generate_queries(cfg.seed ^ 0x51ab_17e5, &traffic);
+    let mut rng = Rng::new(cfg.seed ^ 0x9e37_79b9);
+
+    let mut state = match system {
+        SystemKind::Vdbms => SystemState::Plain { planner: BaselinePlanner::new(BaselineKind::Plain) },
+        SystemKind::VdbmsQosApi => SystemState::QosApi {
+            planner: BaselinePlanner::new(BaselineKind::WithQosApi),
+            api: testbed.qos_api(),
+            headroom: cfg.testbed.cost.reservation_headroom,
+        },
+        SystemKind::Quasaq(kind) => SystemState::Quasaq {
+            manager: testbed.quality_manager_with(
+                kind,
+                quasaq_core::GeneratorConfig {
+                    cost: cfg.testbed.cost,
+                    allow_remote: !cfg.local_plans_only,
+                    ..quasaq_core::GeneratorConfig::default()
+                },
+            ),
+            executor: PlanExecutor { cost: cfg.testbed.cost, ..PlanExecutor::default() },
+        },
+    };
+
+    // All systems pace sessions at their stream rate on fair-share links;
+    // reservation-based systems enforce admission in the QoS API, so the
+    // link never oversubscribes for them.
+    let mut fluid = FluidEngine::new(
+        testbed.servers(),
+        SharePolicy::FairShare,
+        cfg.testbed.link_capacity_bps,
+    );
+
+    let mut reservations: HashMap<FluidSessionId, ReservationId> = HashMap::new();
+    let mut outstanding = LevelTracker::new();
+    let mut completions = RateCounter::new(SimDuration::from_secs(60));
+    let mut rejects = Series::new();
+    let mut rejected = 0u64;
+    let mut admitted = 0u64;
+    let mut completed = 0u64;
+    let mut access = AccessStats::new();
+    let mut utility_sum = 0.0f64;
+    let mut utility_n = 0u64;
+
+    let handle_done = |done: Vec<quasaq_stream::FluidDone>,
+                           reservations: &mut HashMap<FluidSessionId, ReservationId>,
+                           state: &mut SystemState,
+                           outstanding: &mut LevelTracker,
+                           completions: &mut RateCounter,
+                           completed: &mut u64| {
+        for d in done {
+            outstanding.adjust(d.at, -1);
+            completions.record(d.at);
+            *completed += 1;
+            if let Some(res) = reservations.remove(&d.id) {
+                match state {
+                    SystemState::QosApi { api, .. } => api.release(res),
+                    SystemState::Quasaq { manager, .. } => manager.release_reservation(res),
+                    SystemState::Plain { .. } => {}
+                }
+            }
+        }
+    };
+
+    let mut qi = 0usize;
+    loop {
+        let tq = queries.get(qi).map(|q| q.at);
+        let tf = fluid.next_event().filter(|&t| t <= cfg.horizon);
+        let t = match (tq, tf) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => break,
+        };
+        if t > cfg.horizon {
+            break;
+        }
+        fluid.advance_to(t);
+        handle_done(
+            fluid.drain_completions(),
+            &mut reservations,
+            &mut state,
+            &mut outstanding,
+            &mut completions,
+            &mut completed,
+        );
+        if tq == Some(t) {
+            let q = &queries[qi];
+            qi += 1;
+            match admit(&mut state, testbed, q, &mut fluid, &mut rng, t) {
+                Some((sid, reservation, served_from, utility)) => {
+                    admitted += 1;
+                    outstanding.adjust(t, 1);
+                    access.record(q.video, served_from);
+                    if let Some(u) = utility {
+                        utility_sum += u;
+                        utility_n += 1;
+                    }
+                    if let Some(res) = reservation {
+                        reservations.insert(sid, res);
+                    }
+                }
+                None => {
+                    rejected += 1;
+                    rejects.push(t, rejected as f64);
+                }
+            }
+        }
+    }
+    fluid.advance_to(cfg.horizon);
+    handle_done(
+        fluid.drain_completions(),
+        &mut reservations,
+        &mut state,
+        &mut outstanding,
+        &mut completions,
+        &mut completed,
+    );
+
+    ThroughputResult {
+        label: system.label(),
+        outstanding: outstanding.sample(cfg.sample_step, cfg.horizon),
+        completions_per_min: completions,
+        rejects,
+        queries: queries.len() as u64,
+        admitted,
+        rejected,
+        completed,
+        access,
+        mean_utility: (utility_n > 0).then(|| utility_sum / utility_n as f64),
+    }
+}
+
+fn admit(
+    state: &mut SystemState,
+    testbed: &Testbed,
+    q: &GeneratedQuery,
+    fluid: &mut FluidEngine,
+    rng: &mut Rng,
+    now: SimTime,
+) -> Option<(FluidSessionId, Option<ReservationId>, quasaq_sim::ServerId, Option<f64>)> {
+    match state {
+        SystemState::Plain { planner } => {
+            let choice = planner.select(&testbed.engine, q.video, rng)?;
+            let sid = fluid
+                .add_session(now, choice.server, choice.record.object.bytes, choice.record.object.rate_bps)
+                .ok()?;
+            Some((sid, None, choice.server, None))
+        }
+        SystemState::QosApi { planner, api, headroom } => {
+            let choice = planner.select(&testbed.engine, q.video, rng)?;
+            // The baseline has no cost model, but admission may try each
+            // server holding the (full-quality) replica in random order.
+            let mut servers: Vec<quasaq_sim::ServerId> = testbed
+                .engine
+                .replicas(q.video)
+                .iter()
+                .filter(|r| r.object.rate_bps == choice.record.object.rate_bps)
+                .map(|r| r.object.server)
+                .collect();
+            servers.dedup();
+            rng.shuffle(&mut servers);
+            let profile = choice.record.profile;
+            for server in servers {
+                let demand = ResourceVector::new()
+                    .with(
+                        ResourceKey::new(server, ResourceKind::Cpu),
+                        (profile.cpu_share * *headroom).min(1.0),
+                    )
+                    .with(ResourceKey::new(server, ResourceKind::NetBandwidth), profile.net_bps)
+                    .with(ResourceKey::new(server, ResourceKind::DiskBandwidth), profile.disk_bps)
+                    .with(ResourceKey::new(server, ResourceKind::Memory), profile.memory_bytes);
+                if let Ok(res) = api.reserve(&demand) {
+                    let sid = fluid
+                        .add_session(now, server, choice.record.object.bytes, choice.record.object.rate_bps)
+                        .expect("fair-share admits");
+                    return Some((sid, Some(res), server, None));
+                }
+            }
+            None
+        }
+        SystemState::Quasaq { manager, executor } => {
+            let request =
+                PlanRequest { video: q.video, qos: q.qos.clone(), security: QopSecurity::Open };
+            let admitted = manager.process(&testbed.engine, &request, rng).ok()?;
+            let meta = testbed.engine.video(q.video).expect("known video").clone();
+            let (bytes, rate) = executor.fluid_params(&admitted.plan, &meta);
+            let server = admitted.plan.target_server;
+            let utility =
+                UtilityGain { weights: QosWeights::default() }.utility(&admitted.plan);
+            let sid = fluid
+                .add_session(now, server, bytes, rate)
+                .expect("fair-share admits");
+            Some((sid, Some(admitted.reservation), server, Some(utility)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_cfg() -> ThroughputConfig {
+        ThroughputConfig {
+            testbed: TestbedConfig::default(),
+            horizon: SimTime::from_secs(300),
+            sample_step: SimDuration::from_secs(10),
+            seed: 11,
+            video_skew: 0.0,
+            local_plans_only: false,
+        }
+    }
+
+    #[test]
+    fn plain_vdbms_admits_everything() {
+        let r = run_throughput(SystemKind::Vdbms, &short_cfg());
+        assert_eq!(r.rejected, 0);
+        assert_eq!(r.admitted, r.queries);
+        assert!(r.stable_outstanding(SimTime::from_secs(300)) > 0.0);
+    }
+
+    #[test]
+    fn qos_api_rejects_under_load() {
+        let r = run_throughput(SystemKind::VdbmsQosApi, &short_cfg());
+        assert!(r.rejected > 0, "expected rejects under 1 q/s of full-quality demand");
+        assert_eq!(r.admitted + r.rejected, r.queries);
+    }
+
+    #[test]
+    fn quasaq_outserves_qos_api() {
+        let cfg = short_cfg();
+        let quasaq = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
+        let qosapi = run_throughput(SystemKind::VdbmsQosApi, &cfg);
+        let h = SimTime::from_secs(300);
+        assert!(
+            quasaq.stable_outstanding(h) > qosapi.stable_outstanding(h),
+            "QuaSAQ {} vs QoS-API {}",
+            quasaq.stable_outstanding(h),
+            qosapi.stable_outstanding(h)
+        );
+    }
+
+    #[test]
+    fn lrb_beats_random() {
+        let cfg = short_cfg();
+        let lrb = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
+        let random = run_throughput(SystemKind::Quasaq(CostKind::Random), &cfg);
+        let h = SimTime::from_secs(300);
+        assert!(
+            lrb.stable_outstanding(h) > random.stable_outstanding(h),
+            "LRB {} vs Random {}",
+            lrb.stable_outstanding(h),
+            random.stable_outstanding(h)
+        );
+        assert!(lrb.rejected <= random.rejected);
+    }
+
+    #[test]
+    fn vdbms_has_most_outstanding_sessions() {
+        // Fig 6a's signature: the system with no admission control piles
+        // up the most concurrent sessions.
+        let cfg = short_cfg();
+        let plain = run_throughput(SystemKind::Vdbms, &cfg);
+        let quasaq = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
+        let h = SimTime::from_secs(300);
+        assert!(plain.stable_outstanding(h) > quasaq.stable_outstanding(h));
+    }
+
+    #[test]
+    fn accounting_balances() {
+        let r = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &short_cfg());
+        assert_eq!(r.admitted + r.rejected, r.queries);
+        assert!(r.completed <= r.admitted);
+        assert_eq!(r.completions_per_min.total(), r.completed);
+    }
+}

@@ -1,0 +1,164 @@
+//! The experiment traffic generator.
+//!
+//! "Instead of user inputs from a GUI-based client program, the queries
+//! for the experiments are from a traffic generator. … Queries are
+//! generated such that the access rate to each individual video is the
+//! same and each QoS parameter (QuaSAQ only) is uniformly distributed in
+//! its valid range. The inter-arrival time for queries is exponentially
+//! distributed with an average of 1 second."
+
+use quasaq_core::{QopColor, QopMotion, QopRequest, QopResolution, QopSecurity, UserProfile};
+use quasaq_media::{QosRange, VideoId};
+use quasaq_sim::{Rng, SimDuration, SimTime};
+
+/// Traffic parameters.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Mean of the exponential inter-arrival distribution (paper: 1 s).
+    pub mean_interarrival: SimDuration,
+    /// Generate queries up to this time.
+    pub horizon: SimTime,
+    /// Number of videos to draw from (uniform access).
+    pub num_videos: usize,
+    /// Zipf skew over videos (0 = the paper's uniform access).
+    pub video_skew: f64,
+}
+
+impl TrafficConfig {
+    /// The paper's generator over `num_videos` videos up to `horizon`.
+    pub fn paper(num_videos: usize, horizon: SimTime) -> Self {
+        TrafficConfig {
+            mean_interarrival: SimDuration::from_secs(1),
+            horizon,
+            num_videos,
+            video_skew: 0.0,
+        }
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Requested video (uniform over the catalog).
+    pub video: VideoId,
+    /// The QoP the "user" asked for.
+    pub qop: QopRequest,
+    /// Its translation to an application-QoS range.
+    pub qos: QosRange,
+}
+
+/// Draws a uniformly random QoP request (security stays `Open`, matching
+/// the throughput experiments, which do not exercise encryption).
+pub fn random_qop(rng: &mut Rng) -> QopRequest {
+    let resolution = *rng.choose(&[
+        QopResolution::Preview,
+        QopResolution::VcdLike,
+        QopResolution::TvLike,
+        QopResolution::DvdLike,
+    ]);
+    let motion = *rng.choose(&[QopMotion::Economy, QopMotion::Standard, QopMotion::Smooth]);
+    let color = *rng.choose(&[QopColor::Basic, QopColor::Rich, QopColor::True]);
+    QopRequest { resolution, motion, color, security: QopSecurity::Open }
+}
+
+/// Generates the full arrival sequence for one run.
+pub fn generate_queries(seed: u64, cfg: &TrafficConfig) -> Vec<GeneratedQuery> {
+    assert!(cfg.num_videos > 0, "need a catalog");
+    let mut rng = Rng::new(seed);
+    let profile = UserProfile::new("traffic");
+    let mut out = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        let gap = SimDuration::from_secs_f64(rng.exp(cfg.mean_interarrival.as_secs_f64()));
+        t += gap;
+        if t > cfg.horizon {
+            break;
+        }
+        let video = if cfg.video_skew > 0.0 {
+            VideoId(rng.zipf(cfg.num_videos, cfg.video_skew) as u32)
+        } else {
+            VideoId(rng.index(cfg.num_videos) as u32)
+        };
+        let qop = random_qop(&mut rng);
+        let qos = profile.translate(&qop);
+        out.push(GeneratedQuery { at: t, video, qop, qos });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrafficConfig {
+        TrafficConfig::paper(15, SimTime::from_secs(1000))
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_bounded() {
+        let qs = generate_queries(1, &cfg());
+        assert!(!qs.is_empty());
+        for w in qs.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(qs.last().unwrap().at <= SimTime::from_secs(1000));
+    }
+
+    #[test]
+    fn mean_interarrival_close_to_one_second() {
+        let qs = generate_queries(2, &TrafficConfig::paper(15, SimTime::from_secs(20_000)));
+        let n = qs.len() as f64;
+        let span = qs.last().unwrap().at.as_secs_f64();
+        let mean = span / n;
+        assert!((mean - 1.0).abs() < 0.05, "mean inter-arrival {mean}");
+    }
+
+    #[test]
+    fn video_access_is_uniform() {
+        let qs = generate_queries(3, &TrafficConfig::paper(15, SimTime::from_secs(30_000)));
+        let mut counts = [0u32; 15];
+        for q in &qs {
+            counts[q.video.0 as usize] += 1;
+        }
+        let mean = qs.len() as f64 / 15.0;
+        for &c in &counts {
+            assert!((c as f64 - mean).abs() < mean * 0.25, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn qos_parameters_span_their_ranges() {
+        let qs = generate_queries(4, &cfg());
+        let mut resolutions = std::collections::BTreeSet::new();
+        let mut motions = std::collections::BTreeSet::new();
+        for q in &qs {
+            resolutions.insert(format!("{:?}", q.qop.resolution));
+            motions.insert(format!("{:?}", q.qop.motion));
+            assert!(q.qos.is_valid());
+        }
+        assert_eq!(resolutions.len(), 4);
+        assert_eq!(motions.len(), 3);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_access() {
+        let mut cfg = cfg();
+        cfg.video_skew = 1.2;
+        let qs = generate_queries(5, &cfg);
+        let mut counts = [0u32; 15];
+        for q in &qs {
+            counts[q.video.0 as usize] += 1;
+        }
+        assert!(counts[0] > counts[14] * 2, "counts {counts:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_queries(9, &cfg());
+        let b = generate_queries(9, &cfg());
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x.at == y.at && x.video == y.video));
+    }
+}

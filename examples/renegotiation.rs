@@ -1,0 +1,111 @@
+//! Renegotiation and the second-chance path.
+//!
+//! The paper's two renegotiation scenarios: (1) "QoS requirements are
+//! allowed to be modified during media playback", and (2) "when the
+//! user-specified QoP is rejected by the admission control module due to
+//! low resource availability … a number of admittable alternative plans
+//! will be presented as a 'second chance'" — with the per-user weights
+//! deciding which quality dimension degrades first.
+//!
+//! Run with: `cargo run --release --example renegotiation`
+
+use quasaq::core::{
+    PlanRequest, QopRequest, QopSecurity, QosWeights, SecondChance, UserProfile,
+};
+use quasaq::media::VideoId;
+use quasaq::sim::Rng;
+use quasaq::workload::{CostKind, Testbed, TestbedConfig};
+
+fn main() {
+    let testbed = Testbed::build(TestbedConfig::default());
+    let mut manager = testbed.quality_manager(CostKind::Lrb);
+    let mut rng = Rng::new(17);
+    let profile = UserProfile::new("viewer");
+
+    // --- Scenario 1: upgrade mid-playback ---------------------------------
+    println!("--- scenario 1: mid-playback renegotiation ---");
+    let low = PlanRequest {
+        video: VideoId(4),
+        qos: profile.translate(&QopRequest::organizational()),
+        security: QopSecurity::Open,
+    };
+    let admitted = manager.process(&testbed.engine, &low, &mut rng).unwrap();
+    println!("initial plan:      {}", admitted.plan);
+    let high = PlanRequest {
+        video: VideoId(4),
+        qos: profile.translate(&QopRequest::diagnostic()),
+        security: QopSecurity::Open,
+    };
+    let upgraded = manager.renegotiate(&testbed.engine, &admitted, &high, &mut rng).unwrap();
+    println!("renegotiated plan: {}", upgraded.plan);
+    println!(
+        "bandwidth {:.0} -> {:.0} KB/s, one reservation held throughout\n",
+        admitted.plan.delivered_bps / 1000.0,
+        upgraded.plan.delivered_bps / 1000.0
+    );
+    manager.release(&upgraded);
+
+    // --- Scenario 2: second chance under saturation ------------------------
+    println!("--- scenario 2: second chance under saturation ---");
+    // Fill the cluster with diagnostic-quality sessions until rejection.
+    let mut held = Vec::new();
+    loop {
+        let req = PlanRequest {
+            video: VideoId(held.len() as u32 % 15),
+            qos: profile.translate(&QopRequest::diagnostic()),
+            security: QopSecurity::Open,
+        };
+        match manager.process(&testbed.engine, &req, &mut rng) {
+            Ok(a) => held.push(a),
+            Err(_) => break,
+        }
+    }
+    println!("cluster saturated after {} diagnostic sessions", held.len());
+
+    // Two users with opposite weights ask for one more diagnostic session.
+    let motion_lover = UserProfile::with_weights(
+        "sports-fan",
+        QosWeights { resolution: 0.5, frame_rate: 3.0, color: 1.0 },
+    );
+    let pixel_lover = UserProfile::with_weights(
+        "radiologist",
+        QosWeights { resolution: 3.0, frame_rate: 0.5, color: 1.0 },
+    );
+    for user in [&motion_lover, &pixel_lover] {
+        let req = PlanRequest {
+            video: VideoId(9),
+            qos: user.translate(&QopRequest::diagnostic()),
+            security: QopSecurity::Open,
+        };
+        match manager.process_with_second_chance(&testbed.engine, &req, user, &mut rng) {
+            SecondChance::AsRequested(a) => {
+                println!("{}: admitted as requested ({})", user.name, a.plan.delivered);
+                manager.release(&a);
+            }
+            SecondChance::Degraded { admitted, option } => {
+                println!(
+                    "{}: degraded (option {}): delivered {} at {:.0} KB/s",
+                    user.name,
+                    option,
+                    admitted.plan.delivered,
+                    admitted.plan.delivered_bps / 1000.0
+                );
+                manager.release(&admitted);
+            }
+            SecondChance::Rejected(err) => {
+                println!("{}: rejected outright ({err})", user.name);
+            }
+        }
+    }
+    println!(
+        "\nEach user's weights decide the order of concessions: the sports fan\n\
+         yields resolution immediately (option 0), while the radiologist only\n\
+         reaches a resolution cut after its preferred frame-rate and color\n\
+         concessions (options 0-1) fail to free enough resources."
+    );
+
+    for a in &held {
+        manager.release(a);
+    }
+    println!("released {} background sessions; cluster idle again.", held.len());
+}

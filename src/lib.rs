@@ -1,0 +1,64 @@
+//! # quasaq — end-to-end QoS for multimedia databases
+//!
+//! A full Rust reproduction of *"QuaSAQ: An Approach to Enabling
+//! End-to-End QoS for Multimedia Databases"* (EDBT 2004): a QoS-aware
+//! query processor layered on a miniature distributed multimedia DBMS,
+//! evaluated on a deterministic discrete-event simulation of the paper's
+//! three-server testbed.
+//!
+//! This crate is a facade: it re-exports the workspace's layers under one
+//! namespace and hosts the runnable examples and cross-crate integration
+//! tests.
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`sim`] | `quasaq-sim` | discrete-event kernel: time, events, CPUs, links, stats |
+//! | [`media`] | `quasaq-media` | video model: GOPs, VBR traces, quality specs, transforms |
+//! | [`store`] | `quasaq-store` | object stores, metadata engine, replication, QoS sampling |
+//! | [`qosapi`] | `quasaq-qosapi` | Composite QoS API: resource vectors, admission, reservation |
+//! | [`stream`] | `quasaq-stream` | frame-level and fluid streaming executors |
+//! | [`vdbms`] | `quasaq-vdbms` | SQL front-end, content search, baseline delivery stacks |
+//! | [`core`] | `quasaq-core` | **QuaSAQ**: QoP, plan generation, LRB cost model, Quality Manager |
+//! | [`workload`] | `quasaq-workload` | traffic generation and the paper's experiment drivers |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quasaq::core::{PlanRequest, QopRequest, QopSecurity, UserProfile};
+//! use quasaq::sim::Rng;
+//! use quasaq::vdbms;
+//! use quasaq::workload::{CostKind, Testbed, TestbedConfig};
+//!
+//! // Build the paper's three-server deployment.
+//! let testbed = Testbed::build(TestbedConfig::default());
+//!
+//! // Conventional half: resolve a content query to a logical OID.
+//! let query = vdbms::parse(
+//!     "SELECT * FROM videos WITH QOS (resolution >= 320x240, resolution <= 352x288)",
+//! )
+//! .unwrap();
+//! let video = vdbms::resolve_one(&testbed.engine, &query).expect("a video matches");
+//!
+//! // QoS half: translate the user's QoP, plan, and admit.
+//! let profile = UserProfile::new("demo");
+//! let request = PlanRequest {
+//!     video,
+//!     qos: profile.translate(&QopRequest::organizational()),
+//!     security: QopSecurity::Open,
+//! };
+//! let mut manager = testbed.quality_manager(CostKind::Lrb);
+//! let admitted = manager
+//!     .process(&testbed.engine, &request, &mut Rng::new(7))
+//!     .expect("the idle testbed admits");
+//! assert!(request.qos.accepts(&admitted.plan.delivered));
+//! manager.release(&admitted);
+//! ```
+
+pub use quasaq_core as core;
+pub use quasaq_media as media;
+pub use quasaq_qosapi as qosapi;
+pub use quasaq_sim as sim;
+pub use quasaq_store as store;
+pub use quasaq_stream as stream;
+pub use quasaq_vdbms as vdbms;
+pub use quasaq_workload as workload;
