@@ -16,7 +16,7 @@ use quasaq_bench::Table;
 use quasaq_sim::{SimDuration, SimTime};
 use quasaq_store::{plan_migrations, Placement, QosSampler, ReplicationPlanner};
 use quasaq_workload::{
-    run_throughput, run_throughput_on, CostKind, SystemKind, Testbed, TestbedConfig,
+    run_throughput_on, run_throughput_scenarios, CostKind, SystemKind, Testbed, TestbedConfig,
     ThroughputConfig,
 };
 
@@ -89,8 +89,12 @@ fn configurable_optimizer() {
         "stable outstanding",
         "mean delivered utility",
     ]);
-    for kind in [CostKind::Lrb, CostKind::Utility] {
-        let r = run_throughput(SystemKind::Quasaq(kind), &cfg);
+    // The migration loop above is inherently before/after-sequential (it
+    // mutates the testbed between runs); these two optimizer runs are
+    // independent, so they fan out.
+    let kinds = [CostKind::Lrb, CostKind::Utility];
+    let scenarios: Vec<_> = kinds.iter().map(|&k| (SystemKind::Quasaq(k), cfg.clone())).collect();
+    for (kind, r) in kinds.iter().zip(run_throughput_scenarios(&scenarios)) {
         t.row(&[
             kind.label().to_string(),
             format!("{}", r.admitted),

@@ -10,27 +10,24 @@
 use quasaq_bench::{paper, sparkline, Table};
 use quasaq_sim::SimTime;
 use quasaq_workload::{
-    run_throughput, CostKind, SystemKind, TestbedConfig, ThroughputConfig,
+    parallel_map, run_throughput_scenarios, CostKind, SystemKind, TestbedConfig, ThroughputConfig,
 };
 
 fn main() {
     println!("=== Fig 6: throughput of different video database systems ===\n");
     let cfg = ThroughputConfig::fig6();
-    let systems = [
-        SystemKind::VdbmsQosApi,
-        SystemKind::Quasaq(CostKind::Lrb),
-        SystemKind::Vdbms,
-    ];
+    let systems = [SystemKind::VdbmsQosApi, SystemKind::Quasaq(CostKind::Lrb), SystemKind::Vdbms];
 
-    let mut results = Vec::new();
-    for system in systems {
-        let r = run_throughput(system, &cfg);
+    // The three systems are independent runs over the same shared testbed:
+    // fan them across cores, collect in scenario order.
+    let scenarios: Vec<_> = systems.iter().map(|&s| (s, cfg.clone())).collect();
+    let results = run_throughput_scenarios(&scenarios);
+    for r in &results {
         println!(
             "{:<22} outstanding over 0..1000 s: {}",
             r.label,
             sparkline(&r.outstanding.values().collect::<Vec<_>>(), 60)
         );
-        results.push(r);
     }
 
     // Fig 6a: outstanding sessions sampled every 100 s.
@@ -44,11 +41,7 @@ fn main() {
     for i in (0..=100).step_by(10) {
         let cells: Vec<String> = std::iter::once(format!("{}", i * 10))
             .chain(results.iter().map(|r| {
-                r.outstanding
-                    .points()
-                    .get(i)
-                    .map(|&(_, v)| format!("{v:.0}"))
-                    .unwrap_or_default()
+                r.outstanding.points().get(i).map(|&(_, v)| format!("{v:.0}")).unwrap_or_default()
             }))
             .collect();
         t6a.row(&cells);
@@ -117,7 +110,8 @@ fn main() {
     // Extension: replication-degree sweep (DESIGN.md ablation).
     println!("=== Extension: replication degree vs QuaSAQ throughput ===\n");
     let mut sweep = Table::new(&["replicas/video", "stable outstanding", "rejected"]);
-    for replicas in 1..=4usize {
+    let degrees: Vec<usize> = (1..=4).collect();
+    let sweep_runs = parallel_map(&degrees, |_, &replicas| {
         let mut c = cfg.clone();
         c.testbed = TestbedConfig {
             library: quasaq_media::LibraryConfig {
@@ -128,10 +122,12 @@ fn main() {
             ..TestbedConfig::default()
         };
         c.horizon = SimTime::from_secs(600);
-        let r = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &c);
+        (c.horizon, quasaq_workload::run_throughput(SystemKind::Quasaq(CostKind::Lrb), &c))
+    });
+    for (replicas, (horizon, r)) in degrees.iter().zip(&sweep_runs) {
         sweep.row(&[
             format!("{replicas}"),
-            format!("{:.1}", r.stable_outstanding(c.horizon)),
+            format!("{:.1}", r.stable_outstanding(*horizon)),
             format!("{}", r.rejected),
         ]);
     }

@@ -11,21 +11,22 @@
 
 use quasaq_bench::{paper, sparkline, Table};
 use quasaq_sim::SimTime;
-use quasaq_workload::{run_throughput, CostKind, SystemKind, ThroughputConfig};
+use quasaq_workload::{run_throughput_scenarios, CostKind, SystemKind, ThroughputConfig};
 
 fn main() {
     println!("=== Fig 7: QuaSAQ throughput under different cost models ===\n");
     let cfg = ThroughputConfig::fig7();
 
-    let mut results = Vec::new();
-    for kind in [CostKind::Lrb, CostKind::Random] {
-        let r = run_throughput(SystemKind::Quasaq(kind), &cfg);
+    // Two 7000 s runs over the same shared testbed — fan them out.
+    let kinds = [CostKind::Lrb, CostKind::Random];
+    let scenarios: Vec<_> = kinds.iter().map(|&k| (SystemKind::Quasaq(k), cfg.clone())).collect();
+    let results: Vec<_> = kinds.into_iter().zip(run_throughput_scenarios(&scenarios)).collect();
+    for (_, r) in &results {
         println!(
             "{:<26} outstanding over 0..7000 s: {}",
             r.label,
             sparkline(&r.outstanding.values().collect::<Vec<_>>(), 60)
         );
-        results.push((kind, r));
     }
 
     // Fig 7a: outstanding sessions sampled every 500 s.
@@ -94,8 +95,10 @@ fn main() {
     let mut short = cfg.clone();
     short.horizon = SimTime::from_secs(2000);
     let mut ab = Table::new(&["model", "stable outstanding", "rejected", "completed"]);
-    for kind in [CostKind::Lrb, CostKind::Random, CostKind::MinBitrate, CostKind::WeightedSum] {
-        let r = run_throughput(SystemKind::Quasaq(kind), &short);
+    let ab_kinds = [CostKind::Lrb, CostKind::Random, CostKind::MinBitrate, CostKind::WeightedSum];
+    let ab_scenarios: Vec<_> =
+        ab_kinds.iter().map(|&k| (SystemKind::Quasaq(k), short.clone())).collect();
+    for (kind, r) in ab_kinds.iter().zip(run_throughput_scenarios(&ab_scenarios)) {
         ab.row(&[
             kind.label().to_string(),
             format!("{:.1}", r.stable_outstanding(short.horizon)),

@@ -82,11 +82,8 @@ fn report_overheads() {
         ("organizational QoP", QopRequest::organizational()),
         ("diagnostic QoP", QopRequest::diagnostic()),
     ] {
-        let request = PlanRequest {
-            video: VideoId(1),
-            qos: profile.translate(&qop),
-            security: qop.security,
-        };
+        let request =
+            PlanRequest { video: VideoId(1), qos: profile.translate(&qop), security: qop.security };
         if let Ok(admitted) = manager.process(&testbed.engine, &request, &mut rng) {
             manager.release(&admitted);
         }
@@ -102,10 +99,8 @@ fn report_overheads() {
 
     // Pruning ablation: the static rules vs the combinatorial bound.
     let generator = PlanGenerator::new(GeneratorConfig::default());
-    let unpruned = PlanGenerator::new(GeneratorConfig {
-        prune_wasteful: false,
-        ..GeneratorConfig::default()
-    });
+    let unpruned =
+        PlanGenerator::new(GeneratorConfig { prune_wasteful: false, ..GeneratorConfig::default() });
     let request = PlanRequest {
         video: VideoId(0),
         qos: profile.translate(&QopRequest::organizational()),

@@ -48,8 +48,12 @@ fn bench_cpu_schedulers(c: &mut Criterion) {
             let mut cpu = Dsrt::new(DsrtConfig::default());
             let jobs: Vec<_> = (0..20)
                 .map(|_| {
-                    cpu.reserve(SimTime::ZERO, SimDuration::from_millis(2), SimDuration::from_millis(42))
-                        .expect("fits")
+                    cpu.reserve(
+                        SimTime::ZERO,
+                        SimDuration::from_millis(2),
+                        SimDuration::from_millis(42),
+                    )
+                    .expect("fits")
                 })
                 .collect();
             for i in 0..1_000 {
@@ -69,9 +73,8 @@ fn bench_link(c: &mut Criterion) {
     c.bench_function("fair_link_100_flows_1k_xfers", |b| {
         b.iter(|| {
             let mut link = SharedLink::fair_share(3_200_000);
-            let flows: Vec<_> = (0..100)
-                .map(|_| link.open_flow(SimTime::ZERO, Some(48_000)).unwrap())
-                .collect();
+            let flows: Vec<_> =
+                (0..100).map(|_| link.open_flow(SimTime::ZERO, Some(48_000)).unwrap()).collect();
             for i in 0..1_000 {
                 link.send(SimTime::ZERO, flows[i % 100], 4_000);
             }

@@ -1,0 +1,150 @@
+//! Wall-clock benchmark of the scenario-parallel experiment runner.
+//!
+//! Runs the Fig 6 and Fig 7 harness scenario suites twice — once as a
+//! plain serial loop over [`run_throughput`], once through
+//! [`run_throughput_scenarios`] — verifies the outputs are bit-identical,
+//! and records the timings in `BENCH_throughput.json` at the repo root:
+//!
+//! ```text
+//! cargo run --release -p quasaq-bench --bin bench [-- --quick]
+//! ```
+//!
+//! `--quick` shrinks the horizons so the determinism check stays cheap
+//! enough for CI, and skips the JSON write so CI runs never clobber the
+//! committed full-mode artifact. Speedup is bounded by the machine: on a single core the
+//! runner degrades to the serial loop (speedup ~1.0), which the artifact
+//! records via the `cores` field rather than pretending otherwise.
+
+use std::time::Instant;
+
+use quasaq_sim::SimTime;
+use quasaq_workload::{
+    run_throughput, run_throughput_scenarios, worker_count, CostKind, SystemKind, Testbed,
+    ThroughputConfig, ThroughputResult,
+};
+
+struct Suite {
+    name: &'static str,
+    scenarios: Vec<(SystemKind, ThroughputConfig)>,
+}
+
+struct Timing {
+    name: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    bit_identical: bool,
+}
+
+fn suites(quick: bool) -> Vec<Suite> {
+    let mut fig6 = ThroughputConfig::fig6();
+    let mut fig7 = ThroughputConfig::fig7();
+    if quick {
+        fig6.horizon = SimTime::from_secs(120);
+        fig7.horizon = SimTime::from_secs(120);
+    }
+    vec![
+        Suite {
+            name: "fig6",
+            scenarios: vec![
+                (SystemKind::VdbmsQosApi, fig6.clone()),
+                (SystemKind::Quasaq(CostKind::Lrb), fig6.clone()),
+                (SystemKind::Vdbms, fig6),
+            ],
+        },
+        Suite {
+            name: "fig7",
+            scenarios: vec![
+                (SystemKind::Quasaq(CostKind::Lrb), fig7.clone()),
+                (SystemKind::Quasaq(CostKind::Random), fig7),
+            ],
+        },
+    ]
+}
+
+fn run_suite(suite: &Suite) -> Timing {
+    // Warm the shared-testbed cache so neither side pays library
+    // generation inside its timed region.
+    for (_, cfg) in &suite.scenarios {
+        let _ = Testbed::shared(cfg.testbed.clone());
+    }
+
+    let t0 = Instant::now();
+    let serial: Vec<ThroughputResult> =
+        suite.scenarios.iter().map(|(s, c)| run_throughput(*s, c)).collect();
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let parallel = run_throughput_scenarios(&suite.scenarios);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    Timing { name: suite.name, serial_ms, parallel_ms, bit_identical: serial == parallel }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "scenario-parallel benchmark: {cores} core(s), {} worker(s) for a 3-scenario suite{}",
+        worker_count(3),
+        if quick { ", quick mode" } else { "" }
+    );
+
+    let mut timings = Vec::new();
+    for suite in suites(quick) {
+        println!(
+            "running {} ({} scenarios, horizon {} s) ...",
+            suite.name,
+            suite.scenarios.len(),
+            suite.scenarios[0].1.horizon.as_secs_f64()
+        );
+        let t = run_suite(&suite);
+        println!(
+            "  serial {:>9.1} ms | parallel {:>9.1} ms | speedup {:.2}x | bit-identical: {}",
+            t.serial_ms,
+            t.parallel_ms,
+            t.serial_ms / t.parallel_ms.max(1e-9),
+            t.bit_identical
+        );
+        timings.push(t);
+    }
+
+    let all_identical = timings.iter().all(|t| t.bit_identical);
+    let total_serial: f64 = timings.iter().map(|t| t.serial_ms).sum();
+    let total_parallel: f64 = timings.iter().map(|t| t.parallel_ms).sum();
+    let overall = total_serial / total_parallel.max(1e-9);
+    println!("overall speedup: {overall:.2}x | all outputs bit-identical: {all_identical}");
+
+    if quick {
+        println!("quick mode: skipping BENCH_throughput.json (full run owns the artifact)");
+        assert!(all_identical, "parallel runner output diverged from serial");
+        return;
+    }
+
+    // Hand-rolled JSON: no serde in the dependency closure, and the shape
+    // is small and fixed.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str("  \"harnesses\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+            t.name,
+            t.serial_ms,
+            t.parallel_ms,
+            t.serial_ms / t.parallel_ms.max(1e-9),
+            t.bit_identical,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"overall_speedup\": {overall:.3},\n"));
+    json.push_str(&format!("  \"all_bit_identical\": {all_identical}\n"));
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, &json).expect("write BENCH_throughput.json");
+    println!("wrote {path}");
+
+    assert!(all_identical, "parallel runner output diverged from serial");
+}

@@ -148,8 +148,11 @@ mod tests {
             VideoFormat::Mpeg1,
         );
         let plans = vec![poor, rich];
-        let order = EfficiencyModel::new(UtilityGain { weights: QosWeights::default() })
-            .rank(&plans, &api, &mut Rng::new(1));
+        let order = EfficiencyModel::new(UtilityGain { weights: QosWeights::default() }).rank(
+            &plans,
+            &api,
+            &mut Rng::new(1),
+        );
         assert_eq!(order[0], 1);
     }
 
@@ -191,12 +194,10 @@ mod tests {
             FrameRate::LOW,
             VideoFormat::Mpeg1,
         );
-        let motion_lover = UtilityGain {
-            weights: QosWeights { resolution: 0.1, frame_rate: 5.0, color: 0.1 },
-        };
-        let pixel_lover = UtilityGain {
-            weights: QosWeights { resolution: 5.0, frame_rate: 0.1, color: 0.1 },
-        };
+        let motion_lover =
+            UtilityGain { weights: QosWeights { resolution: 0.1, frame_rate: 5.0, color: 0.1 } };
+        let pixel_lover =
+            UtilityGain { weights: QosWeights { resolution: 5.0, frame_rate: 0.1, color: 0.1 } };
         assert!(motion_lover.utility(&high_fps) > motion_lover.utility(&high_res));
         assert!(pixel_lover.utility(&high_res) > pixel_lover.utility(&high_fps));
     }

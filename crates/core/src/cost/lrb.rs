@@ -66,8 +66,10 @@ mod tests {
     fn cost_matches_eq1_by_hand() {
         let mut api = cluster();
         api.reserve(
-            &ResourceVector::new()
-                .with(ResourceKey::new(ServerId(0), ResourceKind::NetBandwidth), 0.42 * 3_200_000.0),
+            &ResourceVector::new().with(
+                ResourceKey::new(ServerId(0), ResourceKind::NetBandwidth),
+                0.42 * 3_200_000.0,
+            ),
         )
         .unwrap();
         let plan = plan_on(0, 48_000);

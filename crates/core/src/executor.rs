@@ -54,17 +54,14 @@ impl PlanExecutor {
     pub fn session_config(&self, admitted: &AdmittedPlan, meta: &VideoMeta) -> SessionConfig {
         let plan = &admitted.plan;
         let schedule = self.schedule(plan, meta);
-        let cpu_share = plan
-            .resources
-            .get(ResourceKey::new(plan.target_server, ResourceKind::Cpu));
+        let cpu_share = plan.resources.get(ResourceKey::new(plan.target_server, ResourceKind::Cpu));
         // Budget pools over one GOP so decode-order bursts (an anchor plus
         // its B frames arriving together) are not throttled mid-burst.
         let period = (plan.delivered.frame_rate.frame_interval()
             * schedule.gop_len().max(1) as u64)
             .max(SimDuration::from_millis(1));
-        let net = plan
-            .resources
-            .get(ResourceKey::new(plan.target_server, ResourceKind::NetBandwidth));
+        let net =
+            plan.resources.get(ResourceKey::new(plan.target_server, ResourceKind::NetBandwidth));
         SessionConfig {
             server: plan.target_server,
             schedule,
@@ -120,13 +117,7 @@ mod tests {
         let profile = UserProfile::new("u");
         let mut rng = Rng::new(1);
         // Pick a short video so the test streams it fully.
-        let short = lib
-            .entries()
-            .iter()
-            .min_by_key(|e| e.meta.duration)
-            .unwrap()
-            .meta
-            .clone();
+        let short = lib.entries().iter().min_by_key(|e| e.meta.duration).unwrap().meta.clone();
         let req = PlanRequest {
             video: short.id,
             qos: profile.translate(&QopRequest::organizational()),
@@ -135,9 +126,8 @@ mod tests {
         let admitted = manager.process(&engine, &req, &mut rng).unwrap();
         let executor = PlanExecutor::default();
         let cfg = executor.session_config(&admitted, &short);
-        let mut stream = StreamEngine::new(
-            ServerId::first_n(3).map(|s| (s, NodeConfig::qos(3_200_000))),
-        );
+        let mut stream =
+            StreamEngine::new(ServerId::first_n(3).map(|s| (s, NodeConfig::qos(3_200_000))));
         let sid = stream.add_session(SimTime::ZERO, cfg).unwrap();
         assert!(stream.run_to_completion(SimTime::from_secs(3600)));
         let report = stream.report(sid);

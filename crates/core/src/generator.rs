@@ -89,10 +89,43 @@ impl PlanGenerator {
 
     /// Enumerates all valid plans for `request`, in deterministic order.
     pub fn generate(&self, engine: &MetadataEngine, request: &PlanRequest) -> Vec<Plan> {
-        let Some(meta) = engine.video(request.video) else { return Vec::new() };
-        let gop = meta.gop.clone();
-        let servers: Vec<ServerId> = engine.sites().collect();
         let mut plans = Vec::new();
+        self.generate_into(engine, request, &mut plans);
+        plans
+    }
+
+    /// Enumerates all valid plans for `request` into `out` (cleared first).
+    ///
+    /// The buffer-reuse entry point for per-query hot paths: a caller that
+    /// plans many queries hands the same `Vec` back in each time and pays
+    /// for plan-space allocation only until the high-water mark is reached.
+    pub fn generate_into(
+        &self,
+        engine: &MetadataEngine,
+        request: &PlanRequest,
+        out: &mut Vec<Plan>,
+    ) {
+        out.clear();
+        let Some(meta) = engine.video(request.video) else { return };
+        let gop = &meta.gop;
+        let servers: Vec<ServerId> = engine.sites().collect();
+
+        // A5: encryption — depends only on the request, so build it once
+        // for all replicas.
+        let ciphers: Vec<CipherAlgo> = CipherAlgo::ALL
+            .into_iter()
+            .filter(|c| request.security.accepts(*c))
+            .filter(|c| {
+                // Performance pitfall: encrypting an open stream is pure
+                // waste.
+                !self.cfg.prune_wasteful
+                    || request.security != QopSecurity::Open
+                    || !c.is_encrypting()
+            })
+            .collect();
+
+        // A4 scratch buffer, reused across replicas.
+        let mut deliveries: Vec<Option<Transcode>> = Vec::new();
 
         for record in engine.replicas(request.video) {
             let spec = record.object.spec;
@@ -104,7 +137,7 @@ impl PlanGenerator {
 
             // A4: transcoding targets — deliver as-is when in range, or
             // transcode down to the cheapest in-range quality.
-            let mut deliveries: Vec<Option<Transcode>> = Vec::new();
+            deliveries.clear();
             if request.qos.accepts(&spec) {
                 deliveries.push(None);
             }
@@ -125,31 +158,12 @@ impl PlanGenerator {
             }
 
             // A2: target sites.
-            let targets: Vec<ServerId> = if self.cfg.allow_remote {
-                servers.clone()
-            } else {
-                vec![record.object.server]
-            };
+            let local = [record.object.server];
+            let targets: &[ServerId] = if self.cfg.allow_remote { &servers } else { &local };
 
             // A3: frame dropping.
-            let drops: &[DropStrategy] = if self.cfg.allow_drop {
-                &DropStrategy::ALL
-            } else {
-                &[DropStrategy::None]
-            };
-
-            // A5: encryption.
-            let ciphers: Vec<CipherAlgo> = CipherAlgo::ALL
-                .into_iter()
-                .filter(|c| request.security.accepts(*c))
-                .filter(|c| {
-                    // Performance pitfall: encrypting an open stream is
-                    // pure waste.
-                    !self.cfg.prune_wasteful
-                        || request.security != QopSecurity::Open
-                        || !c.is_encrypting()
-                })
-                .collect();
+            let drops: &[DropStrategy] =
+                if self.cfg.allow_drop { &DropStrategy::ALL } else { &[DropStrategy::None] };
 
             for transcode in &deliveries {
                 let base = match transcode {
@@ -159,17 +173,16 @@ impl PlanGenerator {
                 for &drop in drops {
                     // Static QoS rule: dropping must keep the delivered
                     // frame rate within range.
-                    let effective_fps = drop.effective_fps(base.frame_rate.fps(), &gop);
-                    if FrameRate::from_fps(effective_fps.max(0.001)) < request.qos.min_frame_rate
-                    {
+                    let effective_fps = drop.effective_fps(base.frame_rate.fps(), gop);
+                    if FrameRate::from_fps(effective_fps.max(0.001)) < request.qos.min_frame_rate {
                         continue;
                     }
-                    for &target_server in &targets {
+                    for &target_server in targets {
                         for &cipher in &ciphers {
                             let (resources, delivered_bps) = Plan::compute_resources(
                                 record,
                                 target_server,
-                                &gop,
+                                gop,
                                 transcode.as_ref(),
                                 drop,
                                 cipher,
@@ -177,7 +190,7 @@ impl PlanGenerator {
                             );
                             let mut delivered = base;
                             delivered.frame_rate = FrameRate::from_fps(effective_fps);
-                            plans.push(Plan {
+                            out.push(Plan {
                                 object: record.clone(),
                                 target_server,
                                 drop,
@@ -192,21 +205,25 @@ impl PlanGenerator {
                 }
             }
         }
-        plans
     }
 
     /// Instantly drops plans whose resource demand exceeds some bucket's
     /// *total* capacity — "some of the plans can be immediately dropped
     /// by the Plan Generator if their costs are intolerably high".
     pub fn drop_infeasible(&self, plans: Vec<Plan>, api: &CompositeQosApi) -> Vec<Plan> {
+        let mut plans = plans;
+        self.retain_feasible(&mut plans, api);
         plans
-            .into_iter()
-            .filter(|p| {
-                p.resources
-                    .iter()
-                    .all(|(key, demand)| api.capacity(key).is_some_and(|c| demand <= c + 1e-9))
-            })
-            .collect()
+    }
+
+    /// In-place variant of [`drop_infeasible`](Self::drop_infeasible): keeps
+    /// the plan buffer's allocation alive for reuse across queries.
+    pub fn retain_feasible(&self, plans: &mut Vec<Plan>, api: &CompositeQosApi) {
+        plans.retain(|p| {
+            p.resources
+                .iter()
+                .all(|(key, demand)| api.capacity(key).is_some_and(|c| demand <= c + 1e-9))
+        });
     }
 
     /// The unpruned combinatorial bound `O(d^n)` for a request: replicas ×
@@ -239,9 +256,7 @@ pub fn satisfies_ordered_disjoint_sets(plan: &Plan) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quasaq_media::{
-        ColorDepth, Library, LibraryConfig, Resolution,
-    };
+    use quasaq_media::{ColorDepth, Library, LibraryConfig, Resolution};
     use quasaq_store::{ObjectStore, Placement, QosSampler, ReplicationPlanner};
     use std::collections::BTreeMap;
 
@@ -310,9 +325,7 @@ mod tests {
         let plans = g.generate(&e, &vcd_request(0));
         // The DSL tier (352x288) is inside the VCD range: direct plans
         // exist with no transcode.
-        assert!(plans
-            .iter()
-            .any(|p| p.object.object.tier == "dsl" && p.transcode.is_none()));
+        assert!(plans.iter().any(|p| p.object.object.tier == "dsl" && p.transcode.is_none()));
         // Full-tier replicas exceed the ceiling, so they appear only with
         // a transcode.
         assert!(plans

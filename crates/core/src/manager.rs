@@ -84,6 +84,11 @@ pub struct QualityManager {
     generator: PlanGenerator,
     cost_model: Box<dyn CostModel>,
     last_stats: PlanningStats,
+    /// Recycled plan buffer: `process` is called once per query in the
+    /// throughput sims, and regrowing the plan space from a cold `Vec`
+    /// every time showed up in profiles. Holds no state between calls
+    /// beyond its allocation.
+    plan_buf: Vec<Plan>,
 }
 
 impl QualityManager {
@@ -94,7 +99,13 @@ impl QualityManager {
         generator: PlanGenerator,
         cost_model: Box<dyn CostModel>,
     ) -> Self {
-        QualityManager { api, generator, cost_model, last_stats: PlanningStats::default() }
+        QualityManager {
+            api,
+            generator,
+            cost_model,
+            last_stats: PlanningStats::default(),
+            plan_buf: Vec::new(),
+        }
     }
 
     /// Read access to the resource state (for monitoring and the LRB
@@ -120,24 +131,26 @@ impl QualityManager {
         request: &PlanRequest,
         rng: &mut Rng,
     ) -> Result<AdmittedPlan, Rejection> {
-        let generated = self.generator.generate(engine, request);
-        self.last_stats.generated = generated.len();
-        if generated.is_empty() {
+        // Reuse the plan buffer across queries (field-disjoint borrows keep
+        // the generator, buffer, and API usable together).
+        self.generator.generate_into(engine, request, &mut self.plan_buf);
+        self.last_stats.generated = self.plan_buf.len();
+        if self.plan_buf.is_empty() {
             self.last_stats.feasible = 0;
             self.last_stats.attempts = 0;
             return Err(Rejection::NoFeasiblePlan);
         }
-        let plans = self.generator.drop_infeasible(generated, &self.api);
-        self.last_stats.feasible = plans.len();
-        if plans.is_empty() {
+        self.generator.retain_feasible(&mut self.plan_buf, &self.api);
+        self.last_stats.feasible = self.plan_buf.len();
+        if self.plan_buf.is_empty() {
             self.last_stats.attempts = 0;
             return Err(Rejection::NoFeasiblePlan);
         }
-        let order = self.cost_model.rank(&plans, &self.api, rng);
+        let order = self.cost_model.rank(&self.plan_buf, &self.api, rng);
         for (attempt, &i) in order.iter().enumerate() {
-            if let Ok(reservation) = self.api.reserve(&plans[i].resources) {
+            if let Ok(reservation) = self.api.reserve(&self.plan_buf[i].resources) {
                 self.last_stats.attempts = attempt + 1;
-                return Ok(AdmittedPlan { plan: plans[i].clone(), reservation });
+                return Ok(AdmittedPlan { plan: self.plan_buf[i].clone(), reservation });
             }
         }
         self.last_stats.attempts = order.len();
@@ -158,11 +171,8 @@ impl QualityManager {
             Ok(admitted) => SecondChance::AsRequested(admitted),
             Err(first_err) => {
                 for (i, alt) in profile.degrade_options(&request.qos).into_iter().enumerate() {
-                    let alt_request = PlanRequest {
-                        video: request.video,
-                        qos: alt,
-                        security: request.security,
-                    };
+                    let alt_request =
+                        PlanRequest { video: request.video, qos: alt, security: request.security };
                     if let Ok(admitted) = self.process(engine, &alt_request, rng) {
                         return SecondChance::Degraded { admitted, option: i };
                     }
@@ -273,8 +283,10 @@ mod tests {
         assert!(stats.generated > 0);
         assert_eq!(stats.attempts, 1);
         // The delivered quality satisfies the request.
-        assert!(request(0).qos.accepts(&admitted.plan.delivered)
-            || admitted.plan.delivered.frame_rate <= request(0).qos.max_frame_rate);
+        assert!(
+            request(0).qos.accepts(&admitted.plan.delivered)
+                || admitted.plan.delivered.frame_rate <= request(0).qos.max_frame_rate
+        );
         m.release(&admitted);
         assert_eq!(m.api().reservation_count(), 0);
     }
@@ -401,10 +413,7 @@ mod tests {
             assert_ne!(renewed.plan.source_server(), failed);
         }
         // No bucket on the failed server remains managed.
-        assert!(m
-            .api()
-            .buckets()
-            .all(|k| k.server != failed));
+        assert!(m.api().buckets().all(|k| k.server != failed));
     }
 
     #[test]

@@ -84,9 +84,9 @@ impl Plan {
         let stored_fps = object.object.spec.frame_rate.fps();
         let (delivered_bps, _fps) =
             cost.delivered_rate(stored_rate, stored_fps, gop, transcode, drop);
-        let cpu_share = cost
-            .session_cpu_share(stored_rate, stored_fps, gop, transcode, drop, cipher)
-            * cost.reservation_headroom;
+        let cpu_share =
+            cost.session_cpu_share(stored_rate, stored_fps, gop, transcode, drop, cipher)
+                * cost.reservation_headroom;
         let mut v = ResourceVector::new();
         let source = object.object.server;
         // The source site reads the replica from disk.
@@ -112,7 +112,9 @@ impl fmt::Display for Plan {
         write!(
             f,
             "retrieve {}@{} ({})",
-            self.object.object.oid, self.source_server(), self.object.object.tier
+            self.object.object.oid,
+            self.source_server(),
+            self.object.object.tier
         )?;
         if !self.is_local() {
             write!(f, " -> transfer to {}", self.target_server)?;
@@ -208,10 +210,22 @@ mod tests {
         let rec = record(0);
         let gop = GopPattern::mpeg1_n15();
         let (_, full) = Plan::compute_resources(
-            &rec, ServerId(0), &gop, None, DropStrategy::None, CipherAlgo::None, &cost(),
+            &rec,
+            ServerId(0),
+            &gop,
+            None,
+            DropStrategy::None,
+            CipherAlgo::None,
+            &cost(),
         );
         let (_, dropped) = Plan::compute_resources(
-            &rec, ServerId(0), &gop, None, DropStrategy::AllB, CipherAlgo::None, &cost(),
+            &rec,
+            ServerId(0),
+            &gop,
+            None,
+            DropStrategy::AllB,
+            CipherAlgo::None,
+            &cost(),
         );
         assert!(dropped < full);
     }
@@ -222,10 +236,22 @@ mod tests {
         let gop = GopPattern::mpeg1_n15();
         let key = ResourceKey::new(ServerId(0), ResourceKind::Cpu);
         let (plain, _) = Plan::compute_resources(
-            &rec, ServerId(0), &gop, None, DropStrategy::None, CipherAlgo::None, &cost(),
+            &rec,
+            ServerId(0),
+            &gop,
+            None,
+            DropStrategy::None,
+            CipherAlgo::None,
+            &cost(),
         );
         let (enc, _) = Plan::compute_resources(
-            &rec, ServerId(0), &gop, None, DropStrategy::None, CipherAlgo::Block, &cost(),
+            &rec,
+            ServerId(0),
+            &gop,
+            None,
+            DropStrategy::None,
+            CipherAlgo::Block,
+            &cost(),
         );
         assert!(enc.get(key) > plain.get(key));
     }
@@ -235,7 +261,13 @@ mod tests {
         let rec = record(1);
         let gop = GopPattern::mpeg1_n15();
         let (v, bps) = Plan::compute_resources(
-            &rec, ServerId(0), &gop, None, DropStrategy::AllB, CipherAlgo::Aes, &cost(),
+            &rec,
+            ServerId(0),
+            &gop,
+            None,
+            DropStrategy::AllB,
+            CipherAlgo::Aes,
+            &cost(),
         );
         let plan = Plan {
             object: rec,

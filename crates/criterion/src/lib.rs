@@ -1,0 +1,126 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the registry `criterion`
+//! dev-dependency can never resolve. This crate implements the subset the
+//! workspace's benches use — `Criterion::bench_function`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!`, `configure_from_args`, and
+//! `final_summary` — with a plain wall-clock measurement loop: a short
+//! warm-up, then timed batches until a fixed budget elapses, then a printed
+//! mean per-iteration time. There is no statistical analysis, outlier
+//! rejection, or HTML report; the point is that `cargo bench` runs green
+//! offline and still prints usable numbers.
+
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 100_000;
+
+/// Mirror of `criterion::Criterion` (measurement configuration is fixed).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; all arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// No summary beyond the per-benchmark lines already printed.
+    pub fn final_summary(self) {}
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        match bencher.measurement {
+            Some((iters, elapsed)) => {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                println!("bench: {name:<32} {:>12}  ({iters} iters)", format_time(per_iter));
+            }
+            None => println!("bench: {name:<32} (no measurement — iter() never called)"),
+        }
+        self
+    }
+}
+
+/// Mirror of `criterion::Bencher`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    measurement: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.measurement = Some((iters.max(1), start.elapsed()));
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Mirror of `criterion_group!`: defines a function that runs each target
+/// against a fresh default `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_chains() {
+        let mut c = Criterion::default().configure_from_args();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1))
+            .bench_function("spin", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        c.final_summary();
+    }
+
+    #[test]
+    fn format_time_picks_sensible_units() {
+        assert!(format_time(2.5).ends_with(" s"));
+        assert!(format_time(2.5e-3).ends_with(" ms"));
+        assert!(format_time(2.5e-6).ends_with(" µs"));
+        assert!(format_time(2.5e-9).ends_with(" ns"));
+    }
+}

@@ -181,11 +181,11 @@ mod tests {
             VideoFormat::Mpeg1,
         );
         let t = Transcode::plan(full, cif).unwrap();
-        let (rate, fps) =
-            m.delivered_rate(300_000.0, 23.97, &gop, Some(&t), DropStrategy::AllB);
+        let (rate, fps) = m.delivered_rate(300_000.0, 23.97, &gop, Some(&t), DropStrategy::AllB);
         assert!(rate < 300_000.0 * t.stream_size_factor() + 1.0);
         assert!(fps < 23.97 * 0.4);
-        let (plain_rate, plain_fps) = m.delivered_rate(300_000.0, 23.97, &gop, None, DropStrategy::None);
+        let (plain_rate, plain_fps) =
+            m.delivered_rate(300_000.0, 23.97, &gop, None, DropStrategy::None);
         assert_eq!(plain_rate, 300_000.0);
         assert_eq!(plain_fps, 23.97);
     }
@@ -194,7 +194,8 @@ mod tests {
     fn session_share_orders_by_pipeline_weight() {
         let m = model();
         let gop = GopPattern::mpeg1_classic();
-        let plain = m.session_cpu_share(300_000.0, 23.97, &gop, None, DropStrategy::None, CipherAlgo::None);
+        let plain =
+            m.session_cpu_share(300_000.0, 23.97, &gop, None, DropStrategy::None, CipherAlgo::None);
         let encrypted = m.session_cpu_share(
             300_000.0,
             23.97,
@@ -205,14 +206,8 @@ mod tests {
         );
         assert!(encrypted > plain);
         // Dropping B frames reduces delivered bytes and so the share.
-        let dropped = m.session_cpu_share(
-            300_000.0,
-            23.97,
-            &gop,
-            None,
-            DropStrategy::AllB,
-            CipherAlgo::None,
-        );
+        let dropped =
+            m.session_cpu_share(300_000.0, 23.97, &gop, None, DropStrategy::AllB, CipherAlgo::None);
         assert!(dropped < plain);
     }
 
@@ -233,8 +228,14 @@ mod tests {
             VideoFormat::Mpeg1,
         );
         let t = Transcode::plan(full, cif).unwrap();
-        let with_tc =
-            m.session_cpu_share(300_000.0, 23.97, &gop, Some(&t), DropStrategy::None, CipherAlgo::None);
+        let with_tc = m.session_cpu_share(
+            300_000.0,
+            23.97,
+            &gop,
+            Some(&t),
+            DropStrategy::None,
+            CipherAlgo::None,
+        );
         let without =
             m.session_cpu_share(48_000.0, 23.97, &gop, None, DropStrategy::None, CipherAlgo::None);
         // Serving a pre-transcoded replica is far cheaper than transcoding

@@ -182,16 +182,14 @@ mod tests {
         // than frames.
         let g = GopPattern::mpeg1_classic();
         assert!(
-            DropStrategy::AllB.byte_keep_fraction(&g)
-                > DropStrategy::AllB.frame_keep_fraction(&g)
+            DropStrategy::AllB.byte_keep_fraction(&g) > DropStrategy::AllB.frame_keep_fraction(&g)
         );
     }
 
     #[test]
     fn strategies_monotonically_cheaper() {
         let g = GopPattern::mpeg1_classic();
-        let fracs: Vec<f64> =
-            DropStrategy::ALL.iter().map(|s| s.byte_keep_fraction(&g)).collect();
+        let fracs: Vec<f64> = DropStrategy::ALL.iter().map(|s| s.byte_keep_fraction(&g)).collect();
         for w in fracs.windows(2) {
             assert!(w[0] > w[1], "{fracs:?}");
         }
@@ -208,9 +206,7 @@ mod tests {
     fn penalty_orders_like_aggressiveness() {
         let g = GopPattern::mpeg1_classic();
         assert_eq!(DropStrategy::None.quality_penalty(&g), 0.0);
-        assert!(
-            DropStrategy::AllBP.quality_penalty(&g) > DropStrategy::AllB.quality_penalty(&g)
-        );
+        assert!(DropStrategy::AllBP.quality_penalty(&g) > DropStrategy::AllB.quality_penalty(&g));
     }
 
     #[test]

@@ -51,9 +51,7 @@ impl GopPattern {
     /// paper's sample video used this GOP length (15/23.97 = 625.8 ms).
     pub fn mpeg1_n15() -> Self {
         use FrameType::*;
-        GopPattern {
-            frames: vec![I, B, B, P, B, B, P, B, B, P, B, B, P, B, B],
-        }
+        GopPattern { frames: vec![I, B, B, P, B, B, P, B, B, P, B, B, P, B, B] }
     }
 
     /// A short pattern without B frames (`IPPP`), as used by low-latency

@@ -133,7 +133,8 @@ impl ReplicaQuality {
     /// The deterministic trace seed for this replica of `meta` (every
     /// tier gets its own stream derived from the video's seed).
     pub fn trace_seed(&self, meta: &VideoMeta) -> u64 {
-        let tier_tag: u64 = self.tier.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+        let tier_tag: u64 =
+            self.tier.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
         meta.trace_seed ^ tier_tag
     }
 }
@@ -181,8 +182,22 @@ pub struct Library {
 }
 
 const TOPICS: &[&str] = &[
-    "surgery", "radiology", "cardiology", "diagnosis", "patient", "lecture", "sunset", "news",
-    "sports", "traffic", "interview", "nature", "city", "aerial", "lab", "microscopy",
+    "surgery",
+    "radiology",
+    "cardiology",
+    "diagnosis",
+    "patient",
+    "lecture",
+    "sunset",
+    "news",
+    "sports",
+    "traffic",
+    "interview",
+    "nature",
+    "city",
+    "aerial",
+    "lab",
+    "microscopy",
 ];
 
 const ADJECTIVES: &[&str] =
@@ -275,12 +290,7 @@ impl Library {
     pub fn total_replica_bytes(&self) -> u64 {
         self.entries
             .iter()
-            .map(|e| {
-                e.replicas
-                    .iter()
-                    .map(|r| r.estimated_bytes(e.meta.duration))
-                    .sum::<u64>()
-            })
+            .map(|e| e.replicas.iter().map(|r| r.estimated_bytes(e.meta.duration)).sum::<u64>())
             .sum()
     }
 }

@@ -56,11 +56,7 @@ impl QualitySpec {
 
 impl fmt::Display for QualitySpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {} {} {}",
-            self.resolution, self.color, self.frame_rate, self.format
-        )
+        write!(f, "{} {} {} {}", self.resolution, self.color, self.frame_rate, self.format)
     }
 }
 

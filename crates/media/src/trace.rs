@@ -78,10 +78,7 @@ impl FrameTrace {
     pub fn generate(seed: u64, params: &TraceParams) -> Self {
         assert!(params.mean_frame_bytes > 0.0, "mean frame bytes must be positive");
         assert!(params.noise_sigma >= 0.0, "noise sigma must be non-negative");
-        assert!(
-            (0.0..1.0).contains(&params.scene_amplitude),
-            "scene amplitude must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&params.scene_amplitude), "scene amplitude must be in [0, 1)");
         let mut rng = Rng::new(seed);
         let n = params.frame_rate.frames_in(params.duration).max(1);
         let interval = params.frame_rate.frame_interval();
@@ -99,11 +96,8 @@ impl FrameTrace {
             } else {
                 1.0
             };
-            let noise = if params.noise_sigma > 0.0 {
-                rng.lognormal(mu, params.noise_sigma)
-            } else {
-                1.0
-            };
+            let noise =
+                if params.noise_sigma > 0.0 { rng.lognormal(mu, params.noise_sigma) } else { 1.0 };
             let bytes = (params.mean_frame_bytes * weight * scene * noise).round().max(1.0);
             frames.push(Frame {
                 index: i,
@@ -221,12 +215,8 @@ mod tests {
     fn i_frames_are_larger_on_average() {
         let t = FrameTrace::generate(11, &params());
         let avg = |ft: FrameType| {
-            let xs: Vec<u64> = t
-                .frames()
-                .iter()
-                .filter(|f| f.ftype == ft)
-                .map(|f| f.bytes as u64)
-                .collect();
+            let xs: Vec<u64> =
+                t.frames().iter().filter(|f| f.ftype == ft).map(|f| f.bytes as u64).collect();
             xs.iter().sum::<u64>() as f64 / xs.len() as f64
         };
         assert!(avg(FrameType::I) > avg(FrameType::P));
@@ -240,12 +230,8 @@ mod tests {
         p.scene_amplitude = 0.0;
         let t = FrameTrace::generate(3, &p);
         // All I frames identical.
-        let i_sizes: Vec<u32> = t
-            .frames()
-            .iter()
-            .filter(|f| f.ftype == FrameType::I)
-            .map(|f| f.bytes)
-            .collect();
+        let i_sizes: Vec<u32> =
+            t.frames().iter().filter(|f| f.ftype == FrameType::I).map(|f| f.bytes).collect();
         assert!(i_sizes.windows(2).all(|w| w[0] == w[1]));
     }
 

@@ -79,8 +79,7 @@ impl Transcode {
         }
         let pixel_ratio = target.resolution.pixels() as f64 / source.resolution.pixels() as f64;
         let color_ratio = target.color.bits() as f64 / source.color.bits() as f64;
-        let frame_keep =
-            target.frame_rate.millifps() as f64 / source.frame_rate.millifps() as f64;
+        let frame_keep = target.frame_rate.millifps() as f64 / source.frame_rate.millifps() as f64;
         // Compressed size scales roughly linearly in pixels, sub-linearly
         // in color depth (chroma subsampling already discounts color).
         let size_factor = pixel_ratio * color_ratio.sqrt();
@@ -184,20 +183,14 @@ mod tests {
     fn color_upscale_rejected() {
         let mut lo = full();
         lo.color = ColorDepth::BITS_12;
-        assert_eq!(
-            Transcode::plan(lo, full()).unwrap_err(),
-            TranscodeError::ColorUpscale
-        );
+        assert_eq!(Transcode::plan(lo, full()).unwrap_err(), TranscodeError::ColorUpscale);
     }
 
     #[test]
     fn rate_upscale_rejected() {
         let mut slow = full();
         slow.frame_rate = FrameRate::LOW;
-        assert_eq!(
-            Transcode::plan(slow, full()).unwrap_err(),
-            TranscodeError::RateUpscale
-        );
+        assert_eq!(Transcode::plan(slow, full()).unwrap_err(), TranscodeError::RateUpscale);
     }
 
     #[test]

@@ -2,15 +2,15 @@
 
 use proptest::prelude::*;
 use quasaq_media::{
-    ColorDepth, DropStrategy, FrameRate, FrameTrace, FrameType, GopPattern, QosRange,
-    QualitySpec, Resolution, TraceParams, Transcode, VideoFormat,
+    ColorDepth, DropStrategy, FrameRate, FrameTrace, FrameType, GopPattern, QosRange, QualitySpec,
+    Resolution, TraceParams, Transcode, VideoFormat,
 };
 use quasaq_sim::SimDuration;
 
 fn spec_strategy() -> impl Strategy<Value = QualitySpec> {
     (
-        1u32..8,  // width rung x 128
-        1u32..6,  // height rung x 96
+        1u32..8, // width rung x 128
+        1u32..6, // height rung x 96
         prop::sample::select(vec![8u8, 12, 16, 24]),
         5u32..31, // fps
         prop::bool::ANY,

@@ -1,0 +1,468 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container that builds this workspace has no access to crates.io, so
+//! the registry `proptest` dev-dependency can never resolve. This crate
+//! re-implements exactly the API subset the workspace's property tests use
+//! (the `proptest!` macro, `prop_assert*`/`prop_assume`, integer/float range
+//! strategies, tuples, `collection::vec`, `sample::select`, `bool::ANY`, and
+//! `any::<T>()`) on top of a deterministic SplitMix64 generator.
+//!
+//! Differences from the real crate, by design:
+//! - no shrinking: a failing case reports its inputs via the normal
+//!   `assert!` panic message, but is not minimized;
+//! - deterministic seeding: each test derives its stream from a hash of its
+//!   `module_path!()::name`, so failures reproduce exactly across runs;
+//! - `prop_assume!` skips the current case instead of resampling it.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Mirror of `proptest::test_runner::Config` — only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic SplitMix64 stream. Public so the `proptest!` expansion can
+/// drive it, but not part of the real proptest surface.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Seed a stream from a test's fully-qualified name (FNV-1a hash), so
+    /// every test owns an independent, stable sequence of cases.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound == 0` yields 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform draw in `[0, bound)` over the full u128 span (used so
+    /// inclusive ranges like `i64::MIN..=i64::MAX` cannot overflow).
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        if bound == 0 {
+            0
+        } else {
+            let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            wide % bound
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Generation-only mirror of `proptest::strategy::Strategy`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below_u128(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below_u128(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric spread; real proptest also generates
+        // specials, but no test here relies on NaN/inf inputs.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod bool {
+    //! Mirror of `proptest::bool`.
+
+    /// Strategy for an unbiased boolean (`prop::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    pub const ANY: BoolAny = BoolAny;
+
+    impl crate::Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut crate::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Mirror of `proptest::collection` (only `vec`).
+
+    use std::ops::Range;
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(strategy, len_range)`: a `Vec` whose length is drawn uniformly
+    /// from `len_range` and whose elements come from `strategy`.
+    pub fn vec<S: crate::Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: crate::Strategy> crate::Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut crate::TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Mirror of `proptest::sample` (only `select`).
+
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly pick one of the supplied options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> crate::Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut crate::TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Assert inside a property; maps straight onto `assert!` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue` targeting the case loop `proptest!` generates, so
+/// it must appear at the top level of a property body (which is how every
+/// test in this workspace uses it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Mirror of the `proptest!` macro: turns `fn name(arg in strategy, ...)`
+/// items into `#[test]` functions that run `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($body:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($body)* }
+    };
+    ( $($body:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($body)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(clippy::needless_range_loop)]
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __seeder =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::new(__seeder.next_u64());
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude`.
+
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_hit_bounds_and_stay_inside() {
+        let mut rng = TestRng::for_test("bounds");
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2000 {
+            let v = Strategy::generate(&(3u8..=5), &mut rng);
+            assert!((3..=5).contains(&v));
+            lo_seen |= v == 3;
+            hi_seen |= v == 5;
+        }
+        assert!(lo_seen && hi_seen, "inclusive range must reach both endpoints");
+
+        for _ in 0..2000 {
+            let v = Strategy::generate(&(-10i64..10), &mut rng);
+            assert!((-10..10).contains(&v));
+            let f = Strategy::generate(&(-1.5f64..2.5), &mut rng);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_does_not_overflow() {
+        let mut rng = TestRng::for_test("full-width");
+        for _ in 0..100 {
+            let _ = Strategy::generate(&(i64::MIN..=i64::MAX), &mut rng);
+            let _ = Strategy::generate(&(u64::MIN..=u64::MAX), &mut rng);
+        }
+    }
+
+    #[test]
+    fn composite_strategies_generate() {
+        let mut rng = TestRng::for_test("composite");
+        let strat = prop::collection::vec((0u32..10, prop::bool::ANY), 1..8);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            assert!(v.iter().all(|(n, _)| *n < 10));
+        }
+        let pick = prop::sample::select(vec![8u8, 12, 16, 24]);
+        for _ in 0..50 {
+            assert!([8, 12, 16, 24].contains(&pick.generate(&mut rng)));
+        }
+        let mapped = (0u64..5).prop_map(|n| n * 2);
+        for _ in 0..50 {
+            assert!(mapped.generate(&mut rng) % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_test_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        let mut c = TestRng::for_test("different");
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: doc comments, `#[test]`, multiple args,
+        /// trailing comma, and `prop_assume!` all expand.
+        #[test]
+        fn macro_roundtrip(a in 0u64..100, b in any::<bool>(),) {
+            prop_assume!(a != 99);
+            prop_assert!(a < 99);
+            prop_assert_eq!(b as u64 <= 1, true);
+            prop_assert_ne!(a, 100);
+        }
+    }
+}

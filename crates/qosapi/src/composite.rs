@@ -112,10 +112,7 @@ impl CompositeQosApi {
     /// Admission check without reserving: can `demand` fit right now?
     pub fn admits(&self, demand: &ResourceVector) -> Result<(), AdmissionError> {
         for (key, amount) in demand.iter() {
-            let mgr = self
-                .managers
-                .get(&key)
-                .ok_or(AdmissionError::UnknownBucket(key))?;
+            let mgr = self.managers.get(&key).ok_or(AdmissionError::UnknownBucket(key))?;
             if !mgr.can_reserve(amount) {
                 return Err(AdmissionError::Rejected(BucketFull {
                     key,
@@ -222,10 +219,7 @@ impl CompositeQosApi {
         // share.
         let old = self.reservations[&id].demand.clone();
         for (key, amount) in new_demand.iter() {
-            let mgr = self
-                .managers
-                .get(&key)
-                .ok_or(AdmissionError::UnknownBucket(key))?;
+            let mgr = self.managers.get(&key).ok_or(AdmissionError::UnknownBucket(key))?;
             let slack = mgr.available() + old.get(key);
             if amount > slack + 1e-9 {
                 return Err(AdmissionError::Rejected(BucketFull {
@@ -241,9 +235,8 @@ impl CompositeQosApi {
             Err(e) => {
                 // Should not happen given the feasibility test; restore the
                 // old reservation to keep the session alive.
-                let restored = self
-                    .reserve(&old)
-                    .expect("restoring a just-released reservation cannot fail");
+                let restored =
+                    self.reserve(&old).expect("restoring a just-released reservation cannot fail");
                 let _ = restored;
                 Err(e)
             }
@@ -325,7 +318,8 @@ mod tests {
     fn max_fill_with_matches_lrb_eq1() {
         let mut api = cluster();
         // Pre-fill server 0's net to 42%.
-        let pre = ResourceVector::new().with(key(0, ResourceKind::NetBandwidth), 0.42 * 3_200_000.0);
+        let pre =
+            ResourceVector::new().with(key(0, ResourceKind::NetBandwidth), 0.42 * 3_200_000.0);
         api.reserve(&pre).unwrap();
         // A plan adding 10% net and 30% cpu on server 0.
         let d = ResourceVector::new()

@@ -124,7 +124,11 @@ impl ResourceManager {
     pub fn adjust(&mut self, lease: LeaseId, new_amount: f64) -> Result<(), BucketFull> {
         assert!(new_amount >= 0.0 && new_amount.is_finite(), "reservation must be non-negative");
         let Some(&old) = self.leases.get(&lease) else {
-            return Err(BucketFull { key: self.key, requested: new_amount, available: self.available() });
+            return Err(BucketFull {
+                key: self.key,
+                requested: new_amount,
+                available: self.available(),
+            });
         };
         let delta = new_amount - old;
         if delta > self.available() + 1e-9 {

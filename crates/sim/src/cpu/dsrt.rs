@@ -106,10 +106,7 @@ pub struct Dsrt {
 impl Dsrt {
     /// Creates a scheduler with the given configuration.
     pub fn new(cfg: DsrtConfig) -> Self {
-        assert!(
-            (0.0..1.0).contains(&cfg.overhead_fraction),
-            "overhead fraction must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&cfg.overhead_fraction), "overhead fraction must be in [0, 1)");
         assert!(cfg.utilization_limit > 0.0, "utilization limit must be positive");
         assert!(!cfg.best_effort_quantum.is_zero(), "quantum must be positive");
         Dsrt {
@@ -271,7 +268,10 @@ impl Dsrt {
                     Some((cur, q)) if cur == id => q,
                     _ => self.cfg.best_effort_quantum,
                 };
-                let wall = self.wall_for(task_left.min(self.work_in(quantum_left)).max(SimDuration::from_micros(1)))
+                let wall = self
+                    .wall_for(
+                        task_left.min(self.work_in(quantum_left)).max(SimDuration::from_micros(1)),
+                    )
                     .min(quantum_left);
                 let mut until = self.now + wall.max(SimDuration::from_micros(1));
                 // A replenished reserved job preempts best-effort work.
@@ -292,9 +292,8 @@ impl Dsrt {
         let wall_for = |work: SimDuration| {
             SimDuration::from_micros((work.as_micros() as f64 / rate).ceil() as u64)
         };
-        let work_in = |w: SimDuration| {
-            SimDuration::from_micros((w.as_micros() as f64 * rate).floor() as u64)
-        };
+        let work_in =
+            |w: SimDuration| SimDuration::from_micros((w.as_micros() as f64 * rate).floor() as u64);
         match choice {
             Choice::Reserved(id) => {
                 let job = self.jobs.get_mut(&id).expect("reserved job");
@@ -302,11 +301,8 @@ impl Dsrt {
                 let &(task_id, task_left) = job.tasks.front().expect("task");
                 let executable = task_left.min(res.budget);
                 let wall_needed = wall_for(executable);
-                let done = if wall >= wall_needed {
-                    executable
-                } else {
-                    work_in(wall).min(executable)
-                };
+                let done =
+                    if wall >= wall_needed { executable } else { work_in(wall).min(executable) };
                 res.budget -= done;
                 if done >= task_left {
                     job.tasks.pop_front();
@@ -324,11 +320,8 @@ impl Dsrt {
                 let job = self.jobs.get_mut(&id).expect("be job");
                 let &(task_id, task_left) = job.tasks.front().expect("task");
                 let wall_needed = wall_for(task_left);
-                let done = if used >= wall_needed {
-                    task_left
-                } else {
-                    work_in(used).min(task_left)
-                };
+                let done =
+                    if used >= wall_needed { task_left } else { work_in(used).min(task_left) };
                 let finished_task = done >= task_left;
                 if finished_task {
                     job.tasks.pop_front();
@@ -372,8 +365,7 @@ impl CpuScheduler for Dsrt {
         self.advance_to(now);
         let id = JobId(self.next_job);
         self.next_job += 1;
-        self.jobs
-            .insert(id, Job { tasks: VecDeque::new(), reservation: None, be_runnable: false });
+        self.jobs.insert(id, Job { tasks: VecDeque::new(), reservation: None, be_runnable: false });
         id
     }
 
@@ -455,10 +447,7 @@ impl CpuScheduler for Dsrt {
     }
 
     fn backlog_work(&self) -> SimDuration {
-        self.jobs
-            .values()
-            .flat_map(|j| j.tasks.iter().map(|&(_, w)| w))
-            .sum()
+        self.jobs.values().flat_map(|j| j.tasks.iter().map(|&(_, w)| w)).sum()
     }
 }
 
@@ -602,7 +591,8 @@ mod tests {
                 cpu.submit(t, h, ms(20));
             }
             let next = t + frame_interval;
-            completions.extend(run_until_idle(&mut cpu, next).into_iter().filter(|c| c.job == stream));
+            completions
+                .extend(run_until_idle(&mut cpu, next).into_iter().filter(|c| c.job == stream));
             t = next;
         }
         // Drain any stragglers.

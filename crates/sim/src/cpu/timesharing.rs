@@ -252,10 +252,7 @@ impl CpuScheduler for TimeSharing {
     }
 
     fn backlog_work(&self) -> SimDuration {
-        self.jobs
-            .values()
-            .flat_map(|j| j.tasks.iter().map(|&(_, w)| w))
-            .sum()
+        self.jobs.values().flat_map(|j| j.tasks.iter().map(|&(_, w)| w)).sum()
     }
 }
 

@@ -100,6 +100,13 @@ pub struct SharedLink {
     completions: Vec<XferDone>,
     next_flow: u64,
     next_xfer: u64,
+    /// Memoized result of the water-filling allocation. The allocation
+    /// depends only on the set of backlogged flows and their caps, so it
+    /// stays valid while the fluid model merely drains bytes; it is
+    /// invalidated whenever that set can change (open/close/send/drain-to-
+    /// idle). This keeps `advance_to`'s inner loop from re-sorting the
+    /// active set at every step.
+    rates_cache: Option<Vec<(FlowId, f64)>>,
 }
 
 impl SharedLink {
@@ -124,6 +131,7 @@ impl SharedLink {
             completions: Vec::new(),
             next_flow: 0,
             next_xfer: 0,
+            rates_cache: None,
         }
     }
 
@@ -159,10 +167,7 @@ impl SharedLink {
 
     /// Total bytes still queued across all flows.
     pub fn backlog_bytes(&self) -> f64 {
-        self.flows
-            .values()
-            .flat_map(|f| f.queue.iter().map(|&(_, b)| b))
-            .sum()
+        self.flows.values().flat_map(|f| f.queue.iter().map(|&(_, b)| b)).sum()
     }
 
     /// Opens a flow. Under [`SharePolicy::Reserved`] a rate must be given
@@ -185,6 +190,7 @@ impl SharedLink {
         self.next_flow += 1;
         self.flows.insert(id, Flow { rate_bps: rate, queue: VecDeque::new() });
         self.reserved_total += reserved;
+        self.rates_cache = None;
         Ok(id)
     }
 
@@ -196,6 +202,7 @@ impl SharedLink {
             if self.policy == SharePolicy::Reserved {
                 self.reserved_total -= f.rate_bps;
             }
+            self.rates_cache = None;
         }
     }
 
@@ -205,6 +212,11 @@ impl SharedLink {
         let id = XferId(self.next_xfer);
         self.next_xfer += 1;
         let f = self.flows.get_mut(&flow).expect("send on unknown flow");
+        if f.queue.is_empty() {
+            // Idle -> backlogged changes the active set; queueing behind an
+            // existing transfer does not.
+            self.rates_cache = None;
+        }
         f.queue.push_back((id, bytes as f64));
         id
     }
@@ -215,6 +227,14 @@ impl SharedLink {
     /// `FairShare`, rates are the max-min fair (water-filling) allocation
     /// of the capacity subject to each flow's pacing cap.
     pub fn current_rates(&self) -> Vec<(FlowId, f64)> {
+        match &self.rates_cache {
+            Some(rates) => rates.clone(),
+            None => self.compute_rates(),
+        }
+    }
+
+    /// Computes the allocation from scratch (cache miss path).
+    fn compute_rates(&self) -> Vec<(FlowId, f64)> {
         match self.policy {
             SharePolicy::Reserved => self
                 .flows
@@ -228,8 +248,7 @@ impl SharedLink {
                     .iter()
                     .filter(|(_, f)| !f.queue.is_empty())
                     .map(|(&id, f)| {
-                        let cap =
-                            if f.rate_bps == 0 { f64::INFINITY } else { f.rate_bps as f64 };
+                        let cap = if f.rate_bps == 0 { f64::INFINITY } else { f.rate_bps as f64 };
                         (id, cap)
                     })
                     .collect();
@@ -259,11 +278,7 @@ impl SharedLink {
 
     /// Current transmission rate of a flow in bytes/second (0 when idle).
     pub fn flow_rate_bps(&self, flow: FlowId) -> f64 {
-        self.current_rates()
-            .into_iter()
-            .find(|&(id, _)| id == flow)
-            .map(|(_, r)| r)
-            .unwrap_or(0.0)
+        self.current_rates().into_iter().find(|&(id, _)| id == flow).map(|(_, r)| r).unwrap_or(0.0)
     }
 
     /// Earliest future transfer completion, or `None` when fully idle.
@@ -292,16 +307,39 @@ impl SharedLink {
     pub fn advance_to(&mut self, t: SimTime) {
         assert!(t >= self.now, "advance_to into the past");
         loop {
-            let Some(next_done) = self.next_event() else {
+            // Take the allocation (computing it only on a cache miss); the
+            // owned Vec sidesteps borrowing `self` while flows are mutated.
+            let rates = match self.rates_cache.take() {
+                Some(rates) => rates,
+                None => self.compute_rates(),
+            };
+            // Earliest completion at these rates (same rounding as
+            // `next_event`: up to the next microsecond so the completing
+            // transfer has fully drained by the event time).
+            let mut best: Option<SimDuration> = None;
+            for &(id, rate) in &rates {
+                if rate <= 0.0 {
+                    continue;
+                }
+                let Some(&(_, bytes)) = self.flows[&id].queue.front() else { continue };
+                let d = SimDuration::from_micros((bytes / rate * 1e6).ceil() as u64);
+                best = Some(match best {
+                    Some(b) => b.min(d),
+                    None => d,
+                });
+            }
+            let Some(until_done) = best else {
+                // Nothing transmitting: the active set cannot change, so the
+                // allocation stays valid across the jump.
+                self.rates_cache = Some(rates);
                 self.now = t;
                 return;
             };
-            let step_end = next_done.min(t);
+            let step_end = (self.now + until_done).min(t);
             let step = step_end - self.now;
             // Drain bytes proportionally to each flow's current rate.
-            let rates = self.current_rates();
             let secs = step.as_secs_f64();
-            for (id, rate) in rates {
+            for &(id, rate) in &rates {
                 if rate <= 0.0 {
                     continue;
                 }
@@ -311,16 +349,25 @@ impl SharedLink {
                 }
             }
             self.now = step_end;
-            // Pop transfers that completed (tolerance for float residue).
+            // Pop transfers that completed (tolerance for float residue). A
+            // flow moving on to its next queued transfer keeps the same
+            // allocation; only a backlogged->idle transition invalidates it.
+            let mut drained_to_idle = false;
             for (&id, f) in self.flows.iter_mut() {
+                let mut popped = false;
                 while let Some(&(xfer, bytes)) = f.queue.front() {
                     if bytes <= 1e-6 {
                         f.queue.pop_front();
+                        popped = true;
                         self.completions.push(XferDone { flow: id, xfer, at: self.now });
                     } else {
                         break;
                     }
                 }
+                drained_to_idle |= popped && f.queue.is_empty();
+            }
+            if !drained_to_idle {
+                self.rates_cache = Some(rates);
             }
             if self.now >= t {
                 return;
@@ -495,13 +542,7 @@ mod tests {
         link.send(SimTime::ZERO, capped, 1000 * KB);
         link.send(SimTime::ZERO, free, 900 * KB);
         let rates = link.current_rates();
-        let rate_of = |id| {
-            rates
-                .iter()
-                .find(|&&(f, _)| f == id)
-                .map(|&(_, r)| r)
-                .unwrap()
-        };
+        let rate_of = |id| rates.iter().find(|&&(f, _)| f == id).map(|&(_, r)| r).unwrap();
         assert!((rate_of(capped) - 100_000.0).abs() < 1e-6);
         assert!((rate_of(free) - 900_000.0).abs() < 1e-6);
     }
@@ -510,15 +551,43 @@ mod tests {
     fn oversubscribed_caps_fall_back_to_equal_share() {
         // Ten 100 KB/s-capped flows on a 500 KB/s link: each gets 50 KB/s.
         let mut link = SharedLink::fair_share(500 * KB);
-        let flows: Vec<FlowId> = (0..10)
-            .map(|_| link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap())
-            .collect();
+        let flows: Vec<FlowId> =
+            (0..10).map(|_| link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap()).collect();
         for &f in &flows {
             link.send(SimTime::ZERO, f, KB);
         }
         for (_, r) in link.current_rates() {
             assert!((r - 50_000.0).abs() < 1e-6, "rate {r}");
         }
+    }
+
+    #[test]
+    fn rate_cache_matches_fresh_computation() {
+        // Regression for the memoized allocation: after every mutation the
+        // cached rates must equal a from-scratch water-filling pass.
+        let mut link = SharedLink::fair_share(1000 * KB);
+        let check = |link: &SharedLink| {
+            assert_eq!(link.current_rates(), link.compute_rates(), "stale rate cache");
+        };
+        let a = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
+        let b = link.open_flow(SimTime::ZERO, None).unwrap();
+        check(&link);
+        link.send(SimTime::ZERO, a, 50 * KB);
+        link.send(SimTime::ZERO, a, 50 * KB); // queued behind — same set
+        link.send(SimTime::ZERO, b, 200 * KB);
+        check(&link);
+        link.advance_to(SimTime::from_millis(100));
+        check(&link);
+        // Drive b idle (900 KB/s drains 200 KB well before 1 s), then past
+        // a's queue too.
+        link.advance_to(SimTime::from_secs(1));
+        check(&link);
+        link.advance_to(SimTime::from_secs(5));
+        check(&link);
+        assert_eq!(link.backlog_bytes(), 0.0);
+        link.close_flow(SimTime::from_secs(5), a);
+        check(&link);
+        assert_eq!(link.drain_completions().len(), 3);
     }
 
     #[test]

@@ -35,16 +35,19 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to get earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
 /// A deterministic priority queue of timed events.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers scheduled but not yet fired or cancelled. Needed so
+    /// `cancel` can tell a live event from one that already fired: blindly
+    /// tombstoning an already-fired seq would leave it in `cancelled`
+    /// forever (nothing in the heap ever matches it again).
+    live: HashSet<u64>,
+    /// Tombstones for cancelled-but-unreaped heap entries.
     cancelled: HashSet<u64>,
     now: SimTime,
     seq: u64,
@@ -59,8 +62,15 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue sized for roughly `capacity` outstanding
+    /// events, avoiding rehash/regrow churn in event-dense sim loops.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
+            live: HashSet::with_capacity(capacity),
             cancelled: HashSet::new(),
             now: SimTime::ZERO,
             seq: 0,
@@ -86,6 +96,7 @@ impl<E> EventQueue<E> {
         );
         let id = self.seq;
         self.seq += 1;
+        self.live.insert(id);
         self.heap.push(Entry { time: at, seq: id, payload });
         EventId(id)
     }
@@ -96,9 +107,15 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancels a previously scheduled event. Cancelling an already-fired or
-    /// already-cancelled event is a no-op.
+    /// already-cancelled event is a no-op (and leaves no tombstone behind).
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            // Reap eagerly: if the cancelled event sits at the head, drop it
+            // (and any tombstoned entries it uncovers) right now instead of
+            // carrying dead heap weight until the next pop.
+            self.reap_head();
+        }
     }
 
     /// Removes and returns the next event, advancing the clock to its firing
@@ -108,6 +125,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&entry.seq) {
                 continue;
             }
+            self.live.remove(&entry.seq);
             debug_assert!(entry.time >= self.now, "event queue time went backwards");
             self.now = entry.time;
             return Some((entry.time, entry.payload));
@@ -117,23 +135,33 @@ impl<E> EventQueue<E> {
 
     /// The firing time of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop cancelled entries from the head so the peeked time is live.
+        self.reap_head();
+        self.heap.peek().map(|entry| entry.time)
+    }
+
+    /// Drops tombstoned entries from the head of the heap.
+    fn reap_head(&mut self) {
         while let Some(entry) = self.heap.peek() {
             if self.cancelled.contains(&entry.seq) {
                 let seq = entry.seq;
                 self.heap.pop();
                 self.cancelled.remove(&seq);
             } else {
-                return Some(entry.time);
+                break;
             }
         }
-        None
     }
 
     /// Number of scheduled (possibly including cancelled-but-unreaped)
     /// entries.
     pub fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Number of live (scheduled, neither fired nor cancelled) events. Unlike
+    /// [`len`](Self::len) this never counts tombstones.
+    pub fn live_len(&self) -> usize {
+        self.live.len()
     }
 
     /// True when no live or stale entries remain.
@@ -214,6 +242,62 @@ mod tests {
         q.schedule(SimTime::from_secs(5), "x");
         q.pop();
         q.schedule(SimTime::from_secs(1), "y");
+    }
+
+    #[test]
+    fn cancel_after_fire_leaves_no_tombstone() {
+        // Regression: cancelling an already-fired event used to park its seq
+        // in the tombstone set forever, because no heap entry could ever
+        // match it again.
+        let mut q = EventQueue::new();
+        for _ in 0..100 {
+            let id = q.schedule_in(SimDuration::from_secs(1), "ev");
+            assert_eq!(q.live_len(), 1);
+            q.pop();
+            q.cancel(id); // fired already — must not leak
+        }
+        assert_eq!(q.len(), 0, "no stale entries may accumulate");
+        assert_eq!(q.live_len(), 0);
+        assert_eq!(q.cancelled.len(), 0, "tombstone set must stay empty");
+    }
+
+    #[test]
+    fn cancelling_the_head_reaps_eagerly() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        let b = q.schedule(SimTime::from_secs(2), "b");
+        q.schedule(SimTime::from_secs(3), "c");
+        // Cancel b first (not at head — stays as a tombstone), then a: the
+        // reap must drop a *and* the uncovered tombstoned b immediately.
+        q.cancel(b);
+        assert_eq!(q.len(), 3);
+        q.cancel(a);
+        assert_eq!(q.len(), 1, "head cancellation reaps through tombstones");
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.cancelled.len(), 0);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("c"));
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.cancel(a);
+        q.cancel(a);
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+        assert_eq!(q.cancelled.len(), 0);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let mut q: EventQueue<u8> = EventQueue::with_capacity(64);
+        assert!(q.is_empty());
+        assert_eq!(q.live_len(), 0);
+        q.schedule(SimTime::from_secs(1), 7);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 7)));
     }
 
     #[test]

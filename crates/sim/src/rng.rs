@@ -46,7 +46,8 @@ impl Rng {
     /// Derives an independent child stream from this generator's seed and a
     /// stream identifier. Forking does not advance `self`.
     pub fn fork(&self, stream: u64) -> Rng {
-        let mut sm = self.s[0] ^ self.s[1].rotate_left(17) ^ stream.wrapping_mul(0xD1B54A32D192ED03);
+        let mut sm =
+            self.s[0] ^ self.s[1].rotate_left(17) ^ stream.wrapping_mul(0xD1B54A32D192ED03);
         let mut s = [0u64; 4];
         for slot in &mut s {
             *slot = splitmix64(&mut sm);

@@ -24,13 +24,7 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        OnlineStats {
-            n: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Adds one observation.
@@ -108,7 +102,7 @@ impl OnlineStats {
 }
 
 /// A recorded time series of `(time, value)` samples.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Series {
     points: Vec<(SimTime, f64)>,
 }
@@ -260,7 +254,7 @@ impl Histogram {
 
 /// Counts events into fixed-width time buckets, e.g. completed streaming
 /// jobs per minute (Fig 6b).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RateCounter {
     bucket: SimDuration,
     counts: Vec<u64>,
@@ -445,10 +439,7 @@ mod tests {
             s.push(SimTime::from_secs(i), i as f64);
         }
         assert_eq!(s.len(), 10);
-        assert_eq!(
-            s.window_mean(SimTime::from_secs(2), SimTime::from_secs(5)),
-            Some(3.0)
-        );
+        assert_eq!(s.window_mean(SimTime::from_secs(2), SimTime::from_secs(5)), Some(3.0));
         assert_eq!(s.window_mean(SimTime::from_secs(50), SimTime::from_secs(60)), None);
         assert_eq!(s.percentile(0.0), Some(0.0));
         assert_eq!(s.percentile(100.0), Some(9.0));

@@ -73,6 +73,12 @@ impl SimTime {
         SimTime(self.0.saturating_add(d.0))
     }
 
+    /// The instant halfway between the epoch and this one (truncating on odd
+    /// microsecond counts, like integer division).
+    pub const fn halved(self) -> SimTime {
+        SimTime(self.0 / 2)
+    }
+
     /// The earlier of two instants.
     pub fn min(self, other: SimTime) -> SimTime {
         if self <= other {
@@ -160,6 +166,11 @@ impl SimDuration {
     pub fn mul_f64(self, k: f64) -> SimDuration {
         assert!(k >= 0.0, "negative scale factor for SimDuration");
         SimDuration((self.0 as f64 * k).round() as u64)
+    }
+
+    /// Half of this span (truncating on odd microsecond counts).
+    pub const fn halved(self) -> SimDuration {
+        SimDuration(self.0 / 2)
     }
 
     /// The smaller of two spans.
@@ -300,10 +311,7 @@ mod tests {
         assert_eq!(t - SimTime::from_secs(4), SimDuration::from_secs(6));
         // Subtraction saturates rather than panicking.
         assert_eq!(SimTime::from_secs(1) - SimDuration::from_secs(5), SimTime::ZERO);
-        assert_eq!(
-            SimTime::from_secs(1).duration_since(SimTime::from_secs(9)),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimTime::from_secs(1).duration_since(SimTime::from_secs(9)), SimDuration::ZERO);
     }
 
     #[test]
@@ -317,6 +325,15 @@ mod tests {
         assert_eq!(a / 3, SimDuration::from_millis(10));
         assert_eq!(a.div_duration(b), 2);
         assert_eq!(a.mul_f64(0.5), SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn halving_truncates_odd_microseconds() {
+        assert_eq!(SimTime::from_micros(7).halved(), SimTime::from_micros(3));
+        assert_eq!(SimTime::from_micros(8).halved(), SimTime::from_micros(4));
+        assert_eq!(SimTime::ZERO.halved(), SimTime::ZERO);
+        assert_eq!(SimDuration::from_micros(1_000_001).halved(), SimDuration::from_micros(500_000));
+        assert_eq!(SimDuration::from_secs(2).halved(), SimDuration::from_secs(1));
     }
 
     #[test]

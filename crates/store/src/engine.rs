@@ -118,10 +118,7 @@ impl MetadataEngine {
             .sites
             .get_mut(&object.server)
             .unwrap_or_else(|| panic!("unknown site {}", object.server));
-        self.directory
-            .entry(object.video)
-            .or_default()
-            .push((object.oid, object.server));
+        self.directory.entry(object.video).or_default().push((object.oid, object.server));
         site.insert(object.oid, ObjectRecord { object, profile });
     }
 
@@ -165,7 +162,11 @@ impl MetadataEngine {
     /// remote records go through the site's cache (hit) or to the owning
     /// site (miss, then cached). Returns the record and whether the access
     /// was remote-and-missed.
-    pub fn lookup_from(&mut self, from: ServerId, oid: PhysicalOid) -> Option<(ObjectRecord, bool)> {
+    pub fn lookup_from(
+        &mut self,
+        from: ServerId,
+        oid: PhysicalOid,
+    ) -> Option<(ObjectRecord, bool)> {
         // Local partition first.
         if let Some(rec) = self.sites.get(&from).and_then(|s| s.get(&oid)) {
             return Some((rec.clone(), false));
@@ -191,9 +192,7 @@ impl MetadataEngine {
 
     /// Cache statistics for a site.
     pub fn cache_stats(&self, site: ServerId) -> Option<CacheStats> {
-        self.caches
-            .get(&site)
-            .map(|c| CacheStats { hits: c.hits, misses: c.misses })
+        self.caches.get(&site).map(|c| CacheStats { hits: c.hits, misses: c.misses })
     }
 
     /// Total number of object records across all sites.
@@ -204,10 +203,7 @@ impl MetadataEngine {
     /// The largest physical OID registered anywhere (for allocating fresh
     /// OIDs after engine state was rebuilt).
     pub fn max_oid(&self) -> Option<PhysicalOid> {
-        self.sites
-            .values()
-            .flat_map(|s| s.keys().copied())
-            .max()
+        self.sites.values().flat_map(|s| s.keys().copied()).max()
     }
 
     /// Simulates the loss of a site: its object partition and cache are
@@ -237,9 +233,7 @@ impl MetadataEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quasaq_media::{
-        ColorDepth, FrameRate, GopPattern, QualitySpec, Resolution, VideoFormat,
-    };
+    use quasaq_media::{ColorDepth, FrameRate, GopPattern, QualitySpec, Resolution, VideoFormat};
     use quasaq_sim::SimDuration;
 
     fn meta(id: u32) -> VideoMeta {

@@ -201,10 +201,7 @@ mod tests {
         let mut s = ObjectStore::new(ServerId(0), 1_000);
         s.insert(obj(1, 0, 900)).unwrap();
         let err = s.insert(obj(2, 0, 200)).unwrap_err();
-        assert_eq!(
-            err,
-            StoreError::DiskFull { server: ServerId(0), requested: 200, free: 100 }
-        );
+        assert_eq!(err, StoreError::DiskFull { server: ServerId(0), requested: 200, free: 100 });
         assert_eq!(s.object_count(), 1);
     }
 

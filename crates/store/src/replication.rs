@@ -118,7 +118,7 @@ impl ReplicationPlanner {
 
 /// Access statistics driving online migration (extension beyond the
 /// paper's prototype, which defers dynamic replication to future work).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccessStats {
     counts: BTreeMap<(VideoId, ServerId), u64>,
 }
@@ -136,20 +136,12 @@ impl AccessStats {
 
     /// Total accesses of a video across servers.
     pub fn video_total(&self, video: VideoId) -> u64 {
-        self.counts
-            .iter()
-            .filter(|((v, _), _)| *v == video)
-            .map(|(_, &c)| c)
-            .sum()
+        self.counts.iter().filter(|((v, _), _)| *v == video).map(|(_, &c)| c).sum()
     }
 
     /// Total accesses served by a server.
     pub fn server_total(&self, server: ServerId) -> u64 {
-        self.counts
-            .iter()
-            .filter(|((_, s), _)| *s == server)
-            .map(|(_, &c)| c)
-            .sum()
+        self.counts.iter().filter(|((_, s), _)| *s == server).map(|(_, &c)| c).sum()
     }
 }
 
@@ -222,10 +214,7 @@ pub fn plan_migrations(
         // Distinct tiers in stable order (highest rate first).
         let mut tiers: Vec<&ObjectRecord> = replicas.clone();
         tiers.sort_by(|a, b| {
-            b.object
-                .rate_bps
-                .cmp(&a.object.rate_bps)
-                .then(a.object.oid.cmp(&b.object.oid))
+            b.object.rate_bps.cmp(&a.object.rate_bps).then(a.object.oid.cmp(&b.object.oid))
         });
         tiers.dedup_by_key(|r| r.object.tier);
         for rec in tiers {
@@ -343,17 +332,14 @@ mod tests {
         // Every tier of the hot video missing from the coldest server
         // (server 2, which serves nothing) is proposed.
         let replicas = engine.replicas(VideoId(0));
-        let mut missing_tiers: Vec<&str> = replicas
-            .iter()
-            .map(|r| r.object.tier)
-            .collect();
+        let mut missing_tiers: Vec<&str> = replicas.iter().map(|r| r.object.tier).collect();
         missing_tiers.sort();
         missing_tiers.dedup();
         let expected = missing_tiers
             .iter()
-            .filter(|t| !replicas
-                .iter()
-                .any(|r| r.object.server == ServerId(2) && &r.object.tier == *t))
+            .filter(|t| {
+                !replicas.iter().any(|r| r.object.server == ServerId(2) && &r.object.tier == *t)
+            })
             .count();
         assert_eq!(migrations.len(), expected);
         assert!(!migrations.is_empty());
@@ -389,9 +375,7 @@ mod tests {
         // The copy landed on the planned server with the same tier.
         let m = migrations[0];
         let source_tier = engine.record(m.oid).unwrap().object.tier;
-        assert!(after
-            .iter()
-            .any(|r| r.object.server == m.to && r.object.tier == source_tier));
+        assert!(after.iter().any(|r| r.object.server == m.to && r.object.tier == source_tier));
         // OIDs stay unique.
         let mut oids: Vec<_> = after.iter().map(|r| r.object.oid).collect();
         oids.sort();

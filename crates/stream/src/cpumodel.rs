@@ -1,6 +1,8 @@
 //! Concrete CPU model selection for a streaming server node.
 
-use quasaq_sim::cpu::{Completion, CpuScheduler, Dsrt, DsrtConfig, JobId, ReservationError, TaskId, TimeSharing};
+use quasaq_sim::cpu::{
+    Completion, CpuScheduler, Dsrt, DsrtConfig, JobId, ReservationError, TaskId, TimeSharing,
+};
 use quasaq_sim::{SimDuration, SimTime};
 
 /// Which scheduler a node runs.

@@ -189,10 +189,8 @@ impl StreamEngine {
         cfg: SessionConfig,
     ) -> Result<SessionId, SessionError> {
         let now = self.queue.now().max(start);
-        let node = self
-            .nodes
-            .get_mut(&cfg.server)
-            .ok_or(SessionError::UnknownServer(cfg.server))?;
+        let node =
+            self.nodes.get_mut(&cfg.server).ok_or(SessionError::UnknownServer(cfg.server))?;
         let job = match cfg.cpu {
             CpuPolicy::BestEffort => node.cpu.add_job(now),
             CpuPolicy::Reserved { share, period } => {
@@ -484,7 +482,11 @@ mod tests {
         assert_eq!(report.frames().len(), n);
         // Uncontended: every frame processed within a few ms of its due
         // time.
-        assert!(report.max_lateness() < SimDuration::from_millis(20), "lateness {}", report.max_lateness());
+        assert!(
+            report.max_lateness() < SimDuration::from_millis(20),
+            "lateness {}",
+            report.max_lateness()
+        );
         let stats = report.frame_delay_stats();
         assert!((stats.mean() - 41.72).abs() < 2.0, "mean {}", stats.mean());
     }
@@ -565,10 +567,7 @@ mod tests {
             .unwrap();
         solo.run_until(SimTime::from_secs(40));
         let solo_sd = solo.report(alone).frame_delay_stats().std_dev();
-        assert!(
-            contended_sd > 2.0 * solo_sd,
-            "contended sd {contended_sd} vs solo {solo_sd}"
-        );
+        assert!(contended_sd > 2.0 * solo_sd, "contended sd {contended_sd} vs solo {solo_sd}");
     }
 
     #[test]

@@ -211,7 +211,7 @@ mod tests {
     fn cancel_releases_immediately() {
         let mut eng = FluidEngine::new([ServerId(0)], SharePolicy::Reserved, 100_000);
         let a = eng.add_session(SimTime::ZERO, ServerId(0), 1 << 30, 100_000).unwrap();
-        eng.cancel_session(SimTime::from_secs(1) , a);
+        eng.cancel_session(SimTime::from_secs(1), a);
         assert_eq!(eng.active_sessions(), 0);
         eng.add_session(SimTime::from_secs(1), ServerId(0), 1_000, 100_000).unwrap();
         // The cancelled session never completes.

@@ -131,7 +131,9 @@ impl FrameSchedule {
             // dispatches at the earliest member's display slot, anchor
             // first.
             let mut pending_b: Vec<usize> = Vec::new();
-            let emit_group = |anchor: Option<usize>, pending: &mut Vec<usize>, out: &mut Vec<ScheduledFrame>| {
+            let emit_group = |anchor: Option<usize>,
+                              pending: &mut Vec<usize>,
+                              out: &mut Vec<ScheduledFrame>| {
                 let mut members: Vec<usize> = Vec::with_capacity(pending.len() + 1);
                 if let Some(a) = anchor {
                     members.push(a);
@@ -140,11 +142,8 @@ impl FrameSchedule {
                 if members.is_empty() {
                     return;
                 }
-                let slot = members
-                    .iter()
-                    .map(|&i| kept[i].display_index)
-                    .min()
-                    .expect("non-empty group");
+                let slot =
+                    members.iter().map(|&i| kept[i].display_index).min().expect("non-empty group");
                 let base = interval * slot;
                 for (j, &i) in members.iter().enumerate() {
                     let k = &kept[i];
@@ -254,9 +253,7 @@ impl FrameSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quasaq_media::{
-        CipherAlgo, DropStrategy, FrameRate, GopPattern, TraceParams,
-    };
+    use quasaq_media::{CipherAlgo, DropStrategy, FrameRate, GopPattern, TraceParams};
 
     fn trace() -> FrameTrace {
         FrameTrace::generate(
@@ -346,7 +343,8 @@ mod tests {
     #[test]
     fn drop_strategy_removes_frames() {
         let t = trace();
-        let all = FrameSchedule::build(&t, &Transforms::none(), &cost(), &DispatchConfig::default());
+        let all =
+            FrameSchedule::build(&t, &Transforms::none(), &cost(), &DispatchConfig::default());
         let no_b = FrameSchedule::build(
             &t,
             &Transforms { drop: DropStrategy::AllB, ..Transforms::none() },
@@ -364,7 +362,8 @@ mod tests {
     #[test]
     fn encryption_adds_cpu_only() {
         let t = trace();
-        let plain = FrameSchedule::build(&t, &Transforms::none(), &cost(), &DispatchConfig::default());
+        let plain =
+            FrameSchedule::build(&t, &Transforms::none(), &cost(), &DispatchConfig::default());
         let enc = FrameSchedule::build(
             &t,
             &Transforms { cipher: CipherAlgo::Block, ..Transforms::none() },

@@ -43,9 +43,7 @@ impl Transforms {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use quasaq_media::{
-        ColorDepth, FrameRate, QualitySpec, Resolution, VideoFormat,
-    };
+    use quasaq_media::{ColorDepth, FrameRate, QualitySpec, Resolution, VideoFormat};
 
     #[test]
     fn identity_detection() {

@@ -68,10 +68,8 @@ impl BaselinePlanner {
     ) -> Option<BaselineChoice> {
         let replicas = engine.replicas(video);
         let best_rate = replicas.iter().map(|r| r.object.rate_bps).max()?;
-        let candidates: Vec<&ObjectRecord> = replicas
-            .into_iter()
-            .filter(|r| r.object.rate_bps == best_rate)
-            .collect();
+        let candidates: Vec<&ObjectRecord> =
+            replicas.into_iter().filter(|r| r.object.rate_bps == best_rate).collect();
         let pick = candidates[rng.index(candidates.len())];
         Some(BaselineChoice {
             record: pick.clone(),

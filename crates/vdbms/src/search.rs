@@ -130,14 +130,12 @@ mod tests {
         let e = engine();
         // Use an actual keyword from the generated catalog.
         let kw = e.videos().next().unwrap().keywords[0].clone();
-        let hits =
-            search(&e, &Query::content(ContentPredicate::KeywordAny(vec![kw.clone()])));
+        let hits = search(&e, &Query::content(ContentPredicate::KeywordAny(vec![kw.clone()])));
         assert!(!hits.is_empty());
         for h in &hits {
             let m = e.video(h.video).unwrap();
             assert!(
-                m.keywords.iter().any(|k| k.eq_ignore_ascii_case(&kw))
-                    || m.title.contains(&kw)
+                m.keywords.iter().any(|k| k.eq_ignore_ascii_case(&kw)) || m.title.contains(&kw)
             );
         }
     }
@@ -201,7 +199,10 @@ mod tests {
             Some(VideoId(5))
         );
         assert_eq!(
-            resolve_one(&e, &Query::content(ContentPredicate::KeywordAny(vec!["nonexistent-kw".into()]))),
+            resolve_one(
+                &e,
+                &Query::content(ContentPredicate::KeywordAny(vec!["nonexistent-kw".into()]))
+            ),
             None
         );
     }

@@ -299,7 +299,9 @@ impl Parser {
                     match op {
                         Some(Tok::Ge) => range.min_resolution = res,
                         Some(Tok::Le) => range.max_resolution = res,
-                        other => return err(format!("resolution expects >= or <=, found {other:?}")),
+                        other => {
+                            return err(format!("resolution expects >= or <=, found {other:?}"))
+                        }
                     }
                 }
                 "color" => {
@@ -319,7 +321,9 @@ impl Parser {
                     match op {
                         Some(Tok::Ge) => range.min_frame_rate = FrameRate::from_fps(fps),
                         Some(Tok::Le) => range.max_frame_rate = FrameRate::from_fps(fps),
-                        other => return err(format!("framerate expects >= or <=, found {other:?}")),
+                        other => {
+                            return err(format!("framerate expects >= or <=, found {other:?}"))
+                        }
                     }
                 }
                 "format" => {
@@ -397,16 +401,16 @@ mod tests {
         assert_eq!(q.predicate, ContentPredicate::KeywordAll(vec!["a".into(), "b".into()]));
         let q = parse("SELECT * FROM videos WHERE contains('a') OR contains('b')").unwrap();
         assert_eq!(q.predicate, ContentPredicate::KeywordAny(vec!["a".into(), "b".into()]));
-        assert!(parse("SELECT * FROM videos WHERE contains('a') AND contains('b') OR contains('c')").is_err());
+        assert!(parse(
+            "SELECT * FROM videos WHERE contains('a') AND contains('b') OR contains('c')"
+        )
+        .is_err());
     }
 
     #[test]
     fn similarity_predicate() {
         let q = parse("SELECT * FROM videos WHERE similar_to(3, 0.8)").unwrap();
-        assert_eq!(
-            q.predicate,
-            ContentPredicate::SimilarTo { video: VideoId(3), min_score: 0.8 }
-        );
+        assert_eq!(q.predicate, ContentPredicate::SimilarTo { video: VideoId(3), min_score: 0.8 });
         assert!(parse("SELECT * FROM videos WHERE similar_to(3, 1.5)").is_err());
     }
 
@@ -435,10 +439,9 @@ mod tests {
 
     #[test]
     fn invalid_qos_range_rejected() {
-        let e = parse(
-            "SELECT * FROM videos WITH QOS (resolution >= 720x480, resolution <= 320x240)",
-        )
-        .unwrap_err();
+        let e =
+            parse("SELECT * FROM videos WITH QOS (resolution >= 720x480, resolution <= 320x240)")
+                .unwrap_err();
         assert!(e.message.contains("inconsistent"));
     }
 

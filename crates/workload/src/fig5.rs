@@ -105,7 +105,11 @@ fn schedule(cfg: &Fig5Config, seed: u64) -> FrameSchedule {
 
 /// Runs one panel of Fig 5 and returns the monitored session's report
 /// plus how many competing sessions were actually running.
-pub fn run_fig5(system: Fig5System, contention: Contention, cfg: &Fig5Config) -> (SessionReport, usize) {
+pub fn run_fig5(
+    system: Fig5System,
+    contention: Contention,
+    cfg: &Fig5Config,
+) -> (SessionReport, usize) {
     let node = match system {
         Fig5System::Vdbms => NodeConfig::vdbms(cfg.link_capacity_bps),
         Fig5System::Quasaq => NodeConfig::qos(cfg.link_capacity_bps),

@@ -12,13 +12,20 @@
 //!   engine (outstanding sessions, jobs per minute, cumulative rejects).
 //! * [`fig5`] — the inter-frame-delay experiment driver over the
 //!   frame-level engine (Fig 5, Table 2).
+//! * [`parallel`] — the deterministic scenario-parallel runner: fan
+//!   independent experiment runs across cores, collect by scenario index,
+//!   bit-identical to serial execution.
 
 pub mod fig5;
+pub mod parallel;
 pub mod testbed;
 pub mod throughput;
 pub mod traffic;
 
 pub use fig5::{run_fig5, Contention, Fig5Config, Fig5System};
+pub use parallel::{parallel_map, run_throughput_scenarios, worker_count};
 pub use testbed::{CostKind, Testbed, TestbedConfig};
-pub use throughput::{run_throughput, run_throughput_on, SystemKind, ThroughputConfig, ThroughputResult};
+pub use throughput::{
+    run_throughput, run_throughput_on, SystemKind, ThroughputConfig, ThroughputResult,
+};
 pub use traffic::{generate_queries, random_qop, GeneratedQuery, TrafficConfig};

@@ -10,13 +10,14 @@
 
 use quasaq_core::{
     CostModel, EfficiencyModel, GeneratorConfig, LrbModel, MinBitrateModel, PlanGenerator,
-    QualityManager, QosWeights, RandomModel, UtilityGain, WeightedSumModel,
+    QosWeights, QualityManager, RandomModel, UtilityGain, WeightedSumModel,
 };
 use quasaq_media::{DeliveryCostModel, Library, LibraryConfig};
 use quasaq_qosapi::CompositeQosApi;
 use quasaq_sim::ServerId;
 use quasaq_store::{MetadataEngine, ObjectStore, Placement, QosSampler, ReplicationPlanner};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cost-model selection for QuaSAQ runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +97,56 @@ impl Default for TestbedConfig {
     }
 }
 
+/// Exact value-identity of a [`TestbedConfig`] for the shared-testbed
+/// cache: every field reduced to hashable bits (floats via `to_bits`), so
+/// equal keys imply configs that build bit-identical testbeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConfigKey {
+    seed: u64,
+    servers: u32,
+    link_capacity_bps: u64,
+    disk_bps: u64,
+    memory_bytes: u64,
+    num_videos: usize,
+    min_duration_us: u64,
+    max_duration_us: u64,
+    min_replicas: usize,
+    max_replicas: usize,
+    round_robin: bool,
+    cost_bits: [u64; 6],
+}
+
+impl ConfigKey {
+    fn of(config: &TestbedConfig) -> Self {
+        ConfigKey {
+            seed: config.seed,
+            servers: config.servers,
+            link_capacity_bps: config.link_capacity_bps,
+            disk_bps: config.disk_bps.to_bits(),
+            memory_bytes: config.memory_bytes.to_bits(),
+            num_videos: config.library.num_videos,
+            min_duration_us: config.library.min_duration.as_micros(),
+            max_duration_us: config.library.max_duration.as_micros(),
+            min_replicas: config.library.min_replicas,
+            max_replicas: config.library.max_replicas,
+            round_robin: matches!(config.placement, Placement::RoundRobin),
+            cost_bits: [
+                config.cost.stream_cpu_us_per_byte.to_bits(),
+                config.cost.stream_cpu_us_per_frame.to_bits(),
+                config.cost.buffer_seconds.to_bits(),
+                config.cost.transcode.decode_us_per_mpx.to_bits(),
+                config.cost.transcode.encode_us_per_mpx.to_bits(),
+                config.cost.reservation_headroom.to_bits(),
+            ],
+        }
+    }
+}
+
+fn shared_cache() -> &'static Mutex<HashMap<ConfigKey, Arc<Testbed>>> {
+    static CACHE: OnceLock<Mutex<HashMap<ConfigKey, Arc<Testbed>>>> = OnceLock::new();
+    CACHE.get_or_init(Default::default)
+}
+
 /// The assembled deployment: catalog, stores, metadata.
 pub struct Testbed {
     /// Configuration it was built from.
@@ -124,6 +175,28 @@ impl Testbed {
         Testbed { config, library, stores, engine }
     }
 
+    /// Returns the cached deployment for `config`, building it on first
+    /// use. Library generation (GOP structures + VBR traces for every
+    /// replica) dominates scenario startup, and every experiment that
+    /// sweeps N system-variants over one deployment repays the build once
+    /// instead of N times. `build` is a pure function of the config, so the
+    /// cached instance is bit-identical to a private build; the cache is
+    /// process-wide and never evicts (experiment processes use a handful of
+    /// configs at most).
+    pub fn shared(config: TestbedConfig) -> Arc<Testbed> {
+        let key = ConfigKey::of(&config);
+        if let Some(tb) = shared_cache().lock().expect("testbed cache poisoned").get(&key) {
+            return Arc::clone(tb);
+        }
+        // Build outside the lock: concurrent scenario threads building
+        // *different* configs must not serialize on one global mutex. Two
+        // racers on the same key build twice; the first insert wins and the
+        // loser's copy is dropped (identical contents either way).
+        let built = Arc::new(Testbed::build(config));
+        let mut cache = shared_cache().lock().expect("testbed cache poisoned");
+        Arc::clone(cache.entry(key).or_insert(built))
+    }
+
     /// A fresh Composite QoS API sized to this deployment.
     pub fn qos_api(&self) -> CompositeQosApi {
         CompositeQosApi::homogeneous_cluster(
@@ -136,10 +209,10 @@ impl Testbed {
 
     /// A fresh Quality Manager with the chosen cost model.
     pub fn quality_manager(&self, cost: CostKind) -> QualityManager {
-        self.quality_manager_with(cost, GeneratorConfig {
-            cost: self.config.cost,
-            ..GeneratorConfig::default()
-        })
+        self.quality_manager_with(
+            cost,
+            GeneratorConfig { cost: self.config.cost, ..GeneratorConfig::default() },
+        )
     }
 
     /// A fresh Quality Manager with an explicit generator configuration
@@ -180,6 +253,19 @@ mod tests {
         let tb = Testbed::build(TestbedConfig::default());
         let api = tb.qos_api();
         assert_eq!(api.buckets().count(), 12);
+    }
+
+    #[test]
+    fn shared_testbed_is_cached_per_config() {
+        let a = Testbed::shared(TestbedConfig::default());
+        let b = Testbed::shared(TestbedConfig::default());
+        assert!(Arc::ptr_eq(&a, &b), "equal configs must share one build");
+        let c = Testbed::shared(TestbedConfig { seed: 7, ..TestbedConfig::default() });
+        assert!(!Arc::ptr_eq(&a, &c), "different seeds must not alias");
+        // The cached instance matches a private build of the same config.
+        let fresh = Testbed::build(TestbedConfig::default());
+        assert_eq!(a.library.len(), fresh.library.len());
+        assert_eq!(a.engine.object_count(), fresh.engine.object_count());
     }
 
     #[test]

@@ -9,12 +9,14 @@
 
 use crate::testbed::{CostKind, Testbed, TestbedConfig};
 use crate::traffic::{generate_queries, GeneratedQuery, TrafficConfig};
-use quasaq_core::{PlanExecutor, PlanRequest, QopSecurity, QosWeights, QualityManager, UtilityGain};
+use quasaq_core::{
+    PlanExecutor, PlanRequest, QopSecurity, QosWeights, QualityManager, UtilityGain,
+};
 use quasaq_qosapi::{CompositeQosApi, ReservationId, ResourceKey, ResourceKind, ResourceVector};
 use quasaq_sim::link::SharePolicy;
 use quasaq_sim::{LevelTracker, RateCounter, Rng, Series, SimDuration, SimTime};
-use quasaq_stream::{FluidEngine, FluidSessionId};
 use quasaq_store::AccessStats;
+use quasaq_stream::{FluidEngine, FluidSessionId};
 use quasaq_vdbms::{BaselineKind, BaselinePlanner};
 use std::collections::HashMap;
 
@@ -78,8 +80,10 @@ impl ThroughputConfig {
     }
 }
 
-/// Everything the paper plots for one run.
-#[derive(Debug, Clone)]
+/// Everything the paper plots for one run. `PartialEq` compares every
+/// field (floats bit-for-bit via their numeric equality), which is what
+/// the parallel-runner determinism checks rely on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputResult {
     /// System label.
     pub label: String,
@@ -109,29 +113,24 @@ impl ThroughputResult {
     /// run).
     pub fn stable_outstanding(&self, horizon: SimTime) -> f64 {
         self.outstanding
-            .window_mean(SimTime::from_micros(horizon.as_micros() / 2), horizon + SimDuration::from_secs(1))
+            .window_mean(horizon.halved(), horizon + SimDuration::from_secs(1))
             .unwrap_or(0.0)
     }
 }
 
 enum SystemState {
-    Plain {
-        planner: BaselinePlanner,
-    },
-    QosApi {
-        planner: BaselinePlanner,
-        api: CompositeQosApi,
-        headroom: f64,
-    },
-    Quasaq {
-        manager: QualityManager,
-        executor: PlanExecutor,
-    },
+    Plain { planner: BaselinePlanner },
+    QosApi { planner: BaselinePlanner, api: CompositeQosApi, headroom: f64 },
+    Quasaq { manager: QualityManager, executor: PlanExecutor },
 }
 
-/// Runs one system against the shared query stream on a fresh testbed.
+/// Runs one system against the shared query stream on the (process-wide,
+/// immutably shared) testbed for `cfg.testbed`. Runs never mutate the
+/// testbed, so N system-variants over one deployment pay for catalog
+/// generation once; callers that *do* mutate the replica layout build
+/// their own testbed and use [`run_throughput_on`].
 pub fn run_throughput(system: SystemKind, cfg: &ThroughputConfig) -> ThroughputResult {
-    let testbed = Testbed::build(cfg.testbed.clone());
+    let testbed = Testbed::shared(cfg.testbed.clone());
     run_throughput_on(&testbed, system, cfg)
 }
 
@@ -149,7 +148,9 @@ pub fn run_throughput_on(
     let mut rng = Rng::new(cfg.seed ^ 0x9e37_79b9);
 
     let mut state = match system {
-        SystemKind::Vdbms => SystemState::Plain { planner: BaselinePlanner::new(BaselineKind::Plain) },
+        SystemKind::Vdbms => {
+            SystemState::Plain { planner: BaselinePlanner::new(BaselineKind::Plain) }
+        }
         SystemKind::VdbmsQosApi => SystemState::QosApi {
             planner: BaselinePlanner::new(BaselineKind::WithQosApi),
             api: testbed.qos_api(),
@@ -171,11 +172,8 @@ pub fn run_throughput_on(
     // All systems pace sessions at their stream rate on fair-share links;
     // reservation-based systems enforce admission in the QoS API, so the
     // link never oversubscribes for them.
-    let mut fluid = FluidEngine::new(
-        testbed.servers(),
-        SharePolicy::FairShare,
-        cfg.testbed.link_capacity_bps,
-    );
+    let mut fluid =
+        FluidEngine::new(testbed.servers(), SharePolicy::FairShare, cfg.testbed.link_capacity_bps);
 
     let mut reservations: HashMap<FluidSessionId, ReservationId> = HashMap::new();
     let mut outstanding = LevelTracker::new();
@@ -189,11 +187,11 @@ pub fn run_throughput_on(
     let mut utility_n = 0u64;
 
     let handle_done = |done: Vec<quasaq_stream::FluidDone>,
-                           reservations: &mut HashMap<FluidSessionId, ReservationId>,
-                           state: &mut SystemState,
-                           outstanding: &mut LevelTracker,
-                           completions: &mut RateCounter,
-                           completed: &mut u64| {
+                       reservations: &mut HashMap<FluidSessionId, ReservationId>,
+                       state: &mut SystemState,
+                       outstanding: &mut LevelTracker,
+                       completions: &mut RateCounter,
+                       completed: &mut u64| {
         for d in done {
             outstanding.adjust(d.at, -1);
             completions.record(d.at);
@@ -289,7 +287,12 @@ fn admit(
         SystemState::Plain { planner } => {
             let choice = planner.select(&testbed.engine, q.video, rng)?;
             let sid = fluid
-                .add_session(now, choice.server, choice.record.object.bytes, choice.record.object.rate_bps)
+                .add_session(
+                    now,
+                    choice.server,
+                    choice.record.object.bytes,
+                    choice.record.object.rate_bps,
+                )
                 .ok()?;
             Some((sid, None, choice.server, None))
         }
@@ -318,7 +321,12 @@ fn admit(
                     .with(ResourceKey::new(server, ResourceKind::Memory), profile.memory_bytes);
                 if let Ok(res) = api.reserve(&demand) {
                     let sid = fluid
-                        .add_session(now, server, choice.record.object.bytes, choice.record.object.rate_bps)
+                        .add_session(
+                            now,
+                            server,
+                            choice.record.object.bytes,
+                            choice.record.object.rate_bps,
+                        )
                         .expect("fair-share admits");
                     return Some((sid, Some(res), server, None));
                 }
@@ -329,14 +337,11 @@ fn admit(
             let request =
                 PlanRequest { video: q.video, qos: q.qos.clone(), security: QopSecurity::Open };
             let admitted = manager.process(&testbed.engine, &request, rng).ok()?;
-            let meta = testbed.engine.video(q.video).expect("known video").clone();
-            let (bytes, rate) = executor.fluid_params(&admitted.plan, &meta);
+            let meta = testbed.engine.video(q.video).expect("known video");
+            let (bytes, rate) = executor.fluid_params(&admitted.plan, meta);
             let server = admitted.plan.target_server;
-            let utility =
-                UtilityGain { weights: QosWeights::default() }.utility(&admitted.plan);
-            let sid = fluid
-                .add_session(now, server, bytes, rate)
-                .expect("fair-share admits");
+            let utility = UtilityGain { weights: QosWeights::default() }.utility(&admitted.plan);
+            let sid = fluid.add_session(now, server, bytes, rate).expect("fair-share admits");
             Some((sid, Some(admitted.reservation), server, Some(utility)))
         }
     }
@@ -410,6 +415,31 @@ mod tests {
         let quasaq = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
         let h = SimTime::from_secs(300);
         assert!(plain.stable_outstanding(h) > quasaq.stable_outstanding(h));
+    }
+
+    #[test]
+    fn stable_outstanding_truncates_odd_micros_horizon() {
+        // Window start must be horizon/2 in integer microseconds (3 us for a
+        // 7 us horizon), not a float reconstruction.
+        let mut outstanding = Series::new();
+        outstanding.push(SimTime::from_micros(2), 100.0); // before the window
+        outstanding.push(SimTime::from_micros(3), 4.0); // exactly at the half
+        outstanding.push(SimTime::from_micros(6), 8.0);
+        let r = ThroughputResult {
+            label: "synthetic".to_string(),
+            outstanding,
+            completions_per_min: RateCounter::new(SimDuration::from_secs(60)),
+            rejects: Series::new(),
+            queries: 0,
+            admitted: 0,
+            rejected: 0,
+            completed: 0,
+            access: AccessStats::new(),
+            mean_utility: None,
+        };
+        let horizon = SimTime::from_micros(7);
+        assert_eq!(horizon.halved(), SimTime::from_micros(3));
+        assert!((r.stable_outstanding(horizon) - 6.0).abs() < 1e-12);
     }
 
     #[test]

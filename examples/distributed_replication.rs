@@ -19,8 +19,7 @@ use quasaq::workload::{random_qop, CostKind, Testbed, TestbedConfig};
 fn main() {
     // --- Placement strategies --------------------------------------------
     for placement in [Placement::Full, Placement::RoundRobin] {
-        let testbed =
-            Testbed::build(TestbedConfig { placement, ..TestbedConfig::default() });
+        let testbed = Testbed::build(TestbedConfig { placement, ..TestbedConfig::default() });
         println!("placement {:?}:", placement);
         for (server, store) in &testbed.stores {
             println!(
@@ -65,21 +64,18 @@ fn main() {
     }
     println!("after {} LRB admissions, per-server link fill:", admitted.len());
     for server in ServerId::first_n(3) {
-        let fill = manager
-            .api()
-            .fill(ResourceKey::new(server, ResourceKind::NetBandwidth))
-            .unwrap_or(0.0);
-        let cpu = manager
-            .api()
-            .fill(ResourceKey::new(server, ResourceKind::Cpu))
-            .unwrap_or(0.0);
+        let fill =
+            manager.api().fill(ResourceKey::new(server, ResourceKind::NetBandwidth)).unwrap_or(0.0);
+        let cpu = manager.api().fill(ResourceKey::new(server, ResourceKind::Cpu)).unwrap_or(0.0);
         println!("  {server}: net {:5.1}%  cpu {:5.1}%", fill * 100.0, cpu * 100.0);
     }
     println!("LRB keeps the buckets level — 'prevent any single bucket from growing faster than the others'.\n");
 
     // --- Online migration (extension) -------------------------------------
-    let testbed =
-        Testbed::build(TestbedConfig { placement: Placement::RoundRobin, ..TestbedConfig::default() });
+    let testbed = Testbed::build(TestbedConfig {
+        placement: Placement::RoundRobin,
+        ..TestbedConfig::default()
+    });
     let mut stats = AccessStats::new();
     // A hot video hammered through one server.
     for _ in 0..500 {
@@ -94,10 +90,7 @@ fn main() {
     println!("access-driven migration plan (hot threshold 100 accesses):");
     for m in &migrations {
         let rec = testbed.engine.record(m.oid).unwrap();
-        println!(
-            "  copy {} ({} tier of {}) -> {}",
-            m.oid, rec.object.tier, rec.object.video, m.to
-        );
+        println!("  copy {} ({} tier of {}) -> {}", m.oid, rec.object.tier, rec.object.video, m.to);
     }
     println!(
         "\nThe planner copies the hot video's most-demanded tier to the coldest\n\

@@ -47,12 +47,14 @@ fn main() {
         [("physician", &physician, physician_qop), ("nurse", &nurse, nurse_qop)]
     {
         let qos = profile.translate(&qop);
-        println!("--- {who} ({:?} resolution, {:?} motion, {:?} security)", qop.resolution, qop.motion, qop.security);
+        println!(
+            "--- {who} ({:?} resolution, {:?} motion, {:?} security)",
+            qop.resolution, qop.motion, qop.security
+        );
         println!("    application QoS: {qos}");
         let request = PlanRequest { video, qos, security: qop.security };
-        let admitted = manager
-            .process(&testbed.engine, &request, &mut rng)
-            .expect("idle cluster admits both");
+        let admitted =
+            manager.process(&testbed.engine, &request, &mut rng).expect("idle cluster admits both");
         println!("    plan: {}", admitted.plan);
         println!(
             "    delivered {} at {:.0} KB/s{}",
@@ -85,10 +87,7 @@ fn main() {
                 break;
             }
         }
-        println!(
-            "cluster capacity for concurrent {who} sessions: {}",
-            admitted.len()
-        );
+        println!("cluster capacity for concurrent {who} sessions: {}", admitted.len());
     }
     println!(
         "\nThe diagnostic sessions reserve far more bandwidth and CPU (and AES\n\

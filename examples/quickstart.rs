@@ -44,7 +44,8 @@ fn main() {
     };
     let mut manager: QualityManager = testbed.quality_manager(CostKind::Lrb);
     let mut rng = Rng::new(2024);
-    let admitted = manager.process(&testbed.engine, &request, &mut rng).expect("idle testbed admits");
+    let admitted =
+        manager.process(&testbed.engine, &request, &mut rng).expect("idle testbed admits");
     let stats = manager.last_stats();
     println!(
         "plan space: {} generated, {} feasible, admitted on attempt {}",

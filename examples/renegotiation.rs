@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release --example renegotiation`
 
-use quasaq::core::{
-    PlanRequest, QopRequest, QopSecurity, QosWeights, SecondChance, UserProfile,
-};
+use quasaq::core::{PlanRequest, QopRequest, QopSecurity, QosWeights, SecondChance, UserProfile};
 use quasaq::media::VideoId;
 use quasaq::sim::Rng;
 use quasaq::workload::{CostKind, Testbed, TestbedConfig};

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate: everything here runs without network access — the
+# workspace's only dependencies are in-tree path crates (see Cargo.toml),
+# so no registry fetch is ever needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> determinism + timing artifact (quick mode)"
+cargo run --release -p quasaq-bench --bin bench -- --quick
+
+echo "CI green."

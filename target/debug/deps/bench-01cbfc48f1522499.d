@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-01cbfc48f1522499.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/libbench-01cbfc48f1522499.rmeta: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-2cd5109ee3add950.d: crates/bench/src/bin/bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-2cd5109ee3add950.rmeta: crates/bench/src/bin/bench.rs Cargo.toml
+
+crates/bench/src/bin/bench.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-75035ffa3a22129c.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/bench-75035ffa3a22129c: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

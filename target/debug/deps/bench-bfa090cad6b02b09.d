@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-bfa090cad6b02b09.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/libbench-bfa090cad6b02b09.rmeta: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

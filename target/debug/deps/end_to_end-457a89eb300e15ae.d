@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-457a89eb300e15ae.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-457a89eb300e15ae.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-23662529f93977cc.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-23662529f93977cc.rmeta: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_interframe-1b8d4ec7e2368d9f.d: crates/bench/benches/fig5_interframe.rs
+
+/root/repo/target/debug/deps/libfig5_interframe-1b8d4ec7e2368d9f.rmeta: crates/bench/benches/fig5_interframe.rs
+
+crates/bench/benches/fig5_interframe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_interframe-998e4f454d0f06a4.d: crates/bench/benches/fig5_interframe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_interframe-998e4f454d0f06a4.rmeta: crates/bench/benches/fig5_interframe.rs Cargo.toml
+
+crates/bench/benches/fig5_interframe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_throughput-37271f4a1ff58e01.d: crates/bench/benches/fig6_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_throughput-37271f4a1ff58e01.rmeta: crates/bench/benches/fig6_throughput.rs Cargo.toml
+
+crates/bench/benches/fig6_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_throughput-925559b8d47081d7.d: crates/bench/benches/fig6_throughput.rs
+
+/root/repo/target/debug/deps/libfig6_throughput-925559b8d47081d7.rmeta: crates/bench/benches/fig6_throughput.rs
+
+crates/bench/benches/fig6_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_costmodel-24c8d61c4cf15a53.d: crates/bench/benches/fig7_costmodel.rs
+
+/root/repo/target/debug/deps/libfig7_costmodel-24c8d61c4cf15a53.rmeta: crates/bench/benches/fig7_costmodel.rs
+
+crates/bench/benches/fig7_costmodel.rs:

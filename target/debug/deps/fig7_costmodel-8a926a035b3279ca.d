@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_costmodel-8a926a035b3279ca.d: crates/bench/benches/fig7_costmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_costmodel-8a926a035b3279ca.rmeta: crates/bench/benches/fig7_costmodel.rs Cargo.toml
+
+crates/bench/benches/fig7_costmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

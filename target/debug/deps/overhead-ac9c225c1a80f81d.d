@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead-ac9c225c1a80f81d.d: crates/bench/benches/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead-ac9c225c1a80f81d.rmeta: crates/bench/benches/overhead.rs Cargo.toml
+
+crates/bench/benches/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

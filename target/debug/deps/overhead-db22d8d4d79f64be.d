@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-db22d8d4d79f64be.d: crates/bench/benches/overhead.rs
+
+/root/repo/target/debug/deps/liboverhead-db22d8d4d79f64be.rmeta: crates/bench/benches/overhead.rs
+
+crates/bench/benches/overhead.rs:

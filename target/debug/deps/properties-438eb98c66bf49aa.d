@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-438eb98c66bf49aa.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-438eb98c66bf49aa: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d8d9b1b3ca8ef3ed.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d8d9b1b3ca8ef3ed.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

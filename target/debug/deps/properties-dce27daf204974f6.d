@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dce27daf204974f6.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-dce27daf204974f6.rmeta: tests/properties.rs
+
+tests/properties.rs:

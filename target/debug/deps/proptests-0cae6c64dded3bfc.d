@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0cae6c64dded3bfc.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-0cae6c64dded3bfc.rmeta: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1b805587ae959bea.d: crates/stream/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-1b805587ae959bea.rmeta: crates/stream/tests/proptests.rs
+
+crates/stream/tests/proptests.rs:

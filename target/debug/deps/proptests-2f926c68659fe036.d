@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2f926c68659fe036.d: crates/qosapi/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2f926c68659fe036.rmeta: crates/qosapi/tests/proptests.rs Cargo.toml
+
+crates/qosapi/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

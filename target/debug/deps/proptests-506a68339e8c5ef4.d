@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-506a68339e8c5ef4.d: crates/qosapi/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-506a68339e8c5ef4.rmeta: crates/qosapi/tests/proptests.rs
+
+crates/qosapi/tests/proptests.rs:

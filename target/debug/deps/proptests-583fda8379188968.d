@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-583fda8379188968.d: crates/qosapi/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-583fda8379188968: crates/qosapi/tests/proptests.rs
+
+crates/qosapi/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-631a90cba9420a82.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-631a90cba9420a82: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

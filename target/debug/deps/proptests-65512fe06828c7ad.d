@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-65512fe06828c7ad.d: crates/media/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-65512fe06828c7ad.rmeta: crates/media/tests/proptests.rs Cargo.toml
+
+crates/media/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8bb6e051c567a2ad.d: crates/media/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8bb6e051c567a2ad: crates/media/tests/proptests.rs
+
+crates/media/tests/proptests.rs:

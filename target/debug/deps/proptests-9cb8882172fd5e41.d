@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9cb8882172fd5e41.d: crates/stream/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9cb8882172fd5e41: crates/stream/tests/proptests.rs
+
+crates/stream/tests/proptests.rs:

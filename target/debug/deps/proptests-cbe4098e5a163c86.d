@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-cbe4098e5a163c86.d: crates/stream/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-cbe4098e5a163c86.rmeta: crates/stream/tests/proptests.rs Cargo.toml
+
+crates/stream/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

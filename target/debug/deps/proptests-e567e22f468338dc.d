@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e567e22f468338dc.d: crates/media/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-e567e22f468338dc.rmeta: crates/media/tests/proptests.rs
+
+crates/media/tests/proptests.rs:

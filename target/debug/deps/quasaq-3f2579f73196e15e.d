@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quasaq-3f2579f73196e15e.d: src/lib.rs
+
+/root/repo/target/debug/deps/quasaq-3f2579f73196e15e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quasaq-5042ff5d7be0b377.d: src/lib.rs
+
+/root/repo/target/debug/deps/libquasaq-5042ff5d7be0b377.rmeta: src/lib.rs
+
+src/lib.rs:

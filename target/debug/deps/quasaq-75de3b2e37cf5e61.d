@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quasaq-75de3b2e37cf5e61.d: src/lib.rs
+
+/root/repo/target/debug/deps/libquasaq-75de3b2e37cf5e61.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libquasaq-75de3b2e37cf5e61.rmeta: src/lib.rs
+
+src/lib.rs:

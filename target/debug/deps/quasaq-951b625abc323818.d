@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quasaq-951b625abc323818.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquasaq-951b625abc323818.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

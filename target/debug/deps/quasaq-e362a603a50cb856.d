@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quasaq-e362a603a50cb856.d: src/lib.rs
+
+/root/repo/target/debug/deps/libquasaq-e362a603a50cb856.rmeta: src/lib.rs
+
+src/lib.rs:

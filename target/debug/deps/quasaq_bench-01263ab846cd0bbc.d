@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quasaq_bench-01263ab846cd0bbc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libquasaq_bench-01263ab846cd0bbc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libquasaq_bench-01263ab846cd0bbc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quasaq_bench-374e03c19a1601a8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libquasaq_bench-374e03c19a1601a8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quasaq_bench-926c412071c9d781.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquasaq_bench-926c412071c9d781.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

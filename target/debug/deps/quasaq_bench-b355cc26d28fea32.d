@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quasaq_bench-b355cc26d28fea32.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/quasaq_bench-b355cc26d28fea32: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

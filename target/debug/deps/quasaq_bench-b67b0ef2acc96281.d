@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quasaq_bench-b67b0ef2acc96281.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libquasaq_bench-b67b0ef2acc96281.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

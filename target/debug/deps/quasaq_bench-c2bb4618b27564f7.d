@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quasaq_bench-c2bb4618b27564f7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquasaq_bench-c2bb4618b27564f7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/quasaq_core-601e855d56778e54.d: crates/core/src/lib.rs crates/core/src/cost/mod.rs crates/core/src/cost/efficiency.rs crates/core/src/cost/lrb.rs crates/core/src/cost/minbitrate.rs crates/core/src/cost/random.rs crates/core/src/cost/weighted.rs crates/core/src/executor.rs crates/core/src/generator.rs crates/core/src/manager.rs crates/core/src/plan.rs crates/core/src/qop.rs
+
+/root/repo/target/debug/deps/libquasaq_core-601e855d56778e54.rmeta: crates/core/src/lib.rs crates/core/src/cost/mod.rs crates/core/src/cost/efficiency.rs crates/core/src/cost/lrb.rs crates/core/src/cost/minbitrate.rs crates/core/src/cost/random.rs crates/core/src/cost/weighted.rs crates/core/src/executor.rs crates/core/src/generator.rs crates/core/src/manager.rs crates/core/src/plan.rs crates/core/src/qop.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost/mod.rs:
+crates/core/src/cost/efficiency.rs:
+crates/core/src/cost/lrb.rs:
+crates/core/src/cost/minbitrate.rs:
+crates/core/src/cost/random.rs:
+crates/core/src/cost/weighted.rs:
+crates/core/src/executor.rs:
+crates/core/src/generator.rs:
+crates/core/src/manager.rs:
+crates/core/src/plan.rs:
+crates/core/src/qop.rs:

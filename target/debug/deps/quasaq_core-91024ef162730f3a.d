@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/quasaq_core-91024ef162730f3a.d: crates/core/src/lib.rs crates/core/src/cost/mod.rs crates/core/src/cost/efficiency.rs crates/core/src/cost/lrb.rs crates/core/src/cost/minbitrate.rs crates/core/src/cost/random.rs crates/core/src/cost/weighted.rs crates/core/src/executor.rs crates/core/src/generator.rs crates/core/src/manager.rs crates/core/src/plan.rs crates/core/src/qop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquasaq_core-91024ef162730f3a.rmeta: crates/core/src/lib.rs crates/core/src/cost/mod.rs crates/core/src/cost/efficiency.rs crates/core/src/cost/lrb.rs crates/core/src/cost/minbitrate.rs crates/core/src/cost/random.rs crates/core/src/cost/weighted.rs crates/core/src/executor.rs crates/core/src/generator.rs crates/core/src/manager.rs crates/core/src/plan.rs crates/core/src/qop.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cost/mod.rs:
+crates/core/src/cost/efficiency.rs:
+crates/core/src/cost/lrb.rs:
+crates/core/src/cost/minbitrate.rs:
+crates/core/src/cost/random.rs:
+crates/core/src/cost/weighted.rs:
+crates/core/src/executor.rs:
+crates/core/src/generator.rs:
+crates/core/src/manager.rs:
+crates/core/src/plan.rs:
+crates/core/src/qop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/quasaq_media-0c9a4ff8e1dad254.d: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs
+
+/root/repo/target/debug/deps/quasaq_media-0c9a4ff8e1dad254: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs
+
+crates/media/src/lib.rs:
+crates/media/src/costmodel.rs:
+crates/media/src/drop.rs:
+crates/media/src/encrypt.rs:
+crates/media/src/gop.rs:
+crates/media/src/library.rs:
+crates/media/src/quality.rs:
+crates/media/src/trace.rs:
+crates/media/src/transcode.rs:
+crates/media/src/video.rs:

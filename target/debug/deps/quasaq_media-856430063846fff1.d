@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/quasaq_media-856430063846fff1.d: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs
+
+/root/repo/target/debug/deps/libquasaq_media-856430063846fff1.rlib: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs
+
+/root/repo/target/debug/deps/libquasaq_media-856430063846fff1.rmeta: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs
+
+crates/media/src/lib.rs:
+crates/media/src/costmodel.rs:
+crates/media/src/drop.rs:
+crates/media/src/encrypt.rs:
+crates/media/src/gop.rs:
+crates/media/src/library.rs:
+crates/media/src/quality.rs:
+crates/media/src/trace.rs:
+crates/media/src/transcode.rs:
+crates/media/src/video.rs:

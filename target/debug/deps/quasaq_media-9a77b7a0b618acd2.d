@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/quasaq_media-9a77b7a0b618acd2.d: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquasaq_media-9a77b7a0b618acd2.rmeta: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs Cargo.toml
+
+crates/media/src/lib.rs:
+crates/media/src/costmodel.rs:
+crates/media/src/drop.rs:
+crates/media/src/encrypt.rs:
+crates/media/src/gop.rs:
+crates/media/src/library.rs:
+crates/media/src/quality.rs:
+crates/media/src/trace.rs:
+crates/media/src/transcode.rs:
+crates/media/src/video.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

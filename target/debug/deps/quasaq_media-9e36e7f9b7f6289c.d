@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/quasaq_media-9e36e7f9b7f6289c.d: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs
+
+/root/repo/target/debug/deps/libquasaq_media-9e36e7f9b7f6289c.rmeta: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs
+
+crates/media/src/lib.rs:
+crates/media/src/costmodel.rs:
+crates/media/src/drop.rs:
+crates/media/src/encrypt.rs:
+crates/media/src/gop.rs:
+crates/media/src/library.rs:
+crates/media/src/quality.rs:
+crates/media/src/trace.rs:
+crates/media/src/transcode.rs:
+crates/media/src/video.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quasaq_qosapi-024f350348ad0f9b.d: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquasaq_qosapi-024f350348ad0f9b.rmeta: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs Cargo.toml
+
+crates/qosapi/src/lib.rs:
+crates/qosapi/src/composite.rs:
+crates/qosapi/src/manager.rs:
+crates/qosapi/src/resource.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

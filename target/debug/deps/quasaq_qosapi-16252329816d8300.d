@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quasaq_qosapi-16252329816d8300.d: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs
+
+/root/repo/target/debug/deps/libquasaq_qosapi-16252329816d8300.rlib: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs
+
+/root/repo/target/debug/deps/libquasaq_qosapi-16252329816d8300.rmeta: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs
+
+crates/qosapi/src/lib.rs:
+crates/qosapi/src/composite.rs:
+crates/qosapi/src/manager.rs:
+crates/qosapi/src/resource.rs:

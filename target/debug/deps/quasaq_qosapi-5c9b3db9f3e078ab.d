@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quasaq_qosapi-5c9b3db9f3e078ab.d: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs
+
+/root/repo/target/debug/deps/quasaq_qosapi-5c9b3db9f3e078ab: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs
+
+crates/qosapi/src/lib.rs:
+crates/qosapi/src/composite.rs:
+crates/qosapi/src/manager.rs:
+crates/qosapi/src/resource.rs:

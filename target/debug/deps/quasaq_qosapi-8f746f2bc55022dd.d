@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quasaq_qosapi-8f746f2bc55022dd.d: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs
+
+/root/repo/target/debug/deps/libquasaq_qosapi-8f746f2bc55022dd.rmeta: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs
+
+crates/qosapi/src/lib.rs:
+crates/qosapi/src/composite.rs:
+crates/qosapi/src/manager.rs:
+crates/qosapi/src/resource.rs:

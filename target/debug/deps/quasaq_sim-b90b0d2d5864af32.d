@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/quasaq_sim-b90b0d2d5864af32.d: crates/sim/src/lib.rs crates/sim/src/cpu/mod.rs crates/sim/src/cpu/dsrt.rs crates/sim/src/cpu/timesharing.rs crates/sim/src/link.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+/root/repo/target/debug/deps/libquasaq_sim-b90b0d2d5864af32.rlib: crates/sim/src/lib.rs crates/sim/src/cpu/mod.rs crates/sim/src/cpu/dsrt.rs crates/sim/src/cpu/timesharing.rs crates/sim/src/link.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+/root/repo/target/debug/deps/libquasaq_sim-b90b0d2d5864af32.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu/mod.rs crates/sim/src/cpu/dsrt.rs crates/sim/src/cpu/timesharing.rs crates/sim/src/link.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/topology.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu/mod.rs:
+crates/sim/src/cpu/dsrt.rs:
+crates/sim/src/cpu/timesharing.rs:
+crates/sim/src/link.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/topology.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/quasaq_sim-d1ead9005698355c.d: crates/sim/src/lib.rs crates/sim/src/cpu/mod.rs crates/sim/src/cpu/dsrt.rs crates/sim/src/cpu/timesharing.rs crates/sim/src/link.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquasaq_sim-d1ead9005698355c.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu/mod.rs crates/sim/src/cpu/dsrt.rs crates/sim/src/cpu/timesharing.rs crates/sim/src/link.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/topology.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu/mod.rs:
+crates/sim/src/cpu/dsrt.rs:
+crates/sim/src/cpu/timesharing.rs:
+crates/sim/src/link.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quasaq_store-74f336f0bd608b5c.d: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquasaq_store-74f336f0bd608b5c.rmeta: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/engine.rs:
+crates/store/src/metadata.rs:
+crates/store/src/object.rs:
+crates/store/src/replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quasaq_store-842b2de8259825a8.d: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs
+
+/root/repo/target/debug/deps/libquasaq_store-842b2de8259825a8.rmeta: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs
+
+crates/store/src/lib.rs:
+crates/store/src/engine.rs:
+crates/store/src/metadata.rs:
+crates/store/src/object.rs:
+crates/store/src/replication.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quasaq_store-c36c46eb2cfd710b.d: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs
+
+/root/repo/target/debug/deps/libquasaq_store-c36c46eb2cfd710b.rlib: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs
+
+/root/repo/target/debug/deps/libquasaq_store-c36c46eb2cfd710b.rmeta: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs
+
+crates/store/src/lib.rs:
+crates/store/src/engine.rs:
+crates/store/src/metadata.rs:
+crates/store/src/object.rs:
+crates/store/src/replication.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quasaq_store-ca8a5c7342306f3b.d: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs
+
+/root/repo/target/debug/deps/libquasaq_store-ca8a5c7342306f3b.rmeta: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs
+
+crates/store/src/lib.rs:
+crates/store/src/engine.rs:
+crates/store/src/metadata.rs:
+crates/store/src/object.rs:
+crates/store/src/replication.rs:

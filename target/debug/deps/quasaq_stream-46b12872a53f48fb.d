@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quasaq_stream-46b12872a53f48fb.d: crates/stream/src/lib.rs crates/stream/src/cpumodel.rs crates/stream/src/engine.rs crates/stream/src/fluid.rs crates/stream/src/report.rs crates/stream/src/schedule.rs crates/stream/src/transforms.rs
+
+/root/repo/target/debug/deps/libquasaq_stream-46b12872a53f48fb.rmeta: crates/stream/src/lib.rs crates/stream/src/cpumodel.rs crates/stream/src/engine.rs crates/stream/src/fluid.rs crates/stream/src/report.rs crates/stream/src/schedule.rs crates/stream/src/transforms.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/cpumodel.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/fluid.rs:
+crates/stream/src/report.rs:
+crates/stream/src/schedule.rs:
+crates/stream/src/transforms.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quasaq_stream-9aa840a9208988ed.d: crates/stream/src/lib.rs crates/stream/src/cpumodel.rs crates/stream/src/engine.rs crates/stream/src/fluid.rs crates/stream/src/report.rs crates/stream/src/schedule.rs crates/stream/src/transforms.rs
+
+/root/repo/target/debug/deps/quasaq_stream-9aa840a9208988ed: crates/stream/src/lib.rs crates/stream/src/cpumodel.rs crates/stream/src/engine.rs crates/stream/src/fluid.rs crates/stream/src/report.rs crates/stream/src/schedule.rs crates/stream/src/transforms.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/cpumodel.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/fluid.rs:
+crates/stream/src/report.rs:
+crates/stream/src/schedule.rs:
+crates/stream/src/transforms.rs:

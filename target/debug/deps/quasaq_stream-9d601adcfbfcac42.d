@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/quasaq_stream-9d601adcfbfcac42.d: crates/stream/src/lib.rs crates/stream/src/cpumodel.rs crates/stream/src/engine.rs crates/stream/src/fluid.rs crates/stream/src/report.rs crates/stream/src/schedule.rs crates/stream/src/transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquasaq_stream-9d601adcfbfcac42.rmeta: crates/stream/src/lib.rs crates/stream/src/cpumodel.rs crates/stream/src/engine.rs crates/stream/src/fluid.rs crates/stream/src/report.rs crates/stream/src/schedule.rs crates/stream/src/transforms.rs Cargo.toml
+
+crates/stream/src/lib.rs:
+crates/stream/src/cpumodel.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/fluid.rs:
+crates/stream/src/report.rs:
+crates/stream/src/schedule.rs:
+crates/stream/src/transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

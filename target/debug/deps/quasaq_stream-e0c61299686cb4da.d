@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quasaq_stream-e0c61299686cb4da.d: crates/stream/src/lib.rs crates/stream/src/cpumodel.rs crates/stream/src/engine.rs crates/stream/src/fluid.rs crates/stream/src/report.rs crates/stream/src/schedule.rs crates/stream/src/transforms.rs
+
+/root/repo/target/debug/deps/libquasaq_stream-e0c61299686cb4da.rmeta: crates/stream/src/lib.rs crates/stream/src/cpumodel.rs crates/stream/src/engine.rs crates/stream/src/fluid.rs crates/stream/src/report.rs crates/stream/src/schedule.rs crates/stream/src/transforms.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/cpumodel.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/fluid.rs:
+crates/stream/src/report.rs:
+crates/stream/src/schedule.rs:
+crates/stream/src/transforms.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quasaq_vdbms-8dcb037964fef4d9.d: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquasaq_vdbms-8dcb037964fef4d9.rmeta: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs Cargo.toml
+
+crates/vdbms/src/lib.rs:
+crates/vdbms/src/baseline.rs:
+crates/vdbms/src/query.rs:
+crates/vdbms/src/search.rs:
+crates/vdbms/src/sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quasaq_vdbms-adfe1cc5eb3476c0.d: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs
+
+/root/repo/target/debug/deps/libquasaq_vdbms-adfe1cc5eb3476c0.rlib: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs
+
+/root/repo/target/debug/deps/libquasaq_vdbms-adfe1cc5eb3476c0.rmeta: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs
+
+crates/vdbms/src/lib.rs:
+crates/vdbms/src/baseline.rs:
+crates/vdbms/src/query.rs:
+crates/vdbms/src/search.rs:
+crates/vdbms/src/sql.rs:

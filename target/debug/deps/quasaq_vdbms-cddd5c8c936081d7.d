@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quasaq_vdbms-cddd5c8c936081d7.d: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs
+
+/root/repo/target/debug/deps/libquasaq_vdbms-cddd5c8c936081d7.rmeta: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs
+
+crates/vdbms/src/lib.rs:
+crates/vdbms/src/baseline.rs:
+crates/vdbms/src/query.rs:
+crates/vdbms/src/search.rs:
+crates/vdbms/src/sql.rs:

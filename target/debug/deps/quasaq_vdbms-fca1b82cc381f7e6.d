@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quasaq_vdbms-fca1b82cc381f7e6.d: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs
+
+/root/repo/target/debug/deps/quasaq_vdbms-fca1b82cc381f7e6: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs
+
+crates/vdbms/src/lib.rs:
+crates/vdbms/src/baseline.rs:
+crates/vdbms/src/query.rs:
+crates/vdbms/src/search.rs:
+crates/vdbms/src/sql.rs:

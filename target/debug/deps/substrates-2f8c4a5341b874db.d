@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-2f8c4a5341b874db.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/libsubstrates-2f8c4a5341b874db.rmeta: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

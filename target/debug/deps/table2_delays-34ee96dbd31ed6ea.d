@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_delays-34ee96dbd31ed6ea.d: crates/bench/benches/table2_delays.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_delays-34ee96dbd31ed6ea.rmeta: crates/bench/benches/table2_delays.rs Cargo.toml
+
+crates/bench/benches/table2_delays.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_delays-72581bc5c53a9941.d: crates/bench/benches/table2_delays.rs
+
+/root/repo/target/debug/deps/libtable2_delays-72581bc5c53a9941.rmeta: crates/bench/benches/table2_delays.rs
+
+crates/bench/benches/table2_delays.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_replication-547fe24111e0c689.d: examples/distributed_replication.rs
+
+/root/repo/target/debug/examples/libdistributed_replication-547fe24111e0c689.rmeta: examples/distributed_replication.rs
+
+examples/distributed_replication.rs:

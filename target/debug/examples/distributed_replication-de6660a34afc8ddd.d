@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_replication-de6660a34afc8ddd.d: examples/distributed_replication.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_replication-de6660a34afc8ddd.rmeta: examples/distributed_replication.rs Cargo.toml
+
+examples/distributed_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

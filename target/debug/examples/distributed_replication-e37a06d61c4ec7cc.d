@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_replication-e37a06d61c4ec7cc.d: examples/distributed_replication.rs
+
+/root/repo/target/debug/examples/distributed_replication-e37a06d61c4ec7cc: examples/distributed_replication.rs
+
+examples/distributed_replication.rs:

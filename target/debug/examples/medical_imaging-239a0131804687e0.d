@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/medical_imaging-239a0131804687e0.d: examples/medical_imaging.rs
+
+/root/repo/target/debug/examples/medical_imaging-239a0131804687e0: examples/medical_imaging.rs
+
+examples/medical_imaging.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/medical_imaging-628291e259da54a7.d: examples/medical_imaging.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmedical_imaging-628291e259da54a7.rmeta: examples/medical_imaging.rs Cargo.toml
+
+examples/medical_imaging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

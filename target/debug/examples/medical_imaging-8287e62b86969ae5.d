@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/medical_imaging-8287e62b86969ae5.d: examples/medical_imaging.rs
+
+/root/repo/target/debug/examples/libmedical_imaging-8287e62b86969ae5.rmeta: examples/medical_imaging.rs
+
+examples/medical_imaging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-205c5ff343c9a780.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-205c5ff343c9a780.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

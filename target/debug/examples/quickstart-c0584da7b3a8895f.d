@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c0584da7b3a8895f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c0584da7b3a8895f: examples/quickstart.rs
+
+examples/quickstart.rs:

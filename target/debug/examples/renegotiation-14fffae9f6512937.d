@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/renegotiation-14fffae9f6512937.d: examples/renegotiation.rs
+
+/root/repo/target/debug/examples/librenegotiation-14fffae9f6512937.rmeta: examples/renegotiation.rs
+
+examples/renegotiation.rs:

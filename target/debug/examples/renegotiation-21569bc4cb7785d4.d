@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/renegotiation-21569bc4cb7785d4.d: examples/renegotiation.rs Cargo.toml
+
+/root/repo/target/debug/examples/librenegotiation-21569bc4cb7785d4.rmeta: examples/renegotiation.rs Cargo.toml
+
+examples/renegotiation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/renegotiation-9dfbb680651d8270.d: examples/renegotiation.rs
+
+/root/repo/target/debug/examples/renegotiation-9dfbb680651d8270: examples/renegotiation.rs
+
+examples/renegotiation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-0f69cf08a5d70a64.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/release/deps/bench-0f69cf08a5d70a64: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

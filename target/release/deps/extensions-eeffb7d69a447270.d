@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-eeffb7d69a447270.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/release/deps/extensions-eeffb7d69a447270: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_throughput-43fe80723304539f.d: crates/bench/benches/fig6_throughput.rs
+
+/root/repo/target/release/deps/fig6_throughput-43fe80723304539f: crates/bench/benches/fig6_throughput.rs
+
+crates/bench/benches/fig6_throughput.rs:

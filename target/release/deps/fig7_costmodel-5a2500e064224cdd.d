@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_costmodel-5a2500e064224cdd.d: crates/bench/benches/fig7_costmodel.rs
+
+/root/repo/target/release/deps/fig7_costmodel-5a2500e064224cdd: crates/bench/benches/fig7_costmodel.rs
+
+crates/bench/benches/fig7_costmodel.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-fa59a05c369766ae.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-fa59a05c369766ae.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-fa59a05c369766ae.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/quasaq-867520e1164f58f2.d: src/lib.rs
+
+/root/repo/target/release/deps/libquasaq-867520e1164f58f2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libquasaq-867520e1164f58f2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/quasaq_bench-5ee0bcf86f7f85ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libquasaq_bench-5ee0bcf86f7f85ea.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libquasaq_bench-5ee0bcf86f7f85ea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/quasaq_media-b946162e450479e3.d: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs
+
+/root/repo/target/release/deps/libquasaq_media-b946162e450479e3.rlib: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs
+
+/root/repo/target/release/deps/libquasaq_media-b946162e450479e3.rmeta: crates/media/src/lib.rs crates/media/src/costmodel.rs crates/media/src/drop.rs crates/media/src/encrypt.rs crates/media/src/gop.rs crates/media/src/library.rs crates/media/src/quality.rs crates/media/src/trace.rs crates/media/src/transcode.rs crates/media/src/video.rs
+
+crates/media/src/lib.rs:
+crates/media/src/costmodel.rs:
+crates/media/src/drop.rs:
+crates/media/src/encrypt.rs:
+crates/media/src/gop.rs:
+crates/media/src/library.rs:
+crates/media/src/quality.rs:
+crates/media/src/trace.rs:
+crates/media/src/transcode.rs:
+crates/media/src/video.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/quasaq_qosapi-4ff4e150ea6d9ca2.d: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs
+
+/root/repo/target/release/deps/libquasaq_qosapi-4ff4e150ea6d9ca2.rlib: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs
+
+/root/repo/target/release/deps/libquasaq_qosapi-4ff4e150ea6d9ca2.rmeta: crates/qosapi/src/lib.rs crates/qosapi/src/composite.rs crates/qosapi/src/manager.rs crates/qosapi/src/resource.rs
+
+crates/qosapi/src/lib.rs:
+crates/qosapi/src/composite.rs:
+crates/qosapi/src/manager.rs:
+crates/qosapi/src/resource.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/quasaq_store-658e78a374efdf9b.d: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs
+
+/root/repo/target/release/deps/libquasaq_store-658e78a374efdf9b.rlib: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs
+
+/root/repo/target/release/deps/libquasaq_store-658e78a374efdf9b.rmeta: crates/store/src/lib.rs crates/store/src/engine.rs crates/store/src/metadata.rs crates/store/src/object.rs crates/store/src/replication.rs
+
+crates/store/src/lib.rs:
+crates/store/src/engine.rs:
+crates/store/src/metadata.rs:
+crates/store/src/object.rs:
+crates/store/src/replication.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/quasaq_stream-fd265d738fb3a8ac.d: crates/stream/src/lib.rs crates/stream/src/cpumodel.rs crates/stream/src/engine.rs crates/stream/src/fluid.rs crates/stream/src/report.rs crates/stream/src/schedule.rs crates/stream/src/transforms.rs
+
+/root/repo/target/release/deps/libquasaq_stream-fd265d738fb3a8ac.rlib: crates/stream/src/lib.rs crates/stream/src/cpumodel.rs crates/stream/src/engine.rs crates/stream/src/fluid.rs crates/stream/src/report.rs crates/stream/src/schedule.rs crates/stream/src/transforms.rs
+
+/root/repo/target/release/deps/libquasaq_stream-fd265d738fb3a8ac.rmeta: crates/stream/src/lib.rs crates/stream/src/cpumodel.rs crates/stream/src/engine.rs crates/stream/src/fluid.rs crates/stream/src/report.rs crates/stream/src/schedule.rs crates/stream/src/transforms.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/cpumodel.rs:
+crates/stream/src/engine.rs:
+crates/stream/src/fluid.rs:
+crates/stream/src/report.rs:
+crates/stream/src/schedule.rs:
+crates/stream/src/transforms.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/quasaq_vdbms-ece0bd68ed3fcd46.d: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs
+
+/root/repo/target/release/deps/libquasaq_vdbms-ece0bd68ed3fcd46.rlib: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs
+
+/root/repo/target/release/deps/libquasaq_vdbms-ece0bd68ed3fcd46.rmeta: crates/vdbms/src/lib.rs crates/vdbms/src/baseline.rs crates/vdbms/src/query.rs crates/vdbms/src/search.rs crates/vdbms/src/sql.rs
+
+crates/vdbms/src/lib.rs:
+crates/vdbms/src/baseline.rs:
+crates/vdbms/src/query.rs:
+crates/vdbms/src/search.rs:
+crates/vdbms/src/sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9f0c2bd686fd4d8a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9f0c2bd686fd4d8a: examples/quickstart.rs
+
+examples/quickstart.rs:

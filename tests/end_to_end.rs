@@ -11,8 +11,8 @@ use quasaq::sim::{Rng, ServerId, SimDuration, SimTime};
 use quasaq::stream::{NodeConfig, StreamEngine};
 use quasaq::vdbms;
 use quasaq::workload::{
-    run_fig5, run_throughput, CostKind, Contention, Fig5Config, Fig5System, SystemKind, Testbed,
-    TestbedConfig, ThroughputConfig,
+    run_fig5, run_throughput, run_throughput_scenarios, Contention, CostKind, Fig5Config,
+    Fig5System, SystemKind, Testbed, TestbedConfig, ThroughputConfig,
 };
 
 fn testbed() -> Testbed {
@@ -30,11 +30,8 @@ fn sql_to_streamed_frames() {
     let video = vdbms::resolve_one(&tb.engine, &query).unwrap();
     let meta = tb.engine.video(video).unwrap().clone();
 
-    let request = PlanRequest {
-        video,
-        qos: query.qos.clone().unwrap(),
-        security: QopSecurity::Open,
-    };
+    let request =
+        PlanRequest { video, qos: query.qos.clone().unwrap(), security: QopSecurity::Open };
     let mut manager = tb.quality_manager(CostKind::Lrb);
     let mut rng = Rng::new(1);
     let admitted = manager.process(&tb.engine, &request, &mut rng).unwrap();
@@ -147,10 +144,17 @@ fn throughput_ordering_matches_fig6_and_fig7() {
         local_plans_only: false,
     };
     let h = cfg.horizon;
-    let plain = run_throughput(SystemKind::Vdbms, &cfg);
-    let qosapi = run_throughput(SystemKind::VdbmsQosApi, &cfg);
-    let lrb = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
-    let random = run_throughput(SystemKind::Quasaq(CostKind::Random), &cfg);
+    // Four independent runs: fan them across cores via the scenario runner
+    // (bit-identical to serial calls, collected in scenario order).
+    let scenarios = vec![
+        (SystemKind::Vdbms, cfg.clone()),
+        (SystemKind::VdbmsQosApi, cfg.clone()),
+        (SystemKind::Quasaq(CostKind::Lrb), cfg.clone()),
+        (SystemKind::Quasaq(CostKind::Random), cfg),
+    ];
+    let mut runs = run_throughput_scenarios(&scenarios).into_iter();
+    let (plain, qosapi, lrb, random) =
+        (runs.next().unwrap(), runs.next().unwrap(), runs.next().unwrap(), runs.next().unwrap());
 
     // Fig 6a ordering: plain piles up the most sessions; QuaSAQ sustains
     // more than QoS-API.
@@ -265,8 +269,12 @@ fn utility_optimizer_trades_throughput_for_quality() {
         video_skew: 0.0,
         local_plans_only: false,
     };
-    let lrb = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
-    let utility = run_throughput(SystemKind::Quasaq(CostKind::Utility), &cfg);
+    let scenarios = vec![
+        (SystemKind::Quasaq(CostKind::Lrb), cfg.clone()),
+        (SystemKind::Quasaq(CostKind::Utility), cfg.clone()),
+    ];
+    let mut runs = run_throughput_scenarios(&scenarios).into_iter();
+    let (lrb, utility) = (runs.next().unwrap(), runs.next().unwrap());
     let (lu, uu) = (lrb.mean_utility.unwrap(), utility.mean_utility.unwrap());
     assert!(uu > lu, "utility optimizer must deliver richer quality ({uu} vs {lu})");
     assert!(

@@ -16,11 +16,11 @@ fn testbed() -> Testbed {
 /// An arbitrary (possibly strict, possibly loose) valid QoS range.
 fn qos_range_strategy() -> impl Strategy<Value = QosRange> {
     (
-        0u32..3,    // min resolution rung
-        0u32..3,    // extra rungs of ceiling above the floor
-        8u8..=24,   // min color bits
-        5u32..24,   // min fps
-        0u32..20,   // extra fps of ceiling
+        0u32..3,  // min resolution rung
+        0u32..3,  // extra rungs of ceiling above the floor
+        8u8..=24, // min color bits
+        5u32..24, // min fps
+        0u32..20, // extra fps of ceiling
     )
         .prop_map(|(floor, extra, color, min_fps, extra_fps)| {
             let rungs = [
