@@ -1,8 +1,8 @@
 //! Wall-clock benchmark of the scenario-parallel experiment runner.
 //!
-//! Runs the Fig 6 and Fig 7 harness scenario suites twice — once as a
-//! plain serial loop over [`run_throughput`], once through
-//! [`run_throughput_scenarios`] — verifies the outputs are bit-identical,
+//! Runs the Fig 6, Fig 7, and queued-admission harness scenario suites
+//! twice — once as a plain serial loop over [`run_throughput`], once
+//! through [`run_throughput_scenarios`] — verifies the outputs are bit-identical,
 //! and records the timings in `BENCH_throughput.json` at the repo root:
 //!
 //! ```text
@@ -38,9 +38,11 @@ struct Timing {
 fn suites(quick: bool) -> Vec<Suite> {
     let mut fig6 = ThroughputConfig::fig6();
     let mut fig7 = ThroughputConfig::fig7();
+    let mut queued = ThroughputConfig::queued();
     if quick {
         fig6.horizon = SimTime::from_secs(120);
         fig7.horizon = SimTime::from_secs(120);
+        queued.horizon = SimTime::from_secs(120);
     }
     vec![
         Suite {
@@ -56,6 +58,17 @@ fn suites(quick: bool) -> Vec<Suite> {
             scenarios: vec![
                 (SystemKind::Quasaq(CostKind::Lrb), fig7.clone()),
                 (SystemKind::Quasaq(CostKind::Random), fig7),
+            ],
+        },
+        // The queued admission front end stresses a different event mix
+        // (retries, ladder walks, stream deadlines) through the same
+        // serial-vs-parallel bit-identity check.
+        Suite {
+            name: "queued",
+            scenarios: vec![
+                (SystemKind::Vdbms, queued.clone()),
+                (SystemKind::VdbmsQosApi, queued.clone()),
+                (SystemKind::Quasaq(CostKind::Lrb), queued),
             ],
         },
     ]

@@ -37,6 +37,15 @@ pub enum Rejection {
     AdmissionFailed,
 }
 
+impl Rejection {
+    /// Whether waiting and retrying could help: admission failures are
+    /// load-dependent and clear when sessions finish, while an empty plan
+    /// space is static — no amount of queueing produces a replica.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Rejection::AdmissionFailed)
+    }
+}
+
 impl std::fmt::Display for Rejection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -170,14 +179,26 @@ impl QualityManager {
         match self.process(engine, request, rng) {
             Ok(admitted) => SecondChance::AsRequested(admitted),
             Err(first_err) => {
+                // The reported reason must reflect the *whole* walk: if any
+                // attempt — original or degraded — had feasible plans that
+                // admission turned away, the rejection is transient
+                // overload, not static infeasibility. Reporting the
+                // original request's error here made retry policies treat
+                // recoverable congestion as hopeless.
+                let mut any_admission_failure = first_err == Rejection::AdmissionFailed;
                 for (i, alt) in profile.degrade_options(&request.qos).into_iter().enumerate() {
                     let alt_request =
                         PlanRequest { video: request.video, qos: alt, security: request.security };
-                    if let Ok(admitted) = self.process(engine, &alt_request, rng) {
-                        return SecondChance::Degraded { admitted, option: i };
+                    match self.process(engine, &alt_request, rng) {
+                        Ok(admitted) => return SecondChance::Degraded { admitted, option: i },
+                        Err(err) => any_admission_failure |= err == Rejection::AdmissionFailed,
                     }
                 }
-                SecondChance::Rejected(first_err)
+                SecondChance::Rejected(if any_admission_failure {
+                    Rejection::AdmissionFailed
+                } else {
+                    Rejection::NoFeasiblePlan
+                })
             }
         }
     }
@@ -212,18 +233,22 @@ impl QualityManager {
         new_request: &PlanRequest,
         rng: &mut Rng,
     ) -> Result<AdmittedPlan, Rejection> {
-        let generated = self.generator.generate(engine, new_request);
-        if generated.is_empty() {
+        // Same recycled buffer as `process` — renegotiation is on the
+        // playback path and should not regrow the plan space cold.
+        self.generator.generate_into(engine, new_request, &mut self.plan_buf);
+        if self.plan_buf.is_empty() {
             return Err(Rejection::NoFeasiblePlan);
         }
-        let plans = self.generator.drop_infeasible(generated, &self.api);
-        if plans.is_empty() {
+        self.generator.retain_feasible(&mut self.plan_buf, &self.api);
+        if self.plan_buf.is_empty() {
             return Err(Rejection::NoFeasiblePlan);
         }
-        let order = self.cost_model.rank(&plans, &self.api, rng);
+        let order = self.cost_model.rank(&self.plan_buf, &self.api, rng);
         for &i in &order {
-            if let Ok(new_id) = self.api.renegotiate(admitted.reservation, &plans[i].resources) {
-                return Ok(AdmittedPlan { plan: plans[i].clone(), reservation: new_id });
+            if let Ok(new_id) =
+                self.api.renegotiate(admitted.reservation, &self.plan_buf[i].resources)
+            {
+                return Ok(AdmittedPlan { plan: self.plan_buf[i].clone(), reservation: new_id });
             }
         }
         Err(Rejection::AdmissionFailed)
@@ -351,6 +376,71 @@ mod tests {
                 assert!(admitted.plan.delivered_bps <= 120_000.0);
             }
             other => panic!("expected degraded outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_chance_reports_transient_overload() {
+        let e = engine();
+        // Same tiny cluster as the degradation test, but saturated first.
+        let mut m = QualityManager::new(
+            CompositeQosApi::homogeneous_cluster(3, 120_000.0, 20_000_000.0, 512e6),
+            PlanGenerator::new(GeneratorConfig::default()),
+            Box::new(LrbModel),
+        );
+        let profile = UserProfile::new("u");
+        let mut rng = Rng::new(9);
+        let mut guard = 0u32;
+        loop {
+            let req = PlanRequest {
+                video: VideoId(guard % 15),
+                qos: profile.translate(&QopRequest::organizational()),
+                security: QopSecurity::Open,
+            };
+            let outcome = m.process_with_second_chance(&e, &req, &profile, &mut rng);
+            if matches!(outcome, SecondChance::Rejected(_)) {
+                break;
+            }
+            guard += 1;
+            assert!(guard < 10_000, "cluster never saturated");
+        }
+        // Diagnostic floor (VGA+) exceeds every link's capacity, so the
+        // original attempt is statically infeasible — but its degraded
+        // alternatives have capacity-feasible plans that only fail
+        // admission on the saturated cluster. The walk must surface that
+        // as transient overload, not NoFeasiblePlan.
+        let req = PlanRequest {
+            video: VideoId(0),
+            qos: profile.translate(&QopRequest::diagnostic()),
+            security: QopSecurity::Open,
+        };
+        match m.process_with_second_chance(&e, &req, &profile, &mut rng) {
+            SecondChance::Rejected(rej) => {
+                assert_eq!(rej, Rejection::AdmissionFailed);
+                assert!(rej.is_transient());
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_chance_keeps_hopeless_requests_hopeless() {
+        let e = engine();
+        let mut m = manager();
+        let profile = UserProfile::new("u");
+        let mut rng = Rng::new(10);
+        // A floor far above any stored replica: one degradation step
+        // (halving) still lands above FULL, so every alternative stays
+        // statically infeasible and the reason must remain NoFeasiblePlan.
+        let mut req = request(0);
+        req.qos.min_resolution = quasaq_media::Resolution::new(4000, 3000);
+        req.qos.max_resolution = quasaq_media::Resolution::new(8000, 6000);
+        match m.process_with_second_chance(&e, &req, &profile, &mut rng) {
+            SecondChance::Rejected(rej) => {
+                assert_eq!(rej, Rejection::NoFeasiblePlan);
+                assert!(!rej.is_transient());
+            }
+            other => panic!("expected rejection, got {other:?}"),
         }
     }
 

@@ -4,6 +4,25 @@ use proptest::prelude::*;
 use quasaq_qosapi::{CompositeQosApi, ResourceKey, ResourceKind, ResourceVector};
 use quasaq_sim::ServerId;
 
+/// A demand confined to one server, small enough (≤ 4 parts × 0.2 of
+/// capacity each) that it always fits an idle server.
+fn demand_on(server: u32) -> impl Strategy<Value = ResourceVector> {
+    proptest::collection::vec((0usize..4, 0.0f64..0.2), 1..5).prop_map(move |parts| {
+        let mut v = ResourceVector::new();
+        for (kind_idx, frac) in parts {
+            let kind = ResourceKind::ALL[kind_idx];
+            let amount = match kind {
+                ResourceKind::Cpu => frac,
+                ResourceKind::NetBandwidth => frac * 3_200_000.0,
+                ResourceKind::DiskBandwidth => frac * 20_000_000.0,
+                ResourceKind::Memory => frac * 512e6,
+            };
+            v.add(ResourceKey::new(ServerId(server), kind), amount);
+        }
+        v
+    })
+}
+
 fn demand_strategy() -> impl Strategy<Value = ResourceVector> {
     proptest::collection::vec((0u32..3, 0usize..4, 0.0f64..0.4), 1..5).prop_map(|parts| {
         let mut v = ResourceVector::new();
@@ -110,5 +129,83 @@ proptest! {
             }
         }
         prop_assert_eq!(api.reservation_count(), 1);
+    }
+
+    /// A rejected renegotiation happens entirely in the feasibility
+    /// pre-check, before any bucket is touched — so every bucket's usage
+    /// is *bitwise* identical afterwards, not merely close. This is the
+    /// invariant the queued admission front end leans on: a failed retry
+    /// must leave the cluster exactly as it found it.
+    #[test]
+    fn failed_renegotiation_restores_usage_bitwise(
+        preload in demand_strategy(),
+        first in demand_strategy(),
+    ) {
+        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        let _ = api.reserve(&preload);
+        prop_assume!(api.admits(&first).is_ok());
+        let id = api.reserve(&first).unwrap();
+        let keys: Vec<_> = api.buckets().collect();
+        let before: Vec<u64> = keys.iter().map(|&k| api.used(k).unwrap().to_bits()).collect();
+        let count = api.reservation_count();
+        // Three servers' CPUs hold at most 1.0 each, so 3.0 on one CPU can
+        // never fit, even counting the old reservation's own share.
+        let mut impossible = ResourceVector::new();
+        impossible.add(ResourceKey::new(ServerId(0), ResourceKind::Cpu), 3.0);
+        prop_assert!(api.renegotiate(id, &impossible).is_err());
+        let after: Vec<u64> = keys.iter().map(|&k| api.used(k).unwrap().to_bits()).collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(api.demand_of(id), Some(&first));
+        prop_assert_eq!(api.reservation_count(), count);
+    }
+
+    /// Renegotiating to a demand inside the session's own share — shrink,
+    /// or grow while staying under bucket capacity on an otherwise idle
+    /// cluster — always admits, and the new usage lands exactly.
+    #[test]
+    fn renegotiate_within_own_share_admits(
+        first in demand_strategy(),
+        scale in 0.0f64..1.5,
+    ) {
+        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        prop_assume!(api.admits(&first).is_ok());
+        let id = api.reserve(&first).unwrap();
+        let mut scaled = ResourceVector::new();
+        for (key, amount) in first.iter() {
+            let cap = api.capacity(key).unwrap();
+            scaled.add(key, (amount * scale).min(0.9 * cap));
+        }
+        let new_id = api.renegotiate(id, &scaled).unwrap();
+        prop_assert_eq!(api.demand_of(new_id), Some(&scaled));
+        prop_assert_eq!(api.reservation_count(), 1);
+        // The sole reservation reserves into empty buckets: usage is the
+        // demand itself, exactly.
+        for (key, amount) in scaled.iter() {
+            prop_assert_eq!(api.used(key).unwrap().to_bits(), amount.to_bits());
+        }
+    }
+
+    /// Moving a session to a different server releases every bucket on the
+    /// old one: a cross-server renegotiation must not strand phantom usage
+    /// where the stream no longer runs.
+    #[test]
+    fn cross_server_move_releases_old_buckets(
+        at_zero in demand_on(0),
+        at_two in demand_on(2),
+    ) {
+        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        let id = api.reserve(&at_zero).unwrap();
+        let new_id = api.renegotiate(id, &at_two).unwrap();
+        prop_assert_eq!(api.demand_of(new_id), Some(&at_two));
+        prop_assert_eq!(api.reservation_count(), 1);
+        for key in api.buckets().collect::<Vec<_>>() {
+            if key.server == ServerId(0) {
+                // Single-lease release subtracts the exact amount added.
+                prop_assert_eq!(api.used(key).unwrap(), 0.0);
+            }
+        }
+        for (key, amount) in at_two.iter() {
+            prop_assert_eq!(api.used(key).unwrap().to_bits(), amount.to_bits());
+        }
     }
 }

@@ -12,7 +12,11 @@
 use crate::time::{SimDuration, SimTime};
 
 /// Welford's online algorithm for mean and variance, plus min/max.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares the accumulator state field-by-field (floats
+/// bit-for-bit via numeric equality), which the experiment drivers'
+/// serial-vs-parallel determinism checks rely on.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,

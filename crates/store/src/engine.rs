@@ -7,7 +7,7 @@
 //! bounded FIFO cache of remote records with hit/miss accounting.
 
 use crate::metadata::{ObjectRecord, QosProfile};
-use crate::object::{PhysicalObject, PhysicalOid};
+use crate::object::{PhysicalObject, PhysicalOid, StoreError};
 use quasaq_media::{VideoId, VideoMeta};
 use quasaq_sim::ServerId;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -113,13 +113,21 @@ impl MetadataEngine {
 
     /// Registers a stored replica and its QoS profile; updates the
     /// distribution directory.
-    pub fn insert_object(&mut self, object: PhysicalObject, profile: QosProfile) {
-        let site = self
-            .sites
-            .get_mut(&object.server)
-            .unwrap_or_else(|| panic!("unknown site {}", object.server));
+    ///
+    /// A placement naming a server this engine does not span is rejected
+    /// with [`StoreError::UnknownSite`] before any state is touched, so a
+    /// malformed placement leaves directory and partitions consistent.
+    pub fn insert_object(
+        &mut self,
+        object: PhysicalObject,
+        profile: QosProfile,
+    ) -> Result<(), StoreError> {
+        let Some(site) = self.sites.get_mut(&object.server) else {
+            return Err(StoreError::UnknownSite(object.server));
+        };
         self.directory.entry(object.video).or_default().push((object.oid, object.server));
         site.insert(object.oid, ObjectRecord { object, profile });
+        Ok(())
     }
 
     /// Removes a replica from its site and the directory, invalidating
@@ -284,9 +292,9 @@ mod tests {
     fn replicas_span_sites() {
         let mut e = engine();
         e.insert_video(meta(0));
-        e.insert_object(obj(1, 0, 0), QosProfile::ZERO);
-        e.insert_object(obj(2, 0, 1), QosProfile::ZERO);
-        e.insert_object(obj(3, 1, 2), QosProfile::ZERO);
+        e.insert_object(obj(1, 0, 0), QosProfile::ZERO).unwrap();
+        e.insert_object(obj(2, 0, 1), QosProfile::ZERO).unwrap();
+        e.insert_object(obj(3, 1, 2), QosProfile::ZERO).unwrap();
         let reps = e.replicas(VideoId(0));
         assert_eq!(reps.len(), 2);
         assert!(e.replicas(VideoId(7)).is_empty());
@@ -296,7 +304,7 @@ mod tests {
     #[test]
     fn local_lookup_bypasses_cache() {
         let mut e = engine();
-        e.insert_object(obj(1, 0, 0), QosProfile::ZERO);
+        e.insert_object(obj(1, 0, 0), QosProfile::ZERO).unwrap();
         let (rec, missed) = e.lookup_from(ServerId(0), PhysicalOid(1)).unwrap();
         assert_eq!(rec.object.oid, PhysicalOid(1));
         assert!(!missed);
@@ -307,7 +315,7 @@ mod tests {
     #[test]
     fn remote_lookup_caches() {
         let mut e = engine();
-        e.insert_object(obj(1, 0, 1), QosProfile::ZERO);
+        e.insert_object(obj(1, 0, 1), QosProfile::ZERO).unwrap();
         // First remote access misses.
         let (_, missed) = e.lookup_from(ServerId(0), PhysicalOid(1)).unwrap();
         assert!(missed);
@@ -323,7 +331,7 @@ mod tests {
     fn cache_eviction_is_bounded() {
         let mut e = MetadataEngine::new(ServerId::first_n(2), 2);
         for i in 0..5 {
-            e.insert_object(obj(i, 0, 1), QosProfile::ZERO);
+            e.insert_object(obj(i, 0, 1), QosProfile::ZERO).unwrap();
         }
         for i in 0..5 {
             e.lookup_from(ServerId(0), PhysicalOid(i));
@@ -336,7 +344,7 @@ mod tests {
     #[test]
     fn removal_updates_directory_and_caches() {
         let mut e = engine();
-        e.insert_object(obj(1, 0, 1), QosProfile::ZERO);
+        e.insert_object(obj(1, 0, 1), QosProfile::ZERO).unwrap();
         e.lookup_from(ServerId(0), PhysicalOid(1));
         let removed = e.remove_object(PhysicalOid(1)).unwrap();
         assert_eq!(removed.object.oid, PhysicalOid(1));
@@ -349,8 +357,8 @@ mod tests {
     fn site_failure_forgets_its_replicas() {
         let mut e = engine();
         e.insert_video(meta(0));
-        e.insert_object(obj(1, 0, 0), QosProfile::ZERO);
-        e.insert_object(obj(2, 0, 1), QosProfile::ZERO);
+        e.insert_object(obj(1, 0, 0), QosProfile::ZERO).unwrap();
+        e.insert_object(obj(2, 0, 1), QosProfile::ZERO).unwrap();
         // Warm server 0's cache with server 1's record.
         e.lookup_from(ServerId(0), PhysicalOid(2));
         let lost = e.fail_site(ServerId(1));
@@ -364,9 +372,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown site")]
-    fn unknown_site_panics() {
+    fn unknown_site_is_typed_error_not_abort() {
         let mut e = engine();
-        e.insert_object(obj(1, 0, 9), QosProfile::ZERO);
+        let err = e.insert_object(obj(1, 0, 9), QosProfile::ZERO).unwrap_err();
+        assert_eq!(err, StoreError::UnknownSite(ServerId(9)));
+        // The rejected placement left no trace: directory and partitions
+        // are untouched, and the engine keeps working.
+        assert!(e.replicas(VideoId(0)).is_empty());
+        assert_eq!(e.object_count(), 0);
+        e.insert_object(obj(1, 0, 0), QosProfile::ZERO).unwrap();
+        assert_eq!(e.replicas(VideoId(0)).len(), 1);
     }
 }

@@ -57,6 +57,8 @@ pub enum StoreError {
     },
     /// The physical OID is not stored here.
     NotFound(PhysicalOid),
+    /// The placement names a server the metadata engine does not span.
+    UnknownSite(ServerId),
 }
 
 impl fmt::Display for StoreError {
@@ -66,6 +68,7 @@ impl fmt::Display for StoreError {
                 write!(f, "{server} disk full: need {requested} B, {free} B free")
             }
             StoreError::NotFound(oid) => write!(f, "{oid} not found"),
+            StoreError::UnknownSite(server) => write!(f, "unknown site {server}"),
         }
     }
 }

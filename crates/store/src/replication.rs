@@ -103,11 +103,14 @@ impl ReplicationPlanner {
                     };
                     let profile =
                         self.sampler.profile(replica.rate_bps, replica.spec.frame_rate.fps());
-                    stores
-                        .get_mut(&server)
-                        .expect("placement targets a known store")
-                        .insert(object.clone())?;
-                    engine.insert_object(object, profile);
+                    let store = stores.get_mut(&server).expect("placement targets a known store");
+                    store.insert(object.clone())?;
+                    if let Err(err) = engine.insert_object(object, profile) {
+                        // Roll back the disk charge so a malformed
+                        // placement leaves store and metadata consistent.
+                        let _ = store.remove(oid);
+                        return Err(err);
+                    }
                     created += 1;
                 }
             }
@@ -180,11 +183,13 @@ impl ReplicationPlanner {
             object.oid = PhysicalOid(self.next_oid);
             self.next_oid += 1;
             object.server = m.to;
-            stores
-                .get_mut(&m.to)
-                .expect("migration targets a known store")
-                .insert(object.clone())?;
-            engine.insert_object(object, source.profile);
+            let store = stores.get_mut(&m.to).expect("migration targets a known store");
+            let oid = object.oid;
+            store.insert(object.clone())?;
+            if let Err(err) = engine.insert_object(object, source.profile) {
+                let _ = store.remove(oid);
+                return Err(err);
+            }
             applied += 1;
         }
         Ok(applied)
@@ -317,6 +322,36 @@ mod tests {
             planner.replicate(&library, &mut stores, &mut engine),
             Err(StoreError::DiskFull { .. })
         ));
+    }
+
+    #[test]
+    fn malformed_placement_errors_instead_of_aborting() {
+        let library = Library::generate(42, &LibraryConfig::default());
+        // The stores cover a server the metadata engine does not span —
+        // previously this placement aborted the process via panic.
+        let mut stores = BTreeMap::new();
+        stores.insert(ServerId(7), ObjectStore::new(ServerId(7), 1 << 40));
+        let mut engine = MetadataEngine::new([ServerId(0)], 4);
+        let mut planner = ReplicationPlanner::new(QosSampler::default(), Placement::Full);
+        let err = planner.replicate(&library, &mut stores, &mut engine).unwrap_err();
+        assert_eq!(err, StoreError::UnknownSite(ServerId(7)));
+        // The failed registration rolled back its disk charge.
+        assert_eq!(stores[&ServerId(7)].used_bytes(), 0);
+        assert_eq!(engine.object_count(), 0);
+    }
+
+    #[test]
+    fn malformed_migration_errors_and_rolls_back() {
+        let (_, mut stores, mut engine) = setup(Placement::RoundRobin);
+        let existing = engine.replicas(VideoId(0))[0].object.clone();
+        // Target store exists but the engine never registered the site.
+        let rogue = ServerId(9);
+        stores.insert(rogue, ObjectStore::new(rogue, 1 << 40));
+        let migrations = vec![Migration { oid: existing.oid, to: rogue }];
+        let mut planner = ReplicationPlanner::new(QosSampler::default(), Placement::RoundRobin);
+        let err = planner.apply_migrations(&migrations, &mut stores, &mut engine).unwrap_err();
+        assert_eq!(err, StoreError::UnknownSite(rogue));
+        assert_eq!(stores[&rogue].used_bytes(), 0);
     }
 
     #[test]

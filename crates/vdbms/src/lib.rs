@@ -20,6 +20,6 @@ pub mod search;
 pub mod sql;
 
 pub use baseline::{BaselineChoice, BaselineKind, BaselinePlanner};
-pub use query::{ContentPredicate, Query, SearchHit};
+pub use query::{ContentPredicate, Query, QueuedQuery, SearchHit};
 pub use search::{cosine, resolve_one, search};
 pub use sql::{parse, ParseError};

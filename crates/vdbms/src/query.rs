@@ -64,6 +64,26 @@ impl Query {
     }
 }
 
+/// A query bound to one playable video — the unit the admission-queue
+/// front end works with. Content resolution is already done; only
+/// admission (and possibly a wait in the queue) remains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedQuery {
+    /// The resolved logical video.
+    pub video: VideoId,
+    /// The QoS range to admit against. Content-only queries carry the
+    /// unconstrained range: any delivery quality may serve them.
+    pub qos: QosRange,
+}
+
+impl Query {
+    /// Binds this query to one resolved content hit, producing the
+    /// admission queue's request unit.
+    pub fn into_queued(&self, video: VideoId) -> QueuedQuery {
+        QueuedQuery { video, qos: self.qos.clone().unwrap_or_else(QosRange::any) }
+    }
+}
+
 /// One content-search result.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SearchHit {
@@ -76,6 +96,19 @@ pub struct SearchHit {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn into_queued_binds_video_and_range() {
+        let q = Query::content(ContentPredicate::ById(VideoId(3)))
+            .with_qos(QosRange::any())
+            .into_queued(VideoId(3));
+        assert_eq!(q.video, VideoId(3));
+        assert_eq!(q.qos, QosRange::any());
+        // Content-only queries queue with the unconstrained range.
+        let plain = Query::content(ContentPredicate::All).into_queued(VideoId(7));
+        assert_eq!(plain.qos, QosRange::any());
+        assert_eq!(plain.video, VideoId(7));
+    }
 
     #[test]
     fn builder_chain() {

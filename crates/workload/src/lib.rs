@@ -3,6 +3,8 @@
 //! Assembles the full systems under test and drives them with the paper's
 //! workload:
 //!
+//! * [`admission`] — the queued admission front end: rejected queries
+//!   back off, walk the degradation ladder, and abandon on patience.
 //! * [`testbed`] — the three-server deployment (catalog, replication,
 //!   metadata, QoS API sizing) and cost-model selection.
 //! * [`traffic`] — the Poisson query generator ("inter-arrival time …
@@ -16,12 +18,14 @@
 //!   independent experiment runs across cores, collect by scenario index,
 //!   bit-identical to serial execution.
 
+pub mod admission;
 pub mod fig5;
 pub mod parallel;
 pub mod testbed;
 pub mod throughput;
 pub mod traffic;
 
+pub use admission::{AdmissionConfig, AdmissionQueue, Disposition, QueueMetrics, Waiting};
 pub use fig5::{run_fig5, Contention, Fig5Config, Fig5System};
 pub use parallel::{parallel_map, run_throughput_scenarios, worker_count};
 pub use testbed::{CostKind, Testbed, TestbedConfig};

@@ -126,6 +126,7 @@ mod tests {
             seed: 23,
             video_skew: 0.0,
             local_plans_only: false,
+            admission: None,
         };
         let scenarios: Vec<(SystemKind, ThroughputConfig)> = vec![
             (SystemKind::Vdbms, cfg.clone()),
@@ -137,5 +138,35 @@ mod tests {
             scenarios.iter().map(|(s, c)| run_throughput(*s, c)).collect();
         let parallel = run_throughput_scenarios(&scenarios);
         assert_eq!(serial, parallel);
+    }
+
+    /// Same contract with the queued admission front end enabled: queue
+    /// state (retries, ladder walks, abandonments, deadlines) is driven by
+    /// the same simulated-time event loop, so parallel scheduling must not
+    /// perturb a single bit of it — queue metrics included.
+    #[test]
+    fn queued_scenarios_bit_identical_to_serial() {
+        let cfg = ThroughputConfig {
+            testbed: TestbedConfig::default(),
+            horizon: SimTime::from_secs(120),
+            sample_step: SimDuration::from_secs(10),
+            seed: 29,
+            video_skew: 0.0,
+            local_plans_only: false,
+            admission: Some(crate::admission::AdmissionConfig::default()),
+        };
+        let scenarios: Vec<(SystemKind, ThroughputConfig)> = vec![
+            (SystemKind::Vdbms, cfg.clone()),
+            (SystemKind::VdbmsQosApi, cfg.clone()),
+            (SystemKind::Quasaq(CostKind::Lrb), cfg),
+        ];
+        let serial: Vec<ThroughputResult> =
+            scenarios.iter().map(|(s, c)| run_throughput(*s, c)).collect();
+        let parallel = run_throughput_scenarios(&scenarios);
+        assert_eq!(serial, parallel);
+        for r in &parallel {
+            let queue = r.queue.as_ref().expect("front end was enabled");
+            assert_eq!(queue.wait.count(), r.admitted);
+        }
     }
 }

@@ -7,18 +7,19 @@
 //! accomplished jobs per minute (Fig 6b), and cumulative rejects
 //! (Fig 7b).
 
+use crate::admission::{AdmissionConfig, AdmissionQueue, QueueMetrics, Waiting};
 use crate::testbed::{CostKind, Testbed, TestbedConfig};
-use crate::traffic::{generate_queries, GeneratedQuery, TrafficConfig};
+use crate::traffic::{generate_queries, TrafficConfig};
 use quasaq_core::{
-    PlanExecutor, PlanRequest, QopSecurity, QosWeights, QualityManager, UtilityGain,
+    PlanExecutor, PlanRequest, QopSecurity, QosWeights, QualityManager, Rejection, UtilityGain,
 };
 use quasaq_qosapi::{CompositeQosApi, ReservationId, ResourceKey, ResourceKind, ResourceVector};
 use quasaq_sim::link::SharePolicy;
 use quasaq_sim::{LevelTracker, RateCounter, Rng, Series, SimDuration, SimTime};
 use quasaq_store::AccessStats;
 use quasaq_stream::{FluidEngine, FluidSessionId};
-use quasaq_vdbms::{BaselineKind, BaselinePlanner};
-use std::collections::HashMap;
+use quasaq_vdbms::{BaselineKind, BaselinePlanner, QueuedQuery};
+use std::collections::{BTreeSet, HashMap};
 
 /// Which system services the query stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +60,12 @@ pub struct ThroughputConfig {
     /// Restrict QuaSAQ plans to the replica's own site (placement
     /// studies; the paper's default allows cross-site delivery).
     pub local_plans_only: bool,
+    /// Queued admission front end: rejected queries wait, back off,
+    /// degrade, and eventually give up, and admitted best-effort sessions
+    /// are abandoned once they overrun their nominal duration by more
+    /// than the patience window. `None` keeps the legacy fire-and-forget
+    /// client (bit-identical to runs before the queue existed).
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl ThroughputConfig {
@@ -71,12 +78,19 @@ impl ThroughputConfig {
             seed: 7,
             video_skew: 0.0,
             local_plans_only: false,
+            admission: None,
         }
     }
 
     /// The Fig 7 configuration (7000 s horizon).
     pub fn fig7() -> Self {
         ThroughputConfig { horizon: SimTime::from_secs(7000), ..Self::fig6() }
+    }
+
+    /// The Fig 6 configuration behind the queued admission front end with
+    /// default backoff and patience.
+    pub fn queued() -> Self {
+        ThroughputConfig { admission: Some(AdmissionConfig::default()), ..Self::fig6() }
     }
 }
 
@@ -106,6 +120,8 @@ pub struct ThroughputResult {
     pub access: AccessStats,
     /// Mean perceptual utility of admitted plans (QuaSAQ systems only).
     pub mean_utility: Option<f64>,
+    /// Queue metrics when the admission front end was enabled.
+    pub queue: Option<QueueMetrics>,
 }
 
 impl ThroughputResult {
@@ -175,6 +191,14 @@ pub fn run_throughput_on(
     let mut fluid =
         FluidEngine::new(testbed.servers(), SharePolicy::FairShare, cfg.testbed.link_capacity_bps);
 
+    let mut queue = cfg.admission.clone().map(AdmissionQueue::new);
+    let patience = cfg.admission.as_ref().map(|a| a.patience);
+    // Mid-stream give-up deadlines, ordered for the event loop plus a
+    // reverse index for completion-time removal. Both stay empty when the
+    // front end is disabled, so the legacy event sequence is untouched.
+    let mut deadlines: BTreeSet<(SimTime, FluidSessionId)> = BTreeSet::new();
+    let mut deadline_of: HashMap<FluidSessionId, SimTime> = HashMap::new();
+
     let mut reservations: HashMap<FluidSessionId, ReservationId> = HashMap::new();
     let mut outstanding = LevelTracker::new();
     let mut completions = RateCounter::new(SimDuration::from_secs(60));
@@ -186,36 +210,13 @@ pub fn run_throughput_on(
     let mut utility_sum = 0.0f64;
     let mut utility_n = 0u64;
 
-    let handle_done = |done: Vec<quasaq_stream::FluidDone>,
-                       reservations: &mut HashMap<FluidSessionId, ReservationId>,
-                       state: &mut SystemState,
-                       outstanding: &mut LevelTracker,
-                       completions: &mut RateCounter,
-                       completed: &mut u64| {
-        for d in done {
-            outstanding.adjust(d.at, -1);
-            completions.record(d.at);
-            *completed += 1;
-            if let Some(res) = reservations.remove(&d.id) {
-                match state {
-                    SystemState::QosApi { api, .. } => api.release(res),
-                    SystemState::Quasaq { manager, .. } => manager.release_reservation(res),
-                    SystemState::Plain { .. } => {}
-                }
-            }
-        }
-    };
-
     let mut qi = 0usize;
     loop {
         let tq = queries.get(qi).map(|q| q.at);
         let tf = fluid.next_event().filter(|&t| t <= cfg.horizon);
-        let t = match (tq, tf) {
-            (Some(a), Some(b)) => a.min(b),
-            (Some(a), None) => a,
-            (None, Some(b)) => b,
-            (None, None) => break,
-        };
+        let tr = queue.as_ref().and_then(|q| q.next_ready()).filter(|&t| t <= cfg.horizon);
+        let ta = deadlines.iter().next().map(|&(t, _)| t).filter(|&t| t <= cfg.horizon);
+        let Some(t) = [tq, tf, tr, ta].into_iter().flatten().min() else { break };
         if t > cfg.horizon {
             break;
         }
@@ -227,27 +228,99 @@ pub fn run_throughput_on(
             &mut outstanding,
             &mut completions,
             &mut completed,
+            &mut deadlines,
+            &mut deadline_of,
         );
+        // Mid-stream patience: cancel sessions that overran their nominal
+        // duration by more than the patience window. Completions at the
+        // same instant were drained first, so finishing exactly on the
+        // deadline counts as done.
+        while let Some(&(dt, sid)) = deadlines.iter().next() {
+            if dt > t {
+                break;
+            }
+            deadlines.remove(&(dt, sid));
+            deadline_of.remove(&sid);
+            fluid.cancel_session(t, sid);
+            outstanding.adjust(t, -1);
+            if let Some(res) = reservations.remove(&sid) {
+                release(&mut state, res);
+            }
+            queue
+                .as_mut()
+                .expect("deadlines only exist with admission enabled")
+                .record_stream_abandoned(t);
+        }
+        // Retries due now run before the new arrival: they have waited
+        // longer.
+        if let Some(qu) = queue.as_mut() {
+            while let Some(w) = qu.pop_due(t) {
+                match admit(&mut state, testbed, &w.query, &mut fluid, &mut rng, t) {
+                    Ok(sess) => {
+                        admitted += 1;
+                        outstanding.adjust(t, 1);
+                        access.record(w.query.video, sess.server);
+                        if let Some(u) = sess.utility {
+                            utility_sum += u;
+                            utility_n += 1;
+                        }
+                        if let Some(res) = sess.reservation {
+                            reservations.insert(sess.sid, res);
+                        }
+                        qu.record_admitted(t, w.arrival);
+                        if let Some(p) = patience {
+                            let dl = t + sess.nominal + p;
+                            deadlines.insert((dl, sess.sid));
+                            deadline_of.insert(sess.sid, dl);
+                        }
+                    }
+                    Err(why) => {
+                        if qu.admit_failure(t, w, &why).is_rejection() {
+                            rejected += 1;
+                            rejects.push(t, rejected as f64);
+                        }
+                    }
+                }
+            }
+        }
         if tq == Some(t) {
             let q = &queries[qi];
             qi += 1;
-            match admit(&mut state, testbed, q, &mut fluid, &mut rng, t) {
-                Some((sid, reservation, served_from, utility)) => {
+            let request = QueuedQuery { video: q.video, qos: q.qos.clone() };
+            match admit(&mut state, testbed, &request, &mut fluid, &mut rng, t) {
+                Ok(sess) => {
                     admitted += 1;
                     outstanding.adjust(t, 1);
-                    access.record(q.video, served_from);
-                    if let Some(u) = utility {
+                    access.record(q.video, sess.server);
+                    if let Some(u) = sess.utility {
                         utility_sum += u;
                         utility_n += 1;
                     }
-                    if let Some(res) = reservation {
-                        reservations.insert(sid, res);
+                    if let Some(res) = sess.reservation {
+                        reservations.insert(sess.sid, res);
+                    }
+                    if let Some(qu) = queue.as_mut() {
+                        qu.record_admitted(t, t);
+                    }
+                    if let Some(p) = patience {
+                        let dl = t + sess.nominal + p;
+                        deadlines.insert((dl, sess.sid));
+                        deadline_of.insert(sess.sid, dl);
                     }
                 }
-                None => {
-                    rejected += 1;
-                    rejects.push(t, rejected as f64);
-                }
+                Err(why) => match queue.as_mut() {
+                    Some(qu) => {
+                        let w = Waiting { query: request, arrival: t, attempts: 1 };
+                        if qu.admit_failure(t, w, &why).is_rejection() {
+                            rejected += 1;
+                            rejects.push(t, rejected as f64);
+                        }
+                    }
+                    None => {
+                        rejected += 1;
+                        rejects.push(t, rejected as f64);
+                    }
+                },
             }
         }
     }
@@ -259,7 +332,18 @@ pub fn run_throughput_on(
         &mut outstanding,
         &mut completions,
         &mut completed,
+        &mut deadlines,
+        &mut deadline_of,
     );
+    // Whoever is still waiting never got served: fold them into the
+    // rejected count so `admitted + rejected == queries` holds.
+    if let Some(qu) = queue.as_mut() {
+        let pending = qu.finish();
+        if pending > 0 {
+            rejected += pending;
+            rejects.push(cfg.horizon, rejected as f64);
+        }
+    }
 
     ThroughputResult {
         label: system.label(),
@@ -272,32 +356,81 @@ pub fn run_throughput_on(
         completed,
         access,
         mean_utility: (utility_n > 0).then(|| utility_sum / utility_n as f64),
+        queue: queue.map(AdmissionQueue::into_metrics),
     }
+}
+
+fn release(state: &mut SystemState, res: ReservationId) {
+    match state {
+        SystemState::QosApi { api, .. } => api.release(res),
+        SystemState::Quasaq { manager, .. } => manager.release_reservation(res),
+        SystemState::Plain { .. } => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_done(
+    done: Vec<quasaq_stream::FluidDone>,
+    reservations: &mut HashMap<FluidSessionId, ReservationId>,
+    state: &mut SystemState,
+    outstanding: &mut LevelTracker,
+    completions: &mut RateCounter,
+    completed: &mut u64,
+    deadlines: &mut BTreeSet<(SimTime, FluidSessionId)>,
+    deadline_of: &mut HashMap<FluidSessionId, SimTime>,
+) {
+    for d in done {
+        outstanding.adjust(d.at, -1);
+        completions.record(d.at);
+        *completed += 1;
+        if let Some(res) = reservations.remove(&d.id) {
+            release(state, res);
+        }
+        if let Some(dl) = deadline_of.remove(&d.id) {
+            deadlines.remove(&(dl, d.id));
+        }
+    }
+}
+
+/// One admitted session, whichever system admitted it.
+struct AdmittedSession {
+    sid: FluidSessionId,
+    reservation: Option<ReservationId>,
+    server: quasaq_sim::ServerId,
+    utility: Option<f64>,
+    /// Unstretched duration (bytes / rate): what playback takes when the
+    /// link honours the stream's pacing rate.
+    nominal: SimDuration,
 }
 
 fn admit(
     state: &mut SystemState,
     testbed: &Testbed,
-    q: &GeneratedQuery,
+    q: &QueuedQuery,
     fluid: &mut FluidEngine,
     rng: &mut Rng,
     now: SimTime,
-) -> Option<(FluidSessionId, Option<ReservationId>, quasaq_sim::ServerId, Option<f64>)> {
+) -> Result<AdmittedSession, Rejection> {
     match state {
         SystemState::Plain { planner } => {
-            let choice = planner.select(&testbed.engine, q.video, rng)?;
+            let choice =
+                planner.select(&testbed.engine, q.video, rng).ok_or(Rejection::NoFeasiblePlan)?;
+            let bytes = choice.record.object.bytes;
+            let rate = choice.record.object.rate_bps;
             let sid = fluid
-                .add_session(
-                    now,
-                    choice.server,
-                    choice.record.object.bytes,
-                    choice.record.object.rate_bps,
-                )
-                .ok()?;
-            Some((sid, None, choice.server, None))
+                .add_session(now, choice.server, bytes, rate)
+                .map_err(|_| Rejection::AdmissionFailed)?;
+            Ok(AdmittedSession {
+                sid,
+                reservation: None,
+                server: choice.server,
+                utility: None,
+                nominal: nominal_duration(bytes, rate),
+            })
         }
         SystemState::QosApi { planner, api, headroom } => {
-            let choice = planner.select(&testbed.engine, q.video, rng)?;
+            let choice =
+                planner.select(&testbed.engine, q.video, rng).ok_or(Rejection::NoFeasiblePlan)?;
             // The baseline has no cost model, but admission may try each
             // server holding the (full-quality) replica in random order.
             let mut servers: Vec<quasaq_sim::ServerId> = testbed
@@ -320,31 +453,43 @@ fn admit(
                     .with(ResourceKey::new(server, ResourceKind::DiskBandwidth), profile.disk_bps)
                     .with(ResourceKey::new(server, ResourceKind::Memory), profile.memory_bytes);
                 if let Ok(res) = api.reserve(&demand) {
-                    let sid = fluid
-                        .add_session(
-                            now,
-                            server,
-                            choice.record.object.bytes,
-                            choice.record.object.rate_bps,
-                        )
-                        .expect("fair-share admits");
-                    return Some((sid, Some(res), server, None));
+                    let bytes = choice.record.object.bytes;
+                    let rate = choice.record.object.rate_bps;
+                    let sid =
+                        fluid.add_session(now, server, bytes, rate).expect("fair-share admits");
+                    return Ok(AdmittedSession {
+                        sid,
+                        reservation: Some(res),
+                        server,
+                        utility: None,
+                        nominal: nominal_duration(bytes, rate),
+                    });
                 }
             }
-            None
+            Err(Rejection::AdmissionFailed)
         }
         SystemState::Quasaq { manager, executor } => {
             let request =
                 PlanRequest { video: q.video, qos: q.qos.clone(), security: QopSecurity::Open };
-            let admitted = manager.process(&testbed.engine, &request, rng).ok()?;
+            let admitted = manager.process(&testbed.engine, &request, rng)?;
             let meta = testbed.engine.video(q.video).expect("known video");
             let (bytes, rate) = executor.fluid_params(&admitted.plan, meta);
             let server = admitted.plan.target_server;
             let utility = UtilityGain { weights: QosWeights::default() }.utility(&admitted.plan);
             let sid = fluid.add_session(now, server, bytes, rate).expect("fair-share admits");
-            Some((sid, Some(admitted.reservation), server, Some(utility)))
+            Ok(AdmittedSession {
+                sid,
+                reservation: Some(admitted.reservation),
+                server,
+                utility: Some(utility),
+                nominal: nominal_duration(bytes, rate),
+            })
         }
     }
+}
+
+fn nominal_duration(bytes: u64, rate_bps: u64) -> SimDuration {
+    SimDuration::from_secs_f64(bytes as f64 / rate_bps.max(1) as f64)
 }
 
 #[cfg(test)]
@@ -359,6 +504,7 @@ mod tests {
             seed: 11,
             video_skew: 0.0,
             local_plans_only: false,
+            admission: None,
         }
     }
 
@@ -436,6 +582,7 @@ mod tests {
             completed: 0,
             access: AccessStats::new(),
             mean_utility: None,
+            queue: None,
         };
         let horizon = SimTime::from_micros(7);
         assert_eq!(horizon.halved(), SimTime::from_micros(3));
@@ -448,5 +595,97 @@ mod tests {
         assert_eq!(r.admitted + r.rejected, r.queries);
         assert!(r.completed <= r.admitted);
         assert_eq!(r.completions_per_min.total(), r.completed);
+    }
+
+    #[test]
+    fn queued_accounting_balances() {
+        let cfg = ThroughputConfig { admission: Some(AdmissionConfig::default()), ..short_cfg() };
+        for system in
+            [SystemKind::Vdbms, SystemKind::VdbmsQosApi, SystemKind::Quasaq(CostKind::Lrb)]
+        {
+            let r = run_throughput(system, &cfg);
+            // Every query reaches exactly one terminal outcome.
+            assert_eq!(r.admitted + r.rejected, r.queries, "{}", r.label);
+            assert!(r.completed <= r.admitted);
+            let q = r.queue.as_ref().expect("front end enabled");
+            // The rejected count decomposes exactly into the queue's drop
+            // reasons; mid-stream abandonments were admitted, not rejected.
+            assert_eq!(
+                r.rejected,
+                q.overflow + q.hopeless + q.abandoned_waiting + q.pending_at_horizon,
+                "{}",
+                r.label
+            );
+            assert_eq!(q.wait.count(), r.admitted, "{}", r.label);
+            assert!(r.completed + q.abandoned_streaming <= r.admitted);
+        }
+    }
+
+    #[test]
+    fn queue_admits_more_than_fire_and_forget() {
+        // Waiting out transient overload (and degrading while waiting)
+        // must serve strictly more queries than rejecting on first touch.
+        let base = short_cfg();
+        let queued =
+            ThroughputConfig { admission: Some(AdmissionConfig::default()), ..base.clone() };
+        let fire_and_forget = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &base);
+        let with_queue = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &queued);
+        assert!(
+            with_queue.admitted > fire_and_forget.admitted,
+            "queued {} vs direct {}",
+            with_queue.admitted,
+            fire_and_forget.admitted
+        );
+        let q = with_queue.queue.as_ref().unwrap();
+        assert!(q.retries > 0, "overloaded run must exercise retries");
+        assert!(q.wait.mean() > 0.0, "some admissions waited");
+    }
+
+    /// The honesty fix for EXPERIMENTS.md Fig 6: with a patience window,
+    /// plain VDBMS's outstanding sessions stop growing monotonically and
+    /// plateau near arrival_rate * (nominal + patience), because clients
+    /// cancel sessions the oversubscribed links stretched too far.
+    #[test]
+    fn plain_vdbms_plateaus_with_patience() {
+        // Short clips so the run reaches steady state inside the horizon.
+        let mut testbed = TestbedConfig::default();
+        testbed.library.min_duration = SimDuration::from_secs(30);
+        testbed.library.max_duration = SimDuration::from_secs(120);
+        let horizon = SimTime::from_secs(600);
+        let base = ThroughputConfig {
+            testbed,
+            horizon,
+            sample_step: SimDuration::from_secs(10),
+            seed: 11,
+            video_skew: 0.0,
+            local_plans_only: false,
+            admission: None,
+        };
+        let queued = ThroughputConfig {
+            admission: Some(AdmissionConfig {
+                patience: SimDuration::from_secs(60),
+                ..AdmissionConfig::default()
+            }),
+            ..base.clone()
+        };
+        let without = run_throughput(SystemKind::Vdbms, &base);
+        let with = run_throughput(SystemKind::Vdbms, &queued);
+        let window = |r: &ThroughputResult, from, to| {
+            r.outstanding
+                .window_mean(SimTime::from_secs(from), SimTime::from_secs(to))
+                .expect("sampled window")
+        };
+        // Without patience the pile-up keeps growing through the horizon...
+        let w1 = window(&without, 300, 450);
+        let w2 = window(&without, 450, 601);
+        assert!(w2 > w1 * 1.10, "expected monotonic growth, got {w1} -> {w2}");
+        // ...with patience it levels off once the oldest stretched
+        // sessions start getting cancelled.
+        let p1 = window(&with, 300, 450);
+        let p2 = window(&with, 450, 601);
+        assert!((p2 - p1).abs() < p1 * 0.10, "expected a plateau, got {p1} -> {p2}");
+        assert!(p2 < w2, "patience must cap the pile-up ({p2} vs {w2})");
+        let q = with.queue.as_ref().expect("front end enabled");
+        assert!(q.abandoned_streaming > 0, "stretched sessions must be abandoned");
     }
 }

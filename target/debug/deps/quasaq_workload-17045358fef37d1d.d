@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/quasaq_workload-17045358fef37d1d.d: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
+/root/repo/target/debug/deps/quasaq_workload-17045358fef37d1d.d: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
 
-/root/repo/target/debug/deps/quasaq_workload-17045358fef37d1d: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
+/root/repo/target/debug/deps/quasaq_workload-17045358fef37d1d: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
 
 crates/workload/src/lib.rs:
+crates/workload/src/admission.rs:
 crates/workload/src/fig5.rs:
 crates/workload/src/parallel.rs:
 crates/workload/src/testbed.rs:

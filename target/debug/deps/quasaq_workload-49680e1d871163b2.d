@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/quasaq_workload-49680e1d871163b2.d: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
+/root/repo/target/debug/deps/quasaq_workload-49680e1d871163b2.d: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
 
-/root/repo/target/debug/deps/libquasaq_workload-49680e1d871163b2.rlib: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
+/root/repo/target/debug/deps/libquasaq_workload-49680e1d871163b2.rlib: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
 
-/root/repo/target/debug/deps/libquasaq_workload-49680e1d871163b2.rmeta: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
+/root/repo/target/debug/deps/libquasaq_workload-49680e1d871163b2.rmeta: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
 
 crates/workload/src/lib.rs:
+crates/workload/src/admission.rs:
 crates/workload/src/fig5.rs:
 crates/workload/src/parallel.rs:
 crates/workload/src/testbed.rs:

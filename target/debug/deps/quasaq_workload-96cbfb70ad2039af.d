@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/quasaq_workload-96cbfb70ad2039af.d: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs Cargo.toml
+/root/repo/target/debug/deps/quasaq_workload-96cbfb70ad2039af.d: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs Cargo.toml
 
-/root/repo/target/debug/deps/libquasaq_workload-96cbfb70ad2039af.rmeta: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs Cargo.toml
+/root/repo/target/debug/deps/libquasaq_workload-96cbfb70ad2039af.rmeta: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs Cargo.toml
 
 crates/workload/src/lib.rs:
+crates/workload/src/admission.rs:
 crates/workload/src/fig5.rs:
 crates/workload/src/parallel.rs:
 crates/workload/src/testbed.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/quasaq_workload-cda27842ced55722.d: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
+/root/repo/target/release/deps/quasaq_workload-cda27842ced55722.d: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
 
-/root/repo/target/release/deps/libquasaq_workload-cda27842ced55722.rlib: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
+/root/repo/target/release/deps/libquasaq_workload-cda27842ced55722.rlib: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
 
-/root/repo/target/release/deps/libquasaq_workload-cda27842ced55722.rmeta: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
+/root/repo/target/release/deps/libquasaq_workload-cda27842ced55722.rmeta: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
 
 crates/workload/src/lib.rs:
+crates/workload/src/admission.rs:
 crates/workload/src/fig5.rs:
 crates/workload/src/parallel.rs:
 crates/workload/src/testbed.rs:

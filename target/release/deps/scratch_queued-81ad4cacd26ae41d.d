@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scratch_queued-81ad4cacd26ae41d.d: crates/bench/src/bin/scratch_queued.rs
+
+/root/repo/target/release/deps/scratch_queued-81ad4cacd26ae41d: crates/bench/src/bin/scratch_queued.rs
+
+crates/bench/src/bin/scratch_queued.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_replication-8052fd3568f583a3.d: examples/distributed_replication.rs
+
+/root/repo/target/release/examples/distributed_replication-8052fd3568f583a3: examples/distributed_replication.rs
+
+examples/distributed_replication.rs:

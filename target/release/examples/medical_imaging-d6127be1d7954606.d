@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/medical_imaging-d6127be1d7954606.d: examples/medical_imaging.rs
+
+/root/repo/target/release/examples/medical_imaging-d6127be1d7954606: examples/medical_imaging.rs
+
+examples/medical_imaging.rs:

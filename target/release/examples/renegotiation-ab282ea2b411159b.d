@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/renegotiation-ab282ea2b411159b.d: examples/renegotiation.rs
+
+/root/repo/target/release/examples/renegotiation-ab282ea2b411159b: examples/renegotiation.rs
+
+examples/renegotiation.rs:

@@ -142,6 +142,7 @@ fn throughput_ordering_matches_fig6_and_fig7() {
         seed: 21,
         video_skew: 0.0,
         local_plans_only: false,
+        admission: None,
     };
     let h = cfg.horizon;
     // Four independent runs: fan them across cores via the scenario runner
@@ -165,6 +166,45 @@ fn throughput_ordering_matches_fig6_and_fig7() {
     assert!(lrb.rejected <= random.rejected);
     // Plain admits everything.
     assert_eq!(plain.rejected, 0);
+}
+
+#[test]
+fn queued_front_end_reshapes_admissions_end_to_end() {
+    // Same Fig 6 workload, behind the queued admission front end: rejected
+    // queries back off and retry down the degradation ladder instead of
+    // vanishing.
+    let queued = ThroughputConfig {
+        horizon: SimTime::from_secs(250),
+        seed: 41,
+        ..ThroughputConfig::queued()
+    };
+    let legacy = ThroughputConfig { admission: None, ..queued.clone() };
+    let scenarios = vec![
+        (SystemKind::Vdbms, queued.clone()),
+        (SystemKind::VdbmsQosApi, queued.clone()),
+        (SystemKind::Quasaq(CostKind::Lrb), queued),
+        (SystemKind::Quasaq(CostKind::Lrb), legacy),
+    ];
+    let mut runs = run_throughput_scenarios(&scenarios).into_iter();
+    let (plain, qosapi, lrb, lrb_legacy) =
+        (runs.next().unwrap(), runs.next().unwrap(), runs.next().unwrap(), runs.next().unwrap());
+
+    assert!(lrb_legacy.queue.is_none(), "legacy runs carry no queue metrics");
+    for r in [&plain, &qosapi, &lrb] {
+        let q = r.queue.as_ref().expect("front end was enabled");
+        // Every query is accounted for exactly once.
+        assert_eq!(r.admitted + r.rejected, r.queries);
+        assert_eq!(
+            r.rejected,
+            q.overflow + q.hopeless + q.abandoned_waiting + q.pending_at_horizon
+        );
+        assert_eq!(q.wait.count(), r.admitted);
+    }
+    // Waiting out transient overload admits queries fire-and-forget drops.
+    assert!(lrb.admitted >= lrb_legacy.admitted);
+    let q = lrb.queue.as_ref().unwrap();
+    assert!(q.retries > 0, "a saturated cluster must force retries");
+    assert!(q.wait.mean() > 0.0, "retried queries wait in simulated time");
 }
 
 #[test]
@@ -228,6 +268,7 @@ fn migration_extension_improves_skewed_throughput() {
         seed: 31,
         video_skew: 1.2,
         local_plans_only: true,
+        admission: None,
     };
     let mut tb = Testbed::build(cfg.testbed.clone());
     let before = run_throughput_on(&tb, SystemKind::Quasaq(CostKind::Lrb), &cfg);
@@ -268,6 +309,7 @@ fn utility_optimizer_trades_throughput_for_quality() {
         seed: 33,
         video_skew: 0.0,
         local_plans_only: false,
+        admission: None,
     };
     let scenarios = vec![
         (SystemKind::Quasaq(CostKind::Lrb), cfg.clone()),
@@ -293,6 +335,7 @@ fn whole_pipeline_is_deterministic() {
             seed: 77,
             video_skew: 0.0,
             local_plans_only: false,
+            admission: None,
         };
         let r = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
         (r.admitted, r.rejected, r.completed, r.outstanding.values().collect::<Vec<_>>())
