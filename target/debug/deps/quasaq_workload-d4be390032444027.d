@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/quasaq_workload-d4be390032444027.d: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
+/root/repo/target/debug/deps/quasaq_workload-d4be390032444027.d: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
 
-/root/repo/target/debug/deps/libquasaq_workload-d4be390032444027.rmeta: crates/workload/src/lib.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
+/root/repo/target/debug/deps/libquasaq_workload-d4be390032444027.rmeta: crates/workload/src/lib.rs crates/workload/src/admission.rs crates/workload/src/fig5.rs crates/workload/src/parallel.rs crates/workload/src/testbed.rs crates/workload/src/throughput.rs crates/workload/src/traffic.rs
 
 crates/workload/src/lib.rs:
+crates/workload/src/admission.rs:
 crates/workload/src/fig5.rs:
 crates/workload/src/parallel.rs:
 crates/workload/src/testbed.rs:
