@@ -76,7 +76,7 @@ fn bench_link(c: &mut Criterion) {
             let flows: Vec<_> =
                 (0..100).map(|_| link.open_flow(SimTime::ZERO, Some(48_000)).unwrap()).collect();
             for i in 0..1_000 {
-                link.send(SimTime::ZERO, flows[i % 100], 4_000);
+                link.send(SimTime::ZERO, flows[i % 100], 4_000).unwrap();
             }
             let mut done = 0;
             while let Some(t) = link.next_event() {

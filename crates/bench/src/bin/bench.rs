@@ -1,9 +1,10 @@
 //! Wall-clock benchmark of the scenario-parallel experiment runner.
 //!
-//! Runs the Fig 6, Fig 7, and queued-admission harness scenario suites
-//! twice — once as a plain serial loop over [`run_throughput`], once
-//! through [`run_throughput_scenarios`] — verifies the outputs are bit-identical,
-//! and records the timings in `BENCH_throughput.json` at the repo root:
+//! Runs the Fig 6, Fig 7, queued-admission, and availability-under-faults
+//! harness scenario suites twice — once as a plain serial loop over
+//! [`run_throughput`], once through [`run_throughput_scenarios`] — verifies
+//! the outputs are bit-identical, and records the timings (plus the fault
+//! suite's robustness metrics) in `BENCH_throughput.json` at the repo root:
 //!
 //! ```text
 //! cargo run --release -p quasaq-bench --bin bench [-- --quick]
@@ -17,10 +18,10 @@
 
 use std::time::Instant;
 
-use quasaq_sim::SimTime;
+use quasaq_sim::{FaultPlan, ServerId, SimTime};
 use quasaq_workload::{
-    run_throughput, run_throughput_scenarios, worker_count, CostKind, SystemKind, Testbed,
-    ThroughputConfig, ThroughputResult,
+    run_throughput, run_throughput_scenarios, worker_count, CostKind, FaultMetrics, SystemKind,
+    Testbed, ThroughputConfig, ThroughputResult,
 };
 
 struct Suite {
@@ -33,16 +34,26 @@ struct Timing {
     serial_ms: f64,
     parallel_ms: f64,
     bit_identical: bool,
+    /// Robustness metrics per fault-injected scenario (label, metrics).
+    robustness: Vec<(String, FaultMetrics)>,
 }
 
 fn suites(quick: bool) -> Vec<Suite> {
     let mut fig6 = ThroughputConfig::fig6();
     let mut fig7 = ThroughputConfig::fig7();
     let mut queued = ThroughputConfig::queued();
+    let mut avail = ThroughputConfig::availability();
     if quick {
         fig6.horizon = SimTime::from_secs(120);
         fig7.horizon = SimTime::from_secs(120);
         queued.horizon = SimTime::from_secs(120);
+        // Shrink the outage with the horizon so the crash still fires.
+        avail.horizon = SimTime::from_secs(120);
+        avail.faults = Some(FaultPlan::crash_restart(
+            ServerId(0),
+            SimTime::from_secs(40),
+            SimTime::from_secs(80),
+        ));
     }
     vec![
         Suite {
@@ -71,6 +82,16 @@ fn suites(quick: bool) -> Vec<Suite> {
                 (SystemKind::Quasaq(CostKind::Lrb), queued),
             ],
         },
+        // Fault injection adds crash/failover/requeue edges to the event
+        // mix; the robustness metrics land in the JSON artifact.
+        Suite {
+            name: "availability",
+            scenarios: vec![
+                (SystemKind::Vdbms, avail.clone()),
+                (SystemKind::VdbmsQosApi, avail.clone()),
+                (SystemKind::Quasaq(CostKind::Lrb), avail),
+            ],
+        },
     ]
 }
 
@@ -90,7 +111,15 @@ fn run_suite(suite: &Suite) -> Timing {
     let parallel = run_throughput_scenarios(&suite.scenarios);
     let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-    Timing { name: suite.name, serial_ms, parallel_ms, bit_identical: serial == parallel }
+    let robustness =
+        serial.iter().filter_map(|r| r.faults.clone().map(|f| (r.label.clone(), f))).collect();
+    Timing {
+        name: suite.name,
+        serial_ms,
+        parallel_ms,
+        bit_identical: serial == parallel,
+        robustness,
+    }
 }
 
 fn main() {
@@ -148,6 +177,27 @@ fn main() {
             t.serial_ms / t.parallel_ms.max(1e-9),
             t.bit_identical,
             if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    // Robustness metrics from the fault-injected (availability) suite.
+    let robustness: Vec<_> = timings.iter().flat_map(|t| t.robustness.iter()).collect();
+    json.push_str("  \"robustness\": [\n");
+    for (i, (label, f)) in robustness.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"interrupted\": {}, \"failed_over\": {}, \
+             \"failover_degraded\": {}, \"requeued\": {}, \"recovered\": {}, \
+             \"dropped\": {}, \"mean_recovery_s\": {:.3}, \"qos_violation_s\": {:.3}}}{}\n",
+            label,
+            f.interrupted,
+            f.failed_over,
+            f.failover_degraded,
+            f.requeued,
+            f.recovered,
+            f.dropped,
+            f.recovery.mean(),
+            f.qos_violation_secs,
+            if i + 1 < robustness.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

@@ -223,6 +223,13 @@ impl QualityManager {
         self.api.fail_server(server)
     }
 
+    /// Handles a failed server coming back: its buckets re-register empty
+    /// at their pre-failure capacities, so subsequent `process` calls plan
+    /// against it again. Returns `false` when the server was not down.
+    pub fn handle_server_restart(&mut self, server: quasaq_sim::ServerId) -> bool {
+        self.api.restore_server(server)
+    }
+
     /// Renegotiates a running session to a new QoS range (user action
     /// during playback). On success the old reservation is replaced; on
     /// failure it is kept untouched.

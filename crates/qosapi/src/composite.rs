@@ -51,13 +51,22 @@ struct Reservation {
 pub struct CompositeQosApi {
     managers: BTreeMap<ResourceKey, ResourceManager>,
     reservations: BTreeMap<ReservationId, Reservation>,
+    /// Bucket capacities of servers taken down by [`fail_server`]
+    /// (`CompositeQosApi::fail_server`), kept so a later restart can
+    /// re-register them at their original sizes.
+    failed: BTreeMap<ServerId, Vec<(ResourceKey, f64)>>,
     next_id: u64,
 }
 
 impl CompositeQosApi {
     /// Creates an API with no managed buckets.
     pub fn new() -> Self {
-        CompositeQosApi { managers: BTreeMap::new(), reservations: BTreeMap::new(), next_id: 0 }
+        CompositeQosApi {
+            managers: BTreeMap::new(),
+            reservations: BTreeMap::new(),
+            failed: BTreeMap::new(),
+            next_id: 0,
+        }
     }
 
     /// Builds an API for a homogeneous cluster: `servers` servers, each
@@ -195,8 +204,34 @@ impl CompositeQosApi {
         for &id in &affected {
             self.release(id);
         }
+        let lost: Vec<(ResourceKey, f64)> = self
+            .managers
+            .iter()
+            .filter(|(k, _)| k.server == server)
+            .map(|(&k, m)| (k, m.capacity()))
+            .collect();
+        if !lost.is_empty() {
+            self.failed.insert(server, lost);
+        }
         self.managers.retain(|k, _| k.server != server);
         affected
+    }
+
+    /// Brings a failed server back: its buckets are re-registered empty at
+    /// their pre-failure capacities, so new admissions against it succeed
+    /// again. Returns `false` when the server was not down (unknown or
+    /// never failed), in which case nothing changes.
+    pub fn restore_server(&mut self, server: ServerId) -> bool {
+        let Some(buckets) = self.failed.remove(&server) else { return false };
+        for (key, capacity) in buckets {
+            self.register(key, capacity);
+        }
+        true
+    }
+
+    /// True when `server` is currently failed (its buckets unregistered).
+    pub fn is_failed(&self, server: ServerId) -> bool {
+        self.failed.contains_key(&server)
     }
 
     /// Renegotiates a reservation to `new_demand` atomically: on failure
@@ -407,6 +442,25 @@ mod tests {
             api.reserve(&stream_demand(1, 1000.0, 0.01)),
             Err(AdmissionError::UnknownBucket(_))
         ));
+    }
+
+    #[test]
+    fn restore_server_reopens_buckets_at_original_capacity() {
+        let mut api = cluster();
+        api.reserve(&stream_demand(1, 100_000.0, 0.05)).unwrap();
+        api.fail_server(ServerId(1));
+        assert!(api.is_failed(ServerId(1)));
+        assert!(api.reserve(&stream_demand(1, 1000.0, 0.01)).is_err());
+        assert!(api.restore_server(ServerId(1)));
+        assert!(!api.is_failed(ServerId(1)));
+        // Buckets come back at pre-failure capacity and empty: the old
+        // reservation stays void.
+        assert_eq!(api.capacity(key(1, ResourceKind::NetBandwidth)), Some(3_200_000.0));
+        assert_eq!(api.used(key(1, ResourceKind::NetBandwidth)).unwrap(), 0.0);
+        api.reserve(&stream_demand(1, 100_000.0, 0.05)).unwrap();
+        // Restoring a healthy (or unknown) server is a no-op.
+        assert!(!api.restore_server(ServerId(1)));
+        assert!(!api.restore_server(ServerId(9)));
     }
 
     #[test]

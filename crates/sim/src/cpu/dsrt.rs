@@ -47,6 +47,16 @@ pub enum ReservationError {
         /// Utilization still available.
         available: f64,
     },
+    /// The requested period was zero — utilization would be undefined.
+    InvalidPeriod,
+    /// The requested slice exceeds its period: utilization above 1 can
+    /// never be honoured.
+    SliceExceedsPeriod {
+        /// Requested guaranteed slice.
+        slice: SimDuration,
+        /// Requested period.
+        period: SimDuration,
+    },
 }
 
 impl std::fmt::Display for ReservationError {
@@ -55,6 +65,13 @@ impl std::fmt::Display for ReservationError {
             ReservationError::Overloaded { requested, available } => write!(
                 f,
                 "CPU reservation refused: requested utilization {requested:.4} exceeds available {available:.4}"
+            ),
+            ReservationError::InvalidPeriod => {
+                write!(f, "CPU reservation refused: period must be positive")
+            }
+            ReservationError::SliceExceedsPeriod { slice, period } => write!(
+                f,
+                "CPU reservation refused: slice {slice} exceeds period {period}"
             ),
         }
     }
@@ -156,8 +173,14 @@ impl Dsrt {
         slice: SimDuration,
         period: SimDuration,
     ) -> Result<JobId, ReservationError> {
-        assert!(!period.is_zero(), "reservation period must be positive");
-        assert!(slice <= period, "slice cannot exceed period");
+        // Malformed requests come from callers translating user-supplied
+        // QoS parameters: refuse them as typed errors, not process aborts.
+        if period.is_zero() {
+            return Err(ReservationError::InvalidPeriod);
+        }
+        if slice > period {
+            return Err(ReservationError::SliceExceedsPeriod { slice, period });
+        }
         self.advance_to(now);
         let requested = slice.as_micros() as f64 / period.as_micros() as f64;
         let available = self.available_utilization();
@@ -549,6 +572,7 @@ mod tests {
                 assert!((requested - 0.5).abs() < 1e-9);
                 assert!((available - 0.4).abs() < 1e-9);
             }
+            other => panic!("expected Overloaded, got {other:?}"),
         }
     }
 
@@ -643,9 +667,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "slice cannot exceed period")]
-    fn slice_larger_than_period_panics() {
+    fn malformed_reservations_are_typed_errors() {
         let mut cpu = no_overhead();
-        let _ = cpu.reserve(SimTime::ZERO, ms(30), ms(20));
+        assert_eq!(
+            cpu.reserve(SimTime::ZERO, ms(30), ms(20)).unwrap_err(),
+            ReservationError::SliceExceedsPeriod { slice: ms(30), period: ms(20) }
+        );
+        assert_eq!(
+            cpu.reserve(SimTime::ZERO, ms(1), SimDuration::ZERO).unwrap_err(),
+            ReservationError::InvalidPeriod
+        );
+        // The refusals left no partial state behind.
+        assert_eq!(cpu.reserved_utilization(), 0.0);
+        cpu.reserve(SimTime::ZERO, ms(5), ms(20)).unwrap();
     }
 }

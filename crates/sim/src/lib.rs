@@ -16,6 +16,8 @@
 //!   Fig 5b/5d).
 //! * [`link`] — fluid-flow shared bandwidth for server outbound links and
 //!   disks, with fair-share and reservation policies.
+//! * [`fault`] — seeded, schedule-driven fault injection (server crashes,
+//!   link degradation, disk slowdown) for robustness experiments.
 //! * [`stats`] — accumulators for the measurements the paper reports
 //!   (mean/S.D. tables, delay traces, session counts, completion rates).
 //!
@@ -25,6 +27,7 @@
 //! in this crate spawns threads or reads wall-clock time.
 
 pub mod cpu;
+pub mod fault;
 pub mod link;
 pub mod queue;
 pub mod rng;
@@ -35,6 +38,7 @@ pub mod topology;
 pub use cpu::{
     Completion, CpuScheduler, Dsrt, DsrtConfig, JobId, ReservationError, TaskId, TimeSharing,
 };
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultModel, FaultPlan, FaultSpec};
 pub use link::{FlowId, LinkError, SharePolicy, SharedLink, XferDone, XferId};
 pub use queue::{EventId, EventQueue};
 pub use rng::Rng;

@@ -62,6 +62,10 @@ pub enum LinkError {
     /// A reservation rate was required (Reserved policy) but not given, or
     /// given under FairShare.
     PolicyMismatch,
+    /// The referenced flow is not open on this link — it was never opened
+    /// here, or has already been closed (e.g. by a fault-injection path
+    /// racing a caller that still holds the id).
+    UnknownFlow(FlowId),
 }
 
 impl std::fmt::Display for LinkError {
@@ -73,6 +77,9 @@ impl std::fmt::Display for LinkError {
             ),
             LinkError::PolicyMismatch => {
                 write!(f, "reservation rate required under Reserved policy and forbidden under FairShare")
+            }
+            LinkError::UnknownFlow(id) => {
+                write!(f, "flow {} is not open on this link", id.0)
             }
         }
     }
@@ -150,9 +157,25 @@ impl SharedLink {
         self.reserved_total
     }
 
-    /// Rate still reservable.
+    /// Rate still reservable. Saturates at zero when a capacity cut (fault
+    /// injection) dropped the link below its outstanding reservations.
     pub fn available_bps(&self) -> u64 {
-        self.capacity_bps - self.reserved_total
+        self.capacity_bps.saturating_sub(self.reserved_total)
+    }
+
+    /// Changes the link's capacity mid-run (fault injection: degradation
+    /// when lowered, recovery when restored). Existing flows stay open —
+    /// under `Reserved` the link may become temporarily oversubscribed, in
+    /// which case nothing new is admitted until enough flows close; under
+    /// `FairShare` the water-filling allocation simply tightens.
+    pub fn set_capacity(&mut self, now: SimTime, capacity_bps: u64) {
+        assert!(capacity_bps > 0, "link capacity must be positive");
+        // Settle transfers at the old rates before the allocation changes.
+        self.advance_to(now);
+        if self.capacity_bps != capacity_bps {
+            self.capacity_bps = capacity_bps;
+            self.rates_cache = None;
+        }
     }
 
     /// Number of open flows.
@@ -206,19 +229,27 @@ impl SharedLink {
         }
     }
 
-    /// Queues `bytes` for transmission on `flow`.
-    pub fn send(&mut self, now: SimTime, flow: FlowId, bytes: u64) -> XferId {
+    /// Queues `bytes` for transmission on `flow`. Fails with
+    /// [`LinkError::UnknownFlow`] when the flow was never opened or has
+    /// already been closed.
+    pub fn send(&mut self, now: SimTime, flow: FlowId, bytes: u64) -> Result<XferId, LinkError> {
         self.advance_to(now);
+        let f = self.flows.get_mut(&flow).ok_or(LinkError::UnknownFlow(flow))?;
         let id = XferId(self.next_xfer);
         self.next_xfer += 1;
-        let f = self.flows.get_mut(&flow).expect("send on unknown flow");
         if f.queue.is_empty() {
             // Idle -> backlogged changes the active set; queueing behind an
             // existing transfer does not.
             self.rates_cache = None;
         }
         f.queue.push_back((id, bytes as f64));
-        id
+        Ok(id)
+    }
+
+    /// Bytes still queued on one flow (0 for unknown/closed flows). This is
+    /// what a failover path needs to resume a displaced transfer elsewhere.
+    pub fn flow_backlog_bytes(&self, flow: FlowId) -> f64 {
+        self.flows.get(&flow).map(|f| f.queue.iter().map(|&(_, b)| b).sum()).unwrap_or(0.0)
     }
 
     /// Instantaneous per-flow transmission rates for all backlogged flows.
@@ -416,7 +447,7 @@ mod tests {
     fn reserved_flow_transmits_at_its_rate() {
         let mut link = SharedLink::reserved(3200 * KB);
         let f = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
-        link.send(SimTime::ZERO, f, 50 * KB);
+        link.send(SimTime::ZERO, f, 50 * KB).unwrap();
         let done = run_until_idle(&mut link, SimTime::from_secs(10));
         assert_eq!(done.len(), 1);
         // 50 KB at 100 KB/s = 0.5 s.
@@ -429,8 +460,8 @@ mod tests {
         let mut link = SharedLink::reserved(3200 * KB);
         let a = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
         let b = link.open_flow(SimTime::ZERO, Some(200 * KB)).unwrap();
-        link.send(SimTime::ZERO, a, 100 * KB);
-        link.send(SimTime::ZERO, b, 100 * KB);
+        link.send(SimTime::ZERO, a, 100 * KB).unwrap();
+        link.send(SimTime::ZERO, b, 100 * KB).unwrap();
         let done = run_until_idle(&mut link, SimTime::from_secs(10));
         let t_a = done.iter().find(|d| d.flow == a).unwrap().at.as_secs_f64();
         let t_b = done.iter().find(|d| d.flow == b).unwrap().at.as_secs_f64();
@@ -461,8 +492,8 @@ mod tests {
         let mut link = SharedLink::fair_share(1000 * KB);
         let a = link.open_flow(SimTime::ZERO, None).unwrap();
         let b = link.open_flow(SimTime::ZERO, None).unwrap();
-        link.send(SimTime::ZERO, a, 500 * KB);
-        link.send(SimTime::ZERO, b, 500 * KB);
+        link.send(SimTime::ZERO, a, 500 * KB).unwrap();
+        link.send(SimTime::ZERO, b, 500 * KB).unwrap();
         let done = run_until_idle(&mut link, SimTime::from_secs(10));
         // Both get 500 KB/s -> both finish at ~1 s.
         for d in &done {
@@ -475,8 +506,8 @@ mod tests {
         let mut link = SharedLink::fair_share(1000 * KB);
         let a = link.open_flow(SimTime::ZERO, None).unwrap();
         let b = link.open_flow(SimTime::ZERO, None).unwrap();
-        link.send(SimTime::ZERO, a, 250 * KB);
-        link.send(SimTime::ZERO, b, 750 * KB);
+        link.send(SimTime::ZERO, a, 250 * KB).unwrap();
+        link.send(SimTime::ZERO, b, 750 * KB).unwrap();
         let done = run_until_idle(&mut link, SimTime::from_secs(10));
         let t_a = done.iter().find(|d| d.flow == a).unwrap().at.as_secs_f64();
         let t_b = done.iter().find(|d| d.flow == b).unwrap().at.as_secs_f64();
@@ -494,7 +525,7 @@ mod tests {
         let flows: Vec<FlowId> =
             (0..10).map(|_| link.open_flow(SimTime::ZERO, None).unwrap()).collect();
         for &f in &flows {
-            link.send(SimTime::ZERO, f, 100 * KB);
+            link.send(SimTime::ZERO, f, 100 * KB).unwrap();
         }
         let done = run_until_idle(&mut link, SimTime::from_secs(10));
         // Each flow gets 50 KB/s -> 2 s instead of the nominal 1 s.
@@ -507,8 +538,8 @@ mod tests {
     fn per_flow_fifo_order() {
         let mut link = SharedLink::reserved(1000 * KB);
         let f = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
-        let x1 = link.send(SimTime::ZERO, f, 10 * KB);
-        let x2 = link.send(SimTime::ZERO, f, 10 * KB);
+        let x1 = link.send(SimTime::ZERO, f, 10 * KB).unwrap();
+        let x2 = link.send(SimTime::ZERO, f, 10 * KB).unwrap();
         let done = run_until_idle(&mut link, SimTime::from_secs(10));
         assert_eq!(done[0].xfer, x1);
         assert_eq!(done[1].xfer, x2);
@@ -527,7 +558,7 @@ mod tests {
         // bitrate, not the full capacity.
         let mut link = SharedLink::fair_share(1000 * KB);
         let f = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
-        link.send(SimTime::ZERO, f, 100 * KB);
+        link.send(SimTime::ZERO, f, 100 * KB).unwrap();
         let done = run_until_idle(&mut link, SimTime::from_secs(10));
         assert!((done[0].at.as_secs_f64() - 1.0).abs() < 1e-3);
     }
@@ -539,8 +570,8 @@ mod tests {
         let mut link = SharedLink::fair_share(1000 * KB);
         let capped = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
         let free = link.open_flow(SimTime::ZERO, None).unwrap();
-        link.send(SimTime::ZERO, capped, 1000 * KB);
-        link.send(SimTime::ZERO, free, 900 * KB);
+        link.send(SimTime::ZERO, capped, 1000 * KB).unwrap();
+        link.send(SimTime::ZERO, free, 900 * KB).unwrap();
         let rates = link.current_rates();
         let rate_of = |id| rates.iter().find(|&&(f, _)| f == id).map(|&(_, r)| r).unwrap();
         assert!((rate_of(capped) - 100_000.0).abs() < 1e-6);
@@ -554,7 +585,7 @@ mod tests {
         let flows: Vec<FlowId> =
             (0..10).map(|_| link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap()).collect();
         for &f in &flows {
-            link.send(SimTime::ZERO, f, KB);
+            link.send(SimTime::ZERO, f, KB).unwrap();
         }
         for (_, r) in link.current_rates() {
             assert!((r - 50_000.0).abs() < 1e-6, "rate {r}");
@@ -572,9 +603,9 @@ mod tests {
         let a = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
         let b = link.open_flow(SimTime::ZERO, None).unwrap();
         check(&link);
-        link.send(SimTime::ZERO, a, 50 * KB);
-        link.send(SimTime::ZERO, a, 50 * KB); // queued behind — same set
-        link.send(SimTime::ZERO, b, 200 * KB);
+        link.send(SimTime::ZERO, a, 50 * KB).unwrap();
+        link.send(SimTime::ZERO, a, 50 * KB).unwrap(); // queued behind — same set
+        link.send(SimTime::ZERO, b, 200 * KB).unwrap();
         check(&link);
         link.advance_to(SimTime::from_millis(100));
         check(&link);
@@ -602,7 +633,7 @@ mod tests {
     fn close_flow_discards_queue() {
         let mut link = SharedLink::reserved(1000 * KB);
         let f = link.open_flow(SimTime::ZERO, Some(10 * KB)).unwrap();
-        link.send(SimTime::ZERO, f, 1000 * KB);
+        link.send(SimTime::ZERO, f, 1000 * KB).unwrap();
         link.close_flow(SimTime::from_millis(1), f);
         let done = run_until_idle(&mut link, SimTime::from_secs(10));
         assert!(done.is_empty());
@@ -610,10 +641,62 @@ mod tests {
     }
 
     #[test]
+    fn send_on_closed_flow_is_a_typed_error() {
+        let mut link = SharedLink::fair_share(KB);
+        let f = link.open_flow(SimTime::ZERO, None).unwrap();
+        link.close_flow(SimTime::ZERO, f);
+        assert_eq!(link.send(SimTime::ZERO, f, KB).unwrap_err(), LinkError::UnknownFlow(f));
+        assert_eq!(
+            link.send(SimTime::ZERO, FlowId(99), KB).unwrap_err(),
+            LinkError::UnknownFlow(FlowId(99))
+        );
+    }
+
+    #[test]
+    fn flow_backlog_tracks_remaining_bytes() {
+        let mut link = SharedLink::reserved(1000 * KB);
+        let f = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
+        link.send(SimTime::ZERO, f, 100 * KB).unwrap();
+        assert_eq!(link.flow_backlog_bytes(f), 100_000.0);
+        link.advance_to(SimTime::from_millis(500));
+        assert!((link.flow_backlog_bytes(f) - 50_000.0).abs() < 1.0);
+        assert_eq!(link.flow_backlog_bytes(FlowId(42)), 0.0);
+    }
+
+    #[test]
+    fn capacity_cut_stretches_and_recovery_restores() {
+        // 100 KB on a 100 KB/s lone fair-share flow; halve the link at
+        // t=0.5 s, restore at t=0.75 s. First half: 50 KB at full rate.
+        // Quarter second at 50 KB/s: 12.5 KB. Remaining 37.5 KB at full
+        // rate: done at 0.75 + 0.375 = 1.125 s.
+        let mut link = SharedLink::fair_share(100 * KB);
+        let f = link.open_flow(SimTime::ZERO, None).unwrap();
+        link.send(SimTime::ZERO, f, 100 * KB).unwrap();
+        link.set_capacity(SimTime::from_millis(500), 50 * KB);
+        link.set_capacity(SimTime::from_millis(750), 100 * KB);
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        assert_eq!(done.len(), 1);
+        assert!((done[0].at.as_secs_f64() - 1.125).abs() < 1e-3, "{}", done[0].at);
+        // The allocation cache was invalidated on both edges.
+        assert_eq!(link.current_rates(), link.compute_rates());
+    }
+
+    #[test]
+    fn capacity_cut_below_reservations_saturates_available() {
+        let mut link = SharedLink::reserved(1000 * KB);
+        link.open_flow(SimTime::ZERO, Some(800 * KB)).unwrap();
+        link.set_capacity(SimTime::ZERO, 500 * KB);
+        assert_eq!(link.available_bps(), 0);
+        assert!(link.open_flow(SimTime::ZERO, Some(KB)).is_err());
+        link.set_capacity(SimTime::ZERO, 1000 * KB);
+        assert_eq!(link.available_bps(), 200 * KB);
+    }
+
+    #[test]
     fn late_send_measured_from_submission() {
         let mut link = SharedLink::reserved(1000 * KB);
         let f = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
-        link.send(SimTime::from_secs(5), f, 100 * KB);
+        link.send(SimTime::from_secs(5), f, 100 * KB).unwrap();
         let done = run_until_idle(&mut link, SimTime::from_secs(10));
         assert!((done[0].at.as_secs_f64() - 6.0).abs() < 1e-3);
     }

@@ -168,7 +168,7 @@ proptest! {
         let flows: Vec<_> =
             (0..nflows).map(|_| link.open_flow(SimTime::ZERO, None).unwrap()).collect();
         for (i, &s) in sizes.iter().enumerate() {
-            link.send(SimTime::ZERO, flows[i % nflows], s);
+            link.send(SimTime::ZERO, flows[i % nflows], s).unwrap();
         }
         let mut done = Vec::new();
         let mut guard = 0;
@@ -204,14 +204,14 @@ proptest! {
         // Flow A alone.
         let mut solo = SharedLink::reserved(3_200_000);
         let fa = solo.open_flow(SimTime::ZERO, Some(rate_a)).unwrap();
-        solo.send(SimTime::ZERO, fa, bytes);
+        solo.send(SimTime::ZERO, fa, bytes).unwrap();
         let t_solo = solo.next_event().unwrap();
         // Flow A with a competing reserved flow B.
         let mut both = SharedLink::reserved(3_200_000);
         let fa2 = both.open_flow(SimTime::ZERO, Some(rate_a)).unwrap();
         let fb = both.open_flow(SimTime::ZERO, Some(rate_b)).unwrap();
-        both.send(SimTime::ZERO, fb, bytes);
-        both.send(SimTime::ZERO, fa2, bytes);
+        both.send(SimTime::ZERO, fb, bytes).unwrap();
+        both.send(SimTime::ZERO, fa2, bytes).unwrap();
         both.advance_to(t_solo);
         let done = both.drain_completions();
         prop_assert!(

@@ -315,7 +315,7 @@ impl StreamEngine {
                 continue;
             }
             let bytes = session.schedule.frames()[idx].bytes;
-            let xfer = node.link.send(now, session.flow, bytes as u64);
+            let xfer = node.link.send(now, session.flow, bytes as u64).expect("open session flow");
             node.xfers.insert(xfer, (sid, idx));
         }
         self.reschedule_cpu(server);
@@ -418,6 +418,41 @@ impl StreamEngine {
             }
             (None, None) => {}
         }
+    }
+
+    /// Crashes a server mid-run: every session it was streaming is cut
+    /// short — marked interrupted (not finished), its CPU job and link
+    /// flow torn down, in-flight frames dropped. Pending frame-due events
+    /// die against the closed-session guard. Returns the interrupted
+    /// sessions in id order so a caller can attempt failover for each.
+    pub fn fail_server(&mut self, server: ServerId) -> Vec<SessionId> {
+        let now = self.queue.now();
+        if !self.nodes.contains_key(&server) {
+            return Vec::new();
+        }
+        let hit: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|&(_, s)| s.server == server && !s.closed)
+            .map(|(i, _)| SessionId(i))
+            .collect();
+        for &id in &hit {
+            let session = &mut self.sessions[id.0];
+            session.closed = true;
+            session.report.mark_interrupted(now);
+            let (flow, job) = (session.flow, session.job);
+            let node = self.nodes.get_mut(&server).expect("checked above");
+            node.link.close_flow(now, flow);
+            node.cpu.remove_job(now, job);
+        }
+        let dead: std::collections::BTreeSet<SessionId> = hit.iter().copied().collect();
+        let node = self.nodes.get_mut(&server).expect("checked above");
+        node.tasks.retain(|_, &mut (sid, _)| !dead.contains(&sid));
+        node.xfers.retain(|_, &mut (sid, _)| !dead.contains(&sid));
+        self.reschedule_cpu(server);
+        self.reschedule_link(server);
+        hit
     }
 
     /// Reserved CPU utilization on a server (0 for time-sharing nodes).
@@ -738,5 +773,54 @@ mod tests {
         let fb = eng.report(b).finish().unwrap();
         assert!(fb > fa);
         assert!(fb >= SimTime::from_secs(7) - SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn fail_server_interrupts_its_sessions_and_spares_others() {
+        let mut eng = StreamEngine::new([
+            (ServerId(0), NodeConfig::vdbms(3_200_000)),
+            (ServerId(1), NodeConfig::vdbms(3_200_000)),
+        ]);
+        let doomed = eng
+            .add_session(
+                SimTime::ZERO,
+                SessionConfig {
+                    server: ServerId(0),
+                    schedule: schedule(10, 193_000.0, 21),
+                    cpu: CpuPolicy::BestEffort,
+                    link_rate_bps: Some(250_000),
+                },
+            )
+            .unwrap();
+        let survivor = eng
+            .add_session(
+                SimTime::ZERO,
+                SessionConfig {
+                    server: ServerId(1),
+                    schedule: schedule(10, 193_000.0, 22),
+                    cpu: CpuPolicy::BestEffort,
+                    link_rate_bps: Some(250_000),
+                },
+            )
+            .unwrap();
+        eng.run_until(SimTime::from_secs(3));
+        let hit = eng.fail_server(ServerId(0));
+        assert_eq!(hit, vec![doomed]);
+        // Repeated crashes of an already-empty server are a no-op.
+        assert!(eng.fail_server(ServerId(0)).is_empty());
+        assert!(eng.run_to_completion(SimTime::from_secs(60)));
+        let cut = eng.report(doomed);
+        // The engine clock sits at the last event processed before the
+        // crash, just shy of the 3 s run_until bound.
+        let at = cut.interrupted_at().expect("marked interrupted");
+        assert!(at <= SimTime::from_secs(3) && at > SimTime::from_secs(2));
+        assert!(!cut.is_complete());
+        // Frames delivered before the crash keep their measurements.
+        assert!(cut.frames().iter().any(|f| f.delivered.is_some()));
+        let ok = eng.report(survivor);
+        assert!(ok.is_complete());
+        assert_eq!(ok.interrupted_at(), None);
+        // The failed node's resources are released for later re-admission.
+        assert_eq!(eng.link_reserved_bps(ServerId(0)), 0);
     }
 }

@@ -87,7 +87,7 @@ impl FluidEngine {
     ) -> Result<FluidSessionId, LinkError> {
         let link = self.links.get_mut(&server).expect("unknown server");
         let flow = link.open_flow(now, Some(rate_bps))?;
-        let xfer = link.send(now, flow, bytes);
+        let xfer = link.send(now, flow, bytes).expect("flow just opened");
         let id = FluidSessionId(self.sessions.len());
         self.sessions.push(FluidSession { server, flow, done: false });
         self.xfers.get_mut(&server).expect("server").insert(xfer, id);
@@ -135,6 +135,43 @@ impl FluidEngine {
     /// Number of sessions still streaming.
     pub fn active_sessions(&self) -> usize {
         self.sessions.iter().filter(|s| !s.done).count()
+    }
+
+    /// Number of sessions still streaming from one server (O(active) on
+    /// that server, not O(all sessions)).
+    pub fn active_on(&self, server: ServerId) -> usize {
+        self.xfers.get(&server).map(HashMap::len).unwrap_or(0)
+    }
+
+    /// Crashes a server: every session streaming from it is killed and
+    /// returned as `(session, bytes still undelivered)` — what a failover
+    /// path needs to resume the remainder elsewhere. The returned list is
+    /// ordered by session id, so reacting to it is deterministic.
+    pub fn fail_server(&mut self, now: SimTime, server: ServerId) -> Vec<(FluidSessionId, f64)> {
+        let link = self.links.get_mut(&server).expect("unknown server");
+        link.advance_to(now);
+        let Some(map) = self.xfers.get_mut(&server) else { return Vec::new() };
+        let mut displaced: Vec<(FluidSessionId, f64)> = Vec::new();
+        for (_, &id) in map.iter() {
+            let session = &self.sessions[id.0];
+            if !session.done {
+                displaced.push((id, link.flow_backlog_bytes(session.flow)));
+            }
+        }
+        map.clear();
+        displaced.sort_by_key(|&(id, _)| id);
+        for &(id, _) in &displaced {
+            let session = &mut self.sessions[id.0];
+            session.done = true;
+            link.close_flow(now, session.flow);
+        }
+        displaced
+    }
+
+    /// Applies a fault-injection capacity change to a server's outbound
+    /// link (degradation when below nominal, recovery when restored).
+    pub fn set_link_capacity(&mut self, now: SimTime, server: ServerId, capacity_bps: u64) {
+        self.links.get_mut(&server).expect("unknown server").set_capacity(now, capacity_bps);
     }
 }
 
@@ -218,6 +255,54 @@ mod tests {
         let done = drain_all(&mut eng, SimTime::from_secs(10));
         assert_eq!(done.len(), 1);
         assert_ne!(done[0].id, a);
+    }
+
+    #[test]
+    fn fail_server_displaces_active_sessions_with_remaining_bytes() {
+        let mut eng = FluidEngine::new(ServerId::first_n(2), SharePolicy::Reserved, 200_000);
+        // 100 KB at 100 KB/s: half delivered after 0.5 s.
+        let a = eng.add_session(SimTime::ZERO, ServerId(0), 100_000, 100_000).unwrap();
+        let b = eng.add_session(SimTime::ZERO, ServerId(0), 100_000, 100_000).unwrap();
+        let other = eng.add_session(SimTime::ZERO, ServerId(1), 100_000, 100_000).unwrap();
+        eng.advance_to(SimTime::from_millis(500));
+        assert_eq!(eng.active_on(ServerId(0)), 2);
+        let displaced = eng.fail_server(SimTime::from_millis(500), ServerId(0));
+        assert_eq!(displaced.len(), 2);
+        assert_eq!(displaced[0].0, a, "ordered by session id");
+        assert_eq!(displaced[1].0, b);
+        for &(_, remaining) in &displaced {
+            assert!((remaining - 50_000.0).abs() < 1.0, "{remaining}");
+        }
+        assert_eq!(eng.active_on(ServerId(0)), 0);
+        // The freed link admits new reservations immediately.
+        let c = eng.add_session(SimTime::from_millis(500), ServerId(0), 1_000, 200_000).unwrap();
+        // The survivor and the re-admission complete; the displaced never do.
+        let done = drain_all(&mut eng, SimTime::from_secs(10));
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|d| d.id == other));
+        assert!(done.iter().any(|d| d.id == c));
+    }
+
+    #[test]
+    fn fail_server_skips_already_finished_sessions() {
+        let mut eng = FluidEngine::new([ServerId(0)], SharePolicy::Reserved, 200_000);
+        eng.add_session(SimTime::ZERO, ServerId(0), 100_000, 100_000).unwrap();
+        eng.advance_to(SimTime::from_secs(2));
+        assert_eq!(eng.drain_completions().len(), 1);
+        assert!(eng.fail_server(SimTime::from_secs(2), ServerId(0)).is_empty());
+    }
+
+    #[test]
+    fn link_degradation_stretches_fair_share_sessions() {
+        let mut eng = FluidEngine::new([ServerId(0)], SharePolicy::FairShare, 100_000);
+        // 100 KB paced at 100 KB/s; halve the link for the first second.
+        eng.add_session(SimTime::ZERO, ServerId(0), 100_000, 100_000).unwrap();
+        eng.set_link_capacity(SimTime::ZERO, ServerId(0), 50_000);
+        eng.set_link_capacity(SimTime::from_secs(1), ServerId(0), 100_000);
+        let done = drain_all(&mut eng, SimTime::from_secs(10));
+        assert_eq!(done.len(), 1);
+        // 50 KB in the degraded second, the rest at full rate: 1.5 s.
+        assert!((done[0].at.as_secs_f64() - 1.5).abs() < 1e-3, "{}", done[0].at);
     }
 
     #[test]

@@ -66,10 +66,29 @@ impl BaselinePlanner {
         video: VideoId,
         rng: &mut Rng,
     ) -> Option<BaselineChoice> {
-        let replicas = engine.replicas(video);
-        let best_rate = replicas.iter().map(|r| r.object.rate_bps).max()?;
+        self.select_avoiding(engine, video, rng, &std::collections::BTreeSet::new())
+    }
+
+    /// Like [`select`](Self::select), but never picks a server in
+    /// `exclude` (crashed sites). With an empty exclusion set this is
+    /// `select` exactly, including its RNG consumption — one `index` draw
+    /// over the same candidate list — so fault-free runs stay
+    /// bit-identical.
+    pub fn select_avoiding(
+        &self,
+        engine: &MetadataEngine,
+        video: VideoId,
+        rng: &mut Rng,
+        exclude: &std::collections::BTreeSet<ServerId>,
+    ) -> Option<BaselineChoice> {
+        let live: Vec<&ObjectRecord> = engine
+            .replicas(video)
+            .into_iter()
+            .filter(|r| !exclude.contains(&r.object.server))
+            .collect();
+        let best_rate = live.iter().map(|r| r.object.rate_bps).max()?;
         let candidates: Vec<&ObjectRecord> =
-            replicas.into_iter().filter(|r| r.object.rate_bps == best_rate).collect();
+            live.into_iter().filter(|r| r.object.rate_bps == best_rate).collect();
         let pick = candidates[rng.index(candidates.len())];
         Some(BaselineChoice {
             record: pick.clone(),
@@ -130,5 +149,30 @@ mod tests {
         assert!(BaselinePlanner::new(BaselineKind::Plain)
             .select(&e, VideoId(99), &mut rng)
             .is_none());
+    }
+
+    #[test]
+    fn select_avoiding_skips_crashed_servers() {
+        let e = engine();
+        let planner = BaselinePlanner::new(BaselineKind::Plain);
+        let down: std::collections::BTreeSet<ServerId> = [ServerId(0)].into();
+        let mut rng = Rng::new(4);
+        for _ in 0..50 {
+            let c = planner.select_avoiding(&e, VideoId(1), &mut rng, &down).unwrap();
+            assert_ne!(c.server, ServerId(0));
+        }
+        // Every replica down: nothing to stream.
+        let all: std::collections::BTreeSet<ServerId> = ServerId::first_n(3).collect();
+        assert!(planner.select_avoiding(&e, VideoId(1), &mut rng, &all).is_none());
+        // Empty exclusion is `select` exactly, draw for draw.
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        for _ in 0..20 {
+            let lhs = planner.select(&e, VideoId(1), &mut a).unwrap();
+            let rhs = planner
+                .select_avoiding(&e, VideoId(1), &mut b, &std::collections::BTreeSet::new())
+                .unwrap();
+            assert_eq!(lhs, rhs);
+        }
     }
 }

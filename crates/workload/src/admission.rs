@@ -102,6 +102,13 @@ pub struct Waiting {
     pub arrival: SimTime,
     /// Admission attempts consumed so far (>= 1 once queued).
     pub attempts: u32,
+    /// Set when this entry is a session displaced by a server crash
+    /// (the crash instant), re-entering the queue because failover found
+    /// no feasible replica. Displaced entries reuse the queue's backoff,
+    /// ladder, patience, and capacity machinery but stay out of its
+    /// admission accounting: they were already admitted once, so counting
+    /// them again would break `admitted + rejected == queries`.
+    pub interrupted: Option<SimTime>,
 }
 
 /// Terminal-or-not outcome of handing a failed attempt to the queue.
@@ -179,7 +186,9 @@ impl AdmissionQueue {
     pub fn pop_due(&mut self, now: SimTime) -> Option<Waiting> {
         let &key = self.waiting.keys().next().filter(|&&(t, _)| t <= now)?;
         let w = self.waiting.remove(&key).expect("key just observed");
-        self.metrics.retries += 1;
+        if w.interrupted.is_none() {
+            self.metrics.retries += 1;
+        }
         Some(w)
     }
 
@@ -189,18 +198,25 @@ impl AdmissionQueue {
     /// or patience exhausted). The caller folds any rejection disposition
     /// into its rejected count.
     pub fn admit_failure(&mut self, now: SimTime, mut w: Waiting, why: &Rejection) -> Disposition {
+        // Displaced sessions ride the machinery without touching the
+        // admission accounting; the fault metrics track their fate.
+        let fresh = w.interrupted.is_none();
         // Walk the second-chance ladder: lower floors reach more replicas
         // (and cheaper plans), so every retry asks for something easier.
         // Dimensions with lower profile weight are relaxed first.
         match self.cfg.profile.degrade_options(&w.query.qos).into_iter().next() {
             Some(next) => {
                 w.query.qos = next;
-                self.metrics.degraded += 1;
+                if fresh {
+                    self.metrics.degraded += 1;
+                }
             }
             None if !why.is_transient() => {
                 // Bottom of the ladder and still no feasible plan: waiting
                 // cannot conjure a replica.
-                self.metrics.hopeless += 1;
+                if fresh {
+                    self.metrics.hopeless += 1;
+                }
                 return Disposition::Hopeless;
             }
             None => {} // Bottom of the ladder, but overload clears: retry.
@@ -216,13 +232,17 @@ impl AdmissionQueue {
             .max(SimDuration::from_micros(1));
         let ready = now + delay;
         if ready > w.arrival + self.cfg.patience {
-            self.metrics.abandoned_waiting += 1;
-            self.abandoned_total += 1;
-            self.metrics.abandonment.push(now, self.abandoned_total as f64);
+            if fresh {
+                self.metrics.abandoned_waiting += 1;
+                self.abandoned_total += 1;
+                self.metrics.abandonment.push(now, self.abandoned_total as f64);
+            }
             return Disposition::Abandoned;
         }
         if self.waiting.len() >= self.cfg.queue_capacity {
-            self.metrics.overflow += 1;
+            if fresh {
+                self.metrics.overflow += 1;
+            }
             return Disposition::Overflow;
         }
         let seq = self.seq;
@@ -247,13 +267,17 @@ impl AdmissionQueue {
         self.metrics.abandonment.push(at, self.abandoned_total as f64);
     }
 
-    /// Ends the run: every query still waiting becomes a rejection.
-    /// Returns how many there were.
-    pub fn finish(&mut self) -> u64 {
-        let pending = self.waiting.len() as u64;
-        self.metrics.pending_at_horizon = pending;
+    /// Ends the run. Every fresh query still waiting becomes a rejection;
+    /// displaced sessions still waiting were admitted once and are lost
+    /// instead. Returns `(fresh, displaced)` pending counts — the caller
+    /// folds the first into its rejected total and the second into the
+    /// fault metrics' dropped total.
+    pub fn finish(&mut self) -> (u64, u64) {
+        let displaced = self.waiting.values().filter(|w| w.interrupted.is_some()).count() as u64;
+        let fresh = self.waiting.len() as u64 - displaced;
+        self.metrics.pending_at_horizon = fresh;
         self.waiting.clear();
-        pending
+        (fresh, displaced)
     }
 
     /// Consumes the queue, yielding its metrics.
@@ -277,7 +301,12 @@ mod tests {
             },
             arrival: at,
             attempts: 1,
+            interrupted: None,
         }
+    }
+
+    fn displaced(at: SimTime) -> Waiting {
+        Waiting { interrupted: Some(at), ..waiting(at) }
     }
 
     #[test]
@@ -395,12 +424,93 @@ mod tests {
         q.admit_failure(t, waiting(t), &Rejection::AdmissionFailed);
         q.record_admitted(SimTime::from_secs(3), t);
         q.record_stream_abandoned(SimTime::from_secs(4));
-        assert_eq!(q.finish(), 1);
+        assert_eq!(q.finish(), (1, 0));
         let m = q.into_metrics();
         assert_eq!(m.pending_at_horizon, 1);
         assert_eq!(m.wait.count(), 1);
         assert_eq!(m.abandoned(), 1);
         assert!((m.wait.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displaced_entries_back_off_and_degrade_without_queue_accounting() {
+        let cfg = AdmissionConfig {
+            base_backoff: SimDuration::from_secs(2),
+            backoff_factor: 2.0,
+            max_backoff: SimDuration::from_secs(32),
+            patience: SimDuration::from_secs(1_000),
+            ..AdmissionConfig::default()
+        };
+        let mut q = AdmissionQueue::new(cfg);
+        let crash = SimTime::from_secs(100);
+        let floor = displaced(crash).query.qos.min_resolution;
+        // Same backoff schedule as a fresh entry: 2 s, then 4 s.
+        assert_eq!(
+            q.admit_failure(crash, displaced(crash), &Rejection::AdmissionFailed),
+            Disposition::Queued
+        );
+        assert_eq!(q.next_ready(), Some(crash + SimDuration::from_secs(2)));
+        let due = crash + SimDuration::from_secs(2);
+        let w = q.pop_due(due).expect("due now");
+        assert_eq!(w.attempts, 2);
+        assert_eq!(w.interrupted, Some(crash), "displacement marker survives the round trip");
+        assert!(w.query.qos.min_resolution < floor, "ladder step still taken");
+        assert_eq!(q.admit_failure(due, w, &Rejection::AdmissionFailed), Disposition::Queued);
+        assert_eq!(q.next_ready(), Some(due + SimDuration::from_secs(4)));
+        // ...but none of it shows up in the admission accounting.
+        let m = q.metrics();
+        assert_eq!(m.retries, 0);
+        assert_eq!(m.degraded, 0);
+    }
+
+    #[test]
+    fn displaced_drops_stay_out_of_rejection_metrics() {
+        // Patience exhaustion: the disposition is terminal but the
+        // abandonment counters (which decompose the rejected total) stay
+        // untouched — the session was admitted once already.
+        let cfg = AdmissionConfig {
+            base_backoff: SimDuration::from_secs(10),
+            backoff_factor: 1.0,
+            max_backoff: SimDuration::from_secs(10),
+            patience: SimDuration::from_secs(5),
+            ..AdmissionConfig::default()
+        };
+        let mut q = AdmissionQueue::new(cfg);
+        let crash = SimTime::ZERO;
+        assert_eq!(
+            q.admit_failure(crash, displaced(crash), &Rejection::AdmissionFailed),
+            Disposition::Abandoned
+        );
+        assert_eq!(q.metrics().abandoned_waiting, 0);
+        assert_eq!(q.metrics().abandonment.len(), 0);
+        // Overflow: same story.
+        let cfg = AdmissionConfig { queue_capacity: 1, ..AdmissionConfig::default() };
+        let mut q = AdmissionQueue::new(cfg);
+        q.admit_failure(crash, waiting(crash), &Rejection::AdmissionFailed);
+        assert_eq!(
+            q.admit_failure(crash, displaced(crash), &Rejection::AdmissionFailed),
+            Disposition::Overflow
+        );
+        assert_eq!(q.metrics().overflow, 0);
+        // Hopeless at the ladder bottom: counted for fresh, not displaced.
+        let mut q = AdmissionQueue::new(AdmissionConfig::default());
+        let mut w = displaced(crash);
+        while let Some(r) = q.cfg.profile.degrade_options(&w.query.qos).into_iter().next() {
+            w.query.qos = r;
+        }
+        assert_eq!(q.admit_failure(crash, w, &Rejection::NoFeasiblePlan), Disposition::Hopeless);
+        assert_eq!(q.metrics().hopeless, 0);
+    }
+
+    #[test]
+    fn finish_separates_displaced_pending_from_fresh() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::default());
+        let t = SimTime::ZERO;
+        q.admit_failure(t, waiting(t), &Rejection::AdmissionFailed);
+        q.admit_failure(t, displaced(t), &Rejection::AdmissionFailed);
+        q.admit_failure(t, displaced(t), &Rejection::AdmissionFailed);
+        assert_eq!(q.finish(), (1, 2));
+        assert_eq!(q.into_metrics().pending_at_horizon, 1);
     }
 
     #[test]

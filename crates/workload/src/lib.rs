@@ -30,6 +30,6 @@ pub use fig5::{run_fig5, Contention, Fig5Config, Fig5System};
 pub use parallel::{parallel_map, run_throughput_scenarios, worker_count};
 pub use testbed::{CostKind, Testbed, TestbedConfig};
 pub use throughput::{
-    run_throughput, run_throughput_on, SystemKind, ThroughputConfig, ThroughputResult,
+    run_throughput, run_throughput_on, FaultMetrics, SystemKind, ThroughputConfig, ThroughputResult,
 };
 pub use traffic::{generate_queries, random_qop, GeneratedQuery, TrafficConfig};

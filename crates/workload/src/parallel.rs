@@ -127,6 +127,7 @@ mod tests {
             video_skew: 0.0,
             local_plans_only: false,
             admission: None,
+            faults: None,
         };
         let scenarios: Vec<(SystemKind, ThroughputConfig)> = vec![
             (SystemKind::Vdbms, cfg.clone()),
@@ -154,6 +155,7 @@ mod tests {
             video_skew: 0.0,
             local_plans_only: false,
             admission: Some(crate::admission::AdmissionConfig::default()),
+            faults: None,
         };
         let scenarios: Vec<(SystemKind, ThroughputConfig)> = vec![
             (SystemKind::Vdbms, cfg.clone()),

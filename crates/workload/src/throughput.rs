@@ -11,11 +11,15 @@ use crate::admission::{AdmissionConfig, AdmissionQueue, QueueMetrics, Waiting};
 use crate::testbed::{CostKind, Testbed, TestbedConfig};
 use crate::traffic::{generate_queries, TrafficConfig};
 use quasaq_core::{
-    PlanExecutor, PlanRequest, QopSecurity, QosWeights, QualityManager, Rejection, UtilityGain,
+    PlanExecutor, PlanRequest, QopSecurity, QosWeights, QualityManager, Rejection, UserProfile,
+    UtilityGain,
 };
 use quasaq_qosapi::{CompositeQosApi, ReservationId, ResourceKey, ResourceKind, ResourceVector};
 use quasaq_sim::link::SharePolicy;
-use quasaq_sim::{LevelTracker, RateCounter, Rng, Series, SimDuration, SimTime};
+use quasaq_sim::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, LevelTracker, OnlineStats, RateCounter, Rng,
+    Series, ServerId, SimDuration, SimTime,
+};
 use quasaq_store::AccessStats;
 use quasaq_stream::{FluidEngine, FluidSessionId};
 use quasaq_vdbms::{BaselineKind, BaselinePlanner, QueuedQuery};
@@ -66,6 +70,10 @@ pub struct ThroughputConfig {
     /// than the patience window. `None` keeps the legacy fire-and-forget
     /// client (bit-identical to runs before the queue existed).
     pub admission: Option<AdmissionConfig>,
+    /// Fault schedule: server crashes, link degradations, and disk
+    /// slowdowns injected mid-run. `None` disables the injector entirely
+    /// (bit-identical to runs before fault injection existed).
+    pub faults: Option<FaultPlan>,
 }
 
 impl ThroughputConfig {
@@ -79,6 +87,7 @@ impl ThroughputConfig {
             video_skew: 0.0,
             local_plans_only: false,
             admission: None,
+            faults: None,
         }
     }
 
@@ -92,6 +101,54 @@ impl ThroughputConfig {
     pub fn queued() -> Self {
         ThroughputConfig { admission: Some(AdmissionConfig::default()), ..Self::fig6() }
     }
+
+    /// The availability-under-faults configuration: Fig 6 load with the
+    /// queued front end, one server crashing at t = 1000 s and restarting
+    /// at t = 2000 s inside a 3000 s horizon.
+    pub fn availability() -> Self {
+        ThroughputConfig {
+            horizon: SimTime::from_secs(3000),
+            faults: Some(FaultPlan::crash_restart(
+                ServerId(0),
+                SimTime::from_secs(1000),
+                SimTime::from_secs(2000),
+            )),
+            ..Self::queued()
+        }
+    }
+}
+
+/// Robustness accounting for a fault-injected run. `PartialEq` compares
+/// floats bit-for-bit for the serial-vs-parallel determinism checks.
+///
+/// Every interrupted session reaches exactly one fate, so
+/// `interrupted == failed_over + recovered + dropped` at the end of a
+/// run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultMetrics {
+    /// Sessions cut mid-stream by a server crash.
+    pub interrupted: u64,
+    /// Interrupted sessions immediately re-admitted on a surviving
+    /// replica site, resuming their remaining bytes.
+    pub failed_over: u64,
+    /// Failovers that renegotiated down the QoP ladder because no
+    /// survivor could carry the original quality.
+    pub failover_degraded: u64,
+    /// Interrupted sessions that re-entered the admission queue after
+    /// failover found no feasible replica.
+    pub requeued: u64,
+    /// Requeued sessions eventually re-serviced (restarting from the
+    /// beginning — a queue re-entry is a restart, not a resume).
+    pub recovered: u64,
+    /// Interrupted sessions lost for good: no survivor, no queue (or
+    /// dropped by it), or still waiting at the horizon.
+    pub dropped: u64,
+    /// Seconds from interruption to re-service, over every session that
+    /// was re-serviced (0 for an instant failover).
+    pub recovery: OnlineStats,
+    /// Session-seconds streamed on servers whose effective capacity was
+    /// degraded below nominal (QoS-violation exposure).
+    pub qos_violation_secs: f64,
 }
 
 /// Everything the paper plots for one run. `PartialEq` compares every
@@ -122,6 +179,8 @@ pub struct ThroughputResult {
     pub mean_utility: Option<f64>,
     /// Queue metrics when the admission front end was enabled.
     pub queue: Option<QueueMetrics>,
+    /// Robustness metrics when fault injection was enabled.
+    pub faults: Option<FaultMetrics>,
 }
 
 impl ThroughputResult {
@@ -199,6 +258,33 @@ pub fn run_throughput_on(
     let mut deadlines: BTreeSet<(SimTime, FluidSessionId)> = BTreeSet::new();
     let mut deadline_of: HashMap<FluidSessionId, SimTime> = HashMap::new();
 
+    // Fault injection. The timeline is empty when `cfg.faults` is `None`,
+    // so the legacy event sequence — and every RNG draw — is untouched.
+    // The testbed itself is immutable and shared across runs; all fault
+    // state (who is down, which reservations died, the degraded
+    // capacities inside this run's own fluid engine) lives here.
+    let fault_plan = cfg.faults.clone().unwrap_or_default();
+    let mut injector = FaultInjector::new(&fault_plan);
+    let faults_on = cfg.faults.is_some();
+    let failover_profile = cfg
+        .admission
+        .as_ref()
+        .map(|a| a.profile.clone())
+        .unwrap_or_else(|| UserProfile::new("failover"));
+    let mut fm = FaultMetrics::default();
+    // Per-session request context, kept only under fault injection so a
+    // crash can re-plan the displaced sessions.
+    let mut ctxs: HashMap<FluidSessionId, SessionCtx> = HashMap::new();
+    let mut down: BTreeSet<ServerId> = BTreeSet::new();
+    // Overlapping windows compose: crashes nest by depth, capacity
+    // factors multiply (in stable order, so the float product is a pure
+    // function of the plan).
+    let mut crash_depth: HashMap<ServerId, u32> = HashMap::new();
+    let mut link_factors: HashMap<ServerId, Vec<f64>> = HashMap::new();
+    let mut disk_factors: HashMap<ServerId, Vec<f64>> = HashMap::new();
+    let mut impaired: BTreeSet<ServerId> = BTreeSet::new();
+    let mut violation_t = SimTime::ZERO;
+
     let mut reservations: HashMap<FluidSessionId, ReservationId> = HashMap::new();
     let mut outstanding = LevelTracker::new();
     let mut completions = RateCounter::new(SimDuration::from_secs(60));
@@ -216,9 +302,19 @@ pub fn run_throughput_on(
         let tf = fluid.next_event().filter(|&t| t <= cfg.horizon);
         let tr = queue.as_ref().and_then(|q| q.next_ready()).filter(|&t| t <= cfg.horizon);
         let ta = deadlines.iter().next().map(|&(t, _)| t).filter(|&t| t <= cfg.horizon);
-        let Some(t) = [tq, tf, tr, ta].into_iter().flatten().min() else { break };
+        let tx = injector.next_at().filter(|&t| t <= cfg.horizon);
+        let Some(t) = [tq, tf, tr, ta, tx].into_iter().flatten().min() else { break };
         if t > cfg.horizon {
             break;
+        }
+        // The active set only changes at processed instants, so the
+        // violation exposure over [violation_t, t] is exact.
+        if faults_on && t > violation_t {
+            for &s in &impaired {
+                fm.qos_violation_secs +=
+                    fluid.active_on(s) as f64 * (t - violation_t).as_secs_f64();
+            }
+            violation_t = t;
         }
         fluid.advance_to(t);
         handle_done(
@@ -230,6 +326,7 @@ pub fn run_throughput_on(
             &mut completed,
             &mut deadlines,
             &mut deadline_of,
+            &mut ctxs,
         );
         // Mid-stream patience: cancel sessions that overran their nominal
         // duration by more than the patience window. Completions at the
@@ -246,18 +343,201 @@ pub fn run_throughput_on(
             if let Some(res) = reservations.remove(&sid) {
                 release(&mut state, res);
             }
+            ctxs.remove(&sid);
             queue
                 .as_mut()
                 .expect("deadlines only exist with admission enabled")
                 .record_stream_abandoned(t);
         }
+        // Fault edges due now fire after completions and patience (a
+        // session finishing at the crash instant made it) and before
+        // retries and the new arrival (which must see the post-crash
+        // world).
+        while let Some(ev) = injector.pop_due(t) {
+            match ev {
+                FaultEvent::Begin(spec) => match spec.kind {
+                    FaultKind::ServerCrash => {
+                        let depth = crash_depth.entry(spec.server).or_insert(0);
+                        *depth += 1;
+                        if *depth > 1 {
+                            continue;
+                        }
+                        down.insert(spec.server);
+                        // Bulk-release every reservation on the dead
+                        // server so new admissions route around it...
+                        fail_site(&mut state, spec.server);
+                        // ...then displace its in-flight sessions and try
+                        // to fail each one over.
+                        for (sid, remaining) in fluid.fail_server(t, spec.server) {
+                            outstanding.adjust(t, -1);
+                            fm.interrupted += 1;
+                            if let Some(dl) = deadline_of.remove(&sid) {
+                                deadlines.remove(&(dl, sid));
+                            }
+                            // The site failure above already cancelled the
+                            // dead server's reservations; release is
+                            // idempotent, so dropping the id is enough.
+                            reservations.remove(&sid);
+                            let ctx = ctxs.remove(&sid).expect("fault runs track context");
+                            let frac = (remaining / ctx.total_bytes.max(1) as f64).clamp(0.0, 1.0);
+                            // Walk the QoP ladder down until a survivor
+                            // admits the remaining bytes.
+                            let mut request = ctx.query;
+                            let mut steps = 0u32;
+                            let mut last_err = Rejection::AdmissionFailed;
+                            let placed = loop {
+                                match admit(
+                                    &mut state,
+                                    testbed,
+                                    &request,
+                                    &mut fluid,
+                                    &mut rng,
+                                    t,
+                                    Some(frac),
+                                    &down,
+                                ) {
+                                    Ok(sess) => break Some(sess),
+                                    Err(why) => {
+                                        last_err = why;
+                                        match failover_profile
+                                            .degrade_options(&request.qos)
+                                            .into_iter()
+                                            .next()
+                                        {
+                                            Some(next) => {
+                                                request.qos = next;
+                                                steps += 1;
+                                            }
+                                            None => break None,
+                                        }
+                                    }
+                                }
+                            };
+                            match placed {
+                                Some(sess) => {
+                                    fm.failed_over += 1;
+                                    if steps > 0 {
+                                        fm.failover_degraded += 1;
+                                    }
+                                    fm.recovery.push(0.0);
+                                    outstanding.adjust(t, 1);
+                                    access.record(request.video, sess.server);
+                                    if let Some(u) = sess.utility {
+                                        utility_sum += u;
+                                        utility_n += 1;
+                                    }
+                                    if let Some(res) = sess.reservation {
+                                        reservations.insert(sess.sid, res);
+                                    }
+                                    if let Some(p) = patience {
+                                        let dl = t + sess.nominal + p;
+                                        deadlines.insert((dl, sess.sid));
+                                        deadline_of.insert(sess.sid, dl);
+                                    }
+                                    ctxs.insert(
+                                        sess.sid,
+                                        SessionCtx { query: request, total_bytes: sess.bytes },
+                                    );
+                                }
+                                None => match queue.as_mut() {
+                                    Some(qu) => {
+                                        let w = Waiting {
+                                            query: request,
+                                            arrival: t,
+                                            attempts: 1,
+                                            interrupted: Some(t),
+                                        };
+                                        if qu.admit_failure(t, w, &last_err).is_rejection() {
+                                            fm.dropped += 1;
+                                        } else {
+                                            fm.requeued += 1;
+                                        }
+                                    }
+                                    None => fm.dropped += 1,
+                                },
+                            }
+                        }
+                    }
+                    FaultKind::LinkDegradation { factor } => {
+                        link_factors.entry(spec.server).or_default().push(factor);
+                        apply_capacity(
+                            &mut fluid,
+                            &mut impaired,
+                            &link_factors,
+                            &disk_factors,
+                            &cfg.testbed,
+                            t,
+                            spec.server,
+                        );
+                    }
+                    FaultKind::DiskSlowdown { factor } => {
+                        disk_factors.entry(spec.server).or_default().push(factor);
+                        apply_capacity(
+                            &mut fluid,
+                            &mut impaired,
+                            &link_factors,
+                            &disk_factors,
+                            &cfg.testbed,
+                            t,
+                            spec.server,
+                        );
+                    }
+                },
+                FaultEvent::End(spec) => match spec.kind {
+                    FaultKind::ServerCrash => {
+                        let depth = crash_depth.get_mut(&spec.server).expect("crash began");
+                        *depth -= 1;
+                        if *depth == 0 {
+                            down.remove(&spec.server);
+                            restore_site(&mut state, spec.server);
+                        }
+                    }
+                    FaultKind::LinkDegradation { factor } => {
+                        remove_factor(&mut link_factors, spec.server, factor);
+                        apply_capacity(
+                            &mut fluid,
+                            &mut impaired,
+                            &link_factors,
+                            &disk_factors,
+                            &cfg.testbed,
+                            t,
+                            spec.server,
+                        );
+                    }
+                    FaultKind::DiskSlowdown { factor } => {
+                        remove_factor(&mut disk_factors, spec.server, factor);
+                        apply_capacity(
+                            &mut fluid,
+                            &mut impaired,
+                            &link_factors,
+                            &disk_factors,
+                            &cfg.testbed,
+                            t,
+                            spec.server,
+                        );
+                    }
+                },
+            }
+        }
         // Retries due now run before the new arrival: they have waited
         // longer.
         if let Some(qu) = queue.as_mut() {
             while let Some(w) = qu.pop_due(t) {
-                match admit(&mut state, testbed, &w.query, &mut fluid, &mut rng, t) {
+                match admit(&mut state, testbed, &w.query, &mut fluid, &mut rng, t, None, &down) {
                     Ok(sess) => {
-                        admitted += 1;
+                        match w.interrupted {
+                            Some(it) => {
+                                // A displaced session re-serviced from the
+                                // queue was admitted once already: count
+                                // its recovery, not a second admission.
+                                fm.recovered += 1;
+                                fm.recovery.push((t - it).as_secs_f64());
+                            }
+                            None => {
+                                admitted += 1;
+                                qu.record_admitted(t, w.arrival);
+                            }
+                        }
                         outstanding.adjust(t, 1);
                         access.record(w.query.video, sess.server);
                         if let Some(u) = sess.utility {
@@ -267,17 +547,27 @@ pub fn run_throughput_on(
                         if let Some(res) = sess.reservation {
                             reservations.insert(sess.sid, res);
                         }
-                        qu.record_admitted(t, w.arrival);
                         if let Some(p) = patience {
                             let dl = t + sess.nominal + p;
                             deadlines.insert((dl, sess.sid));
                             deadline_of.insert(sess.sid, dl);
                         }
+                        if faults_on {
+                            ctxs.insert(
+                                sess.sid,
+                                SessionCtx { query: w.query, total_bytes: sess.bytes },
+                            );
+                        }
                     }
                     Err(why) => {
+                        let was_displaced = w.interrupted.is_some();
                         if qu.admit_failure(t, w, &why).is_rejection() {
-                            rejected += 1;
-                            rejects.push(t, rejected as f64);
+                            if was_displaced {
+                                fm.dropped += 1;
+                            } else {
+                                rejected += 1;
+                                rejects.push(t, rejected as f64);
+                            }
                         }
                     }
                 }
@@ -287,7 +577,7 @@ pub fn run_throughput_on(
             let q = &queries[qi];
             qi += 1;
             let request = QueuedQuery { video: q.video, qos: q.qos.clone() };
-            match admit(&mut state, testbed, &request, &mut fluid, &mut rng, t) {
+            match admit(&mut state, testbed, &request, &mut fluid, &mut rng, t, None, &down) {
                 Ok(sess) => {
                     admitted += 1;
                     outstanding.adjust(t, 1);
@@ -307,10 +597,17 @@ pub fn run_throughput_on(
                         deadlines.insert((dl, sess.sid));
                         deadline_of.insert(sess.sid, dl);
                     }
+                    if faults_on {
+                        ctxs.insert(
+                            sess.sid,
+                            SessionCtx { query: request, total_bytes: sess.bytes },
+                        );
+                    }
                 }
                 Err(why) => match queue.as_mut() {
                     Some(qu) => {
-                        let w = Waiting { query: request, arrival: t, attempts: 1 };
+                        let w =
+                            Waiting { query: request, arrival: t, attempts: 1, interrupted: None };
                         if qu.admit_failure(t, w, &why).is_rejection() {
                             rejected += 1;
                             rejects.push(t, rejected as f64);
@@ -324,6 +621,12 @@ pub fn run_throughput_on(
             }
         }
     }
+    if faults_on && cfg.horizon > violation_t {
+        for &s in &impaired {
+            fm.qos_violation_secs +=
+                fluid.active_on(s) as f64 * (cfg.horizon - violation_t).as_secs_f64();
+        }
+    }
     fluid.advance_to(cfg.horizon);
     handle_done(
         fluid.drain_completions(),
@@ -334,15 +637,18 @@ pub fn run_throughput_on(
         &mut completed,
         &mut deadlines,
         &mut deadline_of,
+        &mut ctxs,
     );
-    // Whoever is still waiting never got served: fold them into the
-    // rejected count so `admitted + rejected == queries` holds.
+    // Whoever is still waiting never got served: fresh queries fold into
+    // the rejected count so `admitted + rejected == queries` holds;
+    // displaced sessions still waiting are lost to the fault accounting.
     if let Some(qu) = queue.as_mut() {
-        let pending = qu.finish();
+        let (pending, displaced_pending) = qu.finish();
         if pending > 0 {
             rejected += pending;
             rejects.push(cfg.horizon, rejected as f64);
         }
+        fm.dropped += displaced_pending;
     }
 
     ThroughputResult {
@@ -357,7 +663,73 @@ pub fn run_throughput_on(
         access,
         mean_utility: (utility_n > 0).then(|| utility_sum / utility_n as f64),
         queue: queue.map(AdmissionQueue::into_metrics),
+        faults: faults_on.then_some(fm),
     }
+}
+
+/// What the driver must remember about a live session to fail it over
+/// after a crash (tracked only under fault injection).
+struct SessionCtx {
+    query: QueuedQuery,
+    total_bytes: u64,
+}
+
+fn fail_site(state: &mut SystemState, server: ServerId) {
+    match state {
+        SystemState::QosApi { api, .. } => {
+            api.fail_server(server);
+        }
+        SystemState::Quasaq { manager, .. } => {
+            manager.handle_server_failure(server);
+        }
+        SystemState::Plain { .. } => {}
+    }
+}
+
+fn restore_site(state: &mut SystemState, server: ServerId) {
+    match state {
+        SystemState::QosApi { api, .. } => {
+            api.restore_server(server);
+        }
+        SystemState::Quasaq { manager, .. } => {
+            manager.handle_server_restart(server);
+        }
+        SystemState::Plain { .. } => {}
+    }
+}
+
+/// Re-applies a server's effective capacity after its fault factors
+/// changed: the link carries `min(link, disk)` of the degraded rates (a
+/// slow disk starves the link), never less than 1 byte/s so in-flight
+/// transfers keep draining.
+fn apply_capacity(
+    fluid: &mut FluidEngine,
+    impaired: &mut BTreeSet<ServerId>,
+    link_factors: &HashMap<ServerId, Vec<f64>>,
+    disk_factors: &HashMap<ServerId, Vec<f64>>,
+    testbed: &TestbedConfig,
+    now: SimTime,
+    server: ServerId,
+) {
+    let product =
+        |m: &HashMap<ServerId, Vec<f64>>| m.get(&server).map_or(1.0, |v| v.iter().product());
+    let link = testbed.link_capacity_bps as f64 * product(link_factors);
+    let disk = testbed.disk_bps * product(disk_factors);
+    let effective = (link.min(disk).max(1.0)) as u64;
+    fluid.set_link_capacity(now, server, effective);
+    if effective < testbed.link_capacity_bps {
+        impaired.insert(server);
+    } else {
+        impaired.remove(&server);
+    }
+}
+
+/// Drops one ended fault window's factor (the first matching entry, so
+/// overlapping identical windows compose and unwind deterministically).
+fn remove_factor(factors: &mut HashMap<ServerId, Vec<f64>>, server: ServerId, factor: f64) {
+    let v = factors.get_mut(&server).expect("fault window began");
+    let i = v.iter().position(|&f| f == factor).expect("factor recorded at begin");
+    v.remove(i);
 }
 
 fn release(state: &mut SystemState, res: ReservationId) {
@@ -378,6 +750,7 @@ fn handle_done(
     completed: &mut u64,
     deadlines: &mut BTreeSet<(SimTime, FluidSessionId)>,
     deadline_of: &mut HashMap<FluidSessionId, SimTime>,
+    ctxs: &mut HashMap<FluidSessionId, SessionCtx>,
 ) {
     for d in done {
         outstanding.adjust(d.at, -1);
@@ -389,6 +762,7 @@ fn handle_done(
         if let Some(dl) = deadline_of.remove(&d.id) {
             deadlines.remove(&(dl, d.id));
         }
+        ctxs.remove(&d.id);
     }
 }
 
@@ -401,8 +775,19 @@ struct AdmittedSession {
     /// Unstretched duration (bytes / rate): what playback takes when the
     /// link honours the stream's pacing rate.
     nominal: SimDuration,
+    /// Bytes actually streamed (scaled down on a mid-stream failover).
+    bytes: u64,
 }
 
+/// Scales a replica's size by the fraction still owed after a failover.
+fn resume_bytes(bytes: u64, resume: Option<f64>) -> u64 {
+    match resume {
+        Some(frac) => ((bytes as f64 * frac).ceil() as u64).max(1),
+        None => bytes,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn admit(
     state: &mut SystemState,
     testbed: &Testbed,
@@ -410,12 +795,18 @@ fn admit(
     fluid: &mut FluidEngine,
     rng: &mut Rng,
     now: SimTime,
+    resume: Option<f64>,
+    down: &BTreeSet<ServerId>,
 ) -> Result<AdmittedSession, Rejection> {
     match state {
         SystemState::Plain { planner } => {
-            let choice =
-                planner.select(&testbed.engine, q.video, rng).ok_or(Rejection::NoFeasiblePlan)?;
-            let bytes = choice.record.object.bytes;
+            // The plain baseline has no reservation layer to notice a dead
+            // server, so the crash filter is explicit. With `down` empty
+            // this is the legacy `select`, RNG draw for RNG draw.
+            let choice = planner
+                .select_avoiding(&testbed.engine, q.video, rng, down)
+                .ok_or(Rejection::NoFeasiblePlan)?;
+            let bytes = resume_bytes(choice.record.object.bytes, resume);
             let rate = choice.record.object.rate_bps;
             let sid = fluid
                 .add_session(now, choice.server, bytes, rate)
@@ -426,6 +817,7 @@ fn admit(
                 server: choice.server,
                 utility: None,
                 nominal: nominal_duration(bytes, rate),
+                bytes,
             })
         }
         SystemState::QosApi { planner, api, headroom } => {
@@ -453,7 +845,7 @@ fn admit(
                     .with(ResourceKey::new(server, ResourceKind::DiskBandwidth), profile.disk_bps)
                     .with(ResourceKey::new(server, ResourceKind::Memory), profile.memory_bytes);
                 if let Ok(res) = api.reserve(&demand) {
-                    let bytes = choice.record.object.bytes;
+                    let bytes = resume_bytes(choice.record.object.bytes, resume);
                     let rate = choice.record.object.rate_bps;
                     let sid =
                         fluid.add_session(now, server, bytes, rate).expect("fair-share admits");
@@ -463,6 +855,7 @@ fn admit(
                         server,
                         utility: None,
                         nominal: nominal_duration(bytes, rate),
+                        bytes,
                     });
                 }
             }
@@ -474,6 +867,7 @@ fn admit(
             let admitted = manager.process(&testbed.engine, &request, rng)?;
             let meta = testbed.engine.video(q.video).expect("known video");
             let (bytes, rate) = executor.fluid_params(&admitted.plan, meta);
+            let bytes = resume_bytes(bytes, resume);
             let server = admitted.plan.target_server;
             let utility = UtilityGain { weights: QosWeights::default() }.utility(&admitted.plan);
             let sid = fluid.add_session(now, server, bytes, rate).expect("fair-share admits");
@@ -483,6 +877,7 @@ fn admit(
                 server,
                 utility: Some(utility),
                 nominal: nominal_duration(bytes, rate),
+                bytes,
             })
         }
     }
@@ -505,6 +900,7 @@ mod tests {
             video_skew: 0.0,
             local_plans_only: false,
             admission: None,
+            faults: None,
         }
     }
 
@@ -583,6 +979,7 @@ mod tests {
             access: AccessStats::new(),
             mean_utility: None,
             queue: None,
+            faults: None,
         };
         let horizon = SimTime::from_micros(7);
         assert_eq!(horizon.halved(), SimTime::from_micros(3));
@@ -641,6 +1038,120 @@ mod tests {
         assert!(q.wait.mean() > 0.0, "some admissions waited");
     }
 
+    /// The acceptance scenario: server 0 crashes at t = 1000 s and
+    /// restarts at t = 2000 s. Sessions on it fail over (possibly at a
+    /// renegotiated QoP) or re-enter the admission queue, and the whole
+    /// run replays deterministically.
+    #[test]
+    fn crash_restart_fails_over_deterministically() {
+        let cfg = ThroughputConfig { seed: 11, ..ThroughputConfig::availability() };
+        for system in
+            [SystemKind::Vdbms, SystemKind::VdbmsQosApi, SystemKind::Quasaq(CostKind::Lrb)]
+        {
+            let r = run_throughput(system, &cfg);
+            let f = r.faults.as_ref().expect("fault injection enabled");
+            assert!(f.interrupted > 0, "{}: the crash must cut live sessions", r.label);
+            // Every interrupted session reaches exactly one fate.
+            assert_eq!(
+                f.interrupted,
+                f.failed_over + f.recovered + f.dropped,
+                "{}: {f:?}",
+                r.label
+            );
+            if system == SystemKind::Vdbms {
+                // No admission control: every displaced session lands on a
+                // surviving replica at once.
+                assert_eq!(f.failed_over, f.interrupted, "{}: {f:?}", r.label);
+            } else {
+                // Admission-controlled systems requeue or shed what the
+                // saturated survivors cannot carry.
+                assert!(
+                    f.failed_over + f.requeued + f.dropped > 0,
+                    "{}: displaced sessions must be dispatched somewhere: {f:?}",
+                    r.label
+                );
+            }
+            assert_eq!(f.recovery.count(), f.failed_over + f.recovered, "{}", r.label);
+            // Displaced sessions never double-count in the admission
+            // accounting.
+            assert_eq!(r.admitted + r.rejected, r.queries, "{}", r.label);
+            // Deterministic replay, bit for bit.
+            assert_eq!(r, run_throughput(system, &cfg), "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn failover_renegotiates_down_the_ladder_under_pressure() {
+        // Without the queue, displaced sessions either fail over at once
+        // or are dropped; with two of three servers gone, the lone
+        // survivor is tight enough that QuaSAQ renegotiates.
+        let crash = SimTime::from_secs(150);
+        let restart = SimTime::from_secs(280);
+        let mut plan = FaultPlan::crash_restart(ServerId(0), crash, restart);
+        plan.faults.extend(FaultPlan::crash_restart(ServerId(1), crash, restart).faults);
+        let cfg = ThroughputConfig {
+            horizon: SimTime::from_secs(300),
+            faults: Some(plan),
+            ..ThroughputConfig::fig6()
+        };
+        let r = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
+        let f = r.faults.as_ref().expect("fault injection enabled");
+        assert!(f.interrupted > 0);
+        assert_eq!(f.interrupted, f.failed_over + f.recovered + f.dropped);
+        assert_eq!(f.recovered, 0, "no queue: nothing re-enters");
+        assert_eq!(f.requeued, 0, "no queue: nothing re-enters");
+        assert!(
+            f.failover_degraded > 0 || f.dropped > 0,
+            "two dead servers must force renegotiation or losses: {f:?}"
+        );
+    }
+
+    #[test]
+    fn degraded_links_accumulate_violation_seconds() {
+        // Halve server 0's link for 100 s mid-run: sessions keep flowing
+        // (nothing is interrupted) but their exposure is accounted.
+        let plan = FaultPlan {
+            faults: vec![quasaq_sim::FaultSpec {
+                server: ServerId(0),
+                at: SimTime::from_secs(100),
+                duration: SimDuration::from_secs(100),
+                kind: FaultKind::LinkDegradation { factor: 0.5 },
+            }],
+        };
+        let cfg = ThroughputConfig {
+            horizon: SimTime::from_secs(300),
+            faults: Some(plan),
+            ..ThroughputConfig::fig6()
+        };
+        let r = run_throughput(SystemKind::Vdbms, &cfg);
+        let f = r.faults.as_ref().expect("fault injection enabled");
+        assert_eq!(f.interrupted, 0, "degradation is not a crash");
+        assert!(
+            f.qos_violation_secs > 0.0,
+            "plain VDBMS keeps streaming through the degraded window"
+        );
+        // The exposure is bounded by window length x sessions ever live.
+        assert!(f.qos_violation_secs <= 100.0 * r.admitted as f64);
+    }
+
+    #[test]
+    fn fault_free_runs_carry_no_fault_metrics_and_match_legacy() {
+        // `faults: None` must be bit-identical to a run with the field
+        // absent entirely — which is what every pre-fault test asserts —
+        // and an explicit empty plan reports all-zero metrics.
+        let none = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &short_cfg());
+        assert!(none.faults.is_none());
+        let empty = ThroughputConfig { faults: Some(FaultPlan::none()), ..short_cfg() };
+        let r = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &empty);
+        let f = r.faults.as_ref().expect("explicit empty plan still reports");
+        assert_eq!(*f, FaultMetrics::default());
+        // Identical everywhere else.
+        assert_eq!(none.outstanding, r.outstanding);
+        assert_eq!(none.admitted, r.admitted);
+        assert_eq!(none.rejected, r.rejected);
+        assert_eq!(none.completed, r.completed);
+    }
+
     /// The honesty fix for EXPERIMENTS.md Fig 6: with a patience window,
     /// plain VDBMS's outstanding sessions stop growing monotonically and
     /// plateau near arrival_rate * (nominal + patience), because clients
@@ -660,6 +1171,7 @@ mod tests {
             video_skew: 0.0,
             local_plans_only: false,
             admission: None,
+            faults: None,
         };
         let queued = ThroughputConfig {
             admission: Some(AdmissionConfig {

@@ -1,0 +1,71 @@
+//! Property-based determinism checks for fault-injected runs.
+//!
+//! The robustness tentpole's contract: a `FaultPlan` plus a seed fully
+//! determines a run, and the scenario-parallel runner reproduces the
+//! serial results bit for bit — fault metrics included.
+
+use proptest::prelude::*;
+use quasaq_sim::{FaultKind, FaultPlan, FaultSpec, ServerId, SimDuration, SimTime};
+use quasaq_workload::{
+    run_throughput, run_throughput_scenarios, AdmissionConfig, CostKind, SystemKind,
+    ThroughputConfig,
+};
+
+fn faulted_cfg(seed: u64, plan: FaultPlan) -> ThroughputConfig {
+    ThroughputConfig {
+        horizon: SimTime::from_secs(200),
+        seed,
+        admission: Some(AdmissionConfig::default()),
+        faults: Some(plan),
+        ..ThroughputConfig::fig6()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same `FaultPlan` + seed: the parallel runner's robustness metrics
+    /// are bitwise identical to the serial loop's, and every interrupted
+    /// session reaches exactly one fate.
+    #[test]
+    fn fault_runs_are_bit_identical_serial_vs_parallel(
+        seed in 0u64..1_000,
+        server in 0u32..3,
+        crash_at in 20u64..120,
+        outage in 10u64..120,
+        with_degrade in any::<bool>(),
+        degrade_at in 30u64..150,
+    ) {
+        let mut plan = FaultPlan::crash_restart(
+            ServerId(server),
+            SimTime::from_secs(crash_at),
+            SimTime::from_secs(crash_at + outage),
+        );
+        if with_degrade {
+            plan.faults.push(FaultSpec {
+                server: ServerId((server + 1) % 3),
+                at: SimTime::from_secs(degrade_at),
+                duration: SimDuration::from_secs(40),
+                kind: FaultKind::LinkDegradation { factor: 0.5 },
+            });
+        }
+        let scenarios: Vec<(SystemKind, ThroughputConfig)> = vec![
+            (SystemKind::Vdbms, faulted_cfg(seed, plan.clone())),
+            (SystemKind::Quasaq(CostKind::Lrb), faulted_cfg(seed, plan)),
+        ];
+        let serial: Vec<_> =
+            scenarios.iter().map(|(s, c)| run_throughput(*s, c)).collect();
+        let parallel = run_throughput_scenarios(&scenarios);
+        // Full-result equality covers every series and float bit for bit;
+        // the fault metrics are singled out for a readable failure.
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(s.faults.as_ref(), p.faults.as_ref());
+        }
+        prop_assert_eq!(&serial, &parallel);
+        for r in &serial {
+            let f = r.faults.as_ref().expect("fault injection enabled");
+            prop_assert_eq!(f.interrupted, f.failed_over + f.recovered + f.dropped);
+            prop_assert_eq!(r.admitted + r.rejected, r.queries);
+        }
+    }
+}

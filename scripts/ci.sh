@@ -20,7 +20,7 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
-echo "==> determinism + timing artifact (quick mode; fig6/fig7/queued suites)"
+echo "==> determinism + timing artifact (quick mode; fig6/fig7/queued/availability suites)"
 cargo run --release -p quasaq-bench --bin bench -- --quick
 
 echo "CI green."

@@ -143,6 +143,7 @@ fn throughput_ordering_matches_fig6_and_fig7() {
         video_skew: 0.0,
         local_plans_only: false,
         admission: None,
+        faults: None,
     };
     let h = cfg.horizon;
     // Four independent runs: fan them across cores via the scenario runner
@@ -269,6 +270,7 @@ fn migration_extension_improves_skewed_throughput() {
         video_skew: 1.2,
         local_plans_only: true,
         admission: None,
+        faults: None,
     };
     let mut tb = Testbed::build(cfg.testbed.clone());
     let before = run_throughput_on(&tb, SystemKind::Quasaq(CostKind::Lrb), &cfg);
@@ -310,6 +312,7 @@ fn utility_optimizer_trades_throughput_for_quality() {
         video_skew: 0.0,
         local_plans_only: false,
         admission: None,
+        faults: None,
     };
     let scenarios = vec![
         (SystemKind::Quasaq(CostKind::Lrb), cfg.clone()),
@@ -336,6 +339,7 @@ fn whole_pipeline_is_deterministic() {
             video_skew: 0.0,
             local_plans_only: false,
             admission: None,
+            faults: None,
         };
         let r = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
         (r.admitted, r.rejected, r.completed, r.outstanding.values().collect::<Vec<_>>())
