@@ -51,6 +51,8 @@ fn migration_loop() {
         local_plans_only: true,
         admission: None,
         faults: None,
+        arrival_period: None,
+        domain_workers: 0,
     };
     let mut testbed = Testbed::build(cfg.testbed.clone());
 
@@ -96,6 +98,8 @@ fn configurable_optimizer() {
         local_plans_only: false,
         admission: None,
         faults: None,
+        arrival_period: None,
+        domain_workers: 0,
     };
     let mut t = Table::new(&[
         "optimizer",

@@ -95,6 +95,60 @@ fn suites(quick: bool) -> Vec<Suite> {
     ]
 }
 
+/// One cluster size of the scaling study: a Spread-placement testbed with
+/// load proportional to the cluster, run once with serial domain stepping
+/// and once on a [`quasaq_workload::DomainPool`].
+struct ScaleTiming {
+    servers: u32,
+    videos: usize,
+    workers: usize,
+    serial_ms: f64,
+    sharded_ms: f64,
+    bit_identical: bool,
+}
+
+fn scale_cases(quick: bool) -> Vec<(u32, usize)> {
+    // 100 videos per server keeps the catalog proportional to the
+    // cluster: the 100-server rung is the ISSUE's 10^4-video testbed.
+    let sizes: &[u32] = if quick { &[3, 30] } else { &[3, 30, 100] };
+    sizes.iter().map(|&s| (s, s as usize * 100)).collect()
+}
+
+fn run_scale(servers: u32, videos: usize, quick: bool) -> ScaleTiming {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(2, 8);
+    let horizon = SimTime::from_secs(if quick { 30 } else { 120 });
+    // Scale arrival rate with the cluster so every rung runs near the same
+    // per-server load (the paper's 1 q/s targets three servers).
+    let period_us = (3_000_000 / servers as u64).max(1);
+    let serial_cfg = ThroughputConfig {
+        testbed: quasaq_workload::TestbedConfig::scale(servers, videos),
+        horizon,
+        arrival_period: Some(quasaq_sim::SimDuration::from_micros(period_us)),
+        ..ThroughputConfig::fig6()
+    };
+    let sharded_cfg = ThroughputConfig { domain_workers: workers, ..serial_cfg.clone() };
+    // Warm the shared-testbed cache so neither side pays catalog
+    // generation inside its timed region.
+    let _ = Testbed::shared(serial_cfg.testbed.clone());
+
+    let t0 = Instant::now();
+    let serial = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &serial_cfg);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let sharded = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &sharded_cfg);
+    let sharded_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    ScaleTiming {
+        servers,
+        videos,
+        workers,
+        serial_ms,
+        sharded_ms,
+        bit_identical: serial == sharded,
+    }
+}
+
 fn run_suite(suite: &Suite) -> Timing {
     // Warm the shared-testbed cache so neither side pays library
     // generation inside its timed region.
@@ -150,7 +204,25 @@ fn main() {
         timings.push(t);
     }
 
-    let all_identical = timings.iter().all(|t| t.bit_identical);
+    // The within-run scaling study: same run, serial domain stepping vs a
+    // persistent DomainPool, at growing cluster sizes.
+    let mut scale = Vec::new();
+    for (servers, videos) in scale_cases(quick) {
+        println!("running scale {servers}-server / {videos}-video ...");
+        let s = run_scale(servers, videos, quick);
+        println!(
+            "  serial {:>9.1} ms | sharded({}) {:>9.1} ms | speedup {:.2}x | bit-identical: {}",
+            s.serial_ms,
+            s.workers,
+            s.sharded_ms,
+            s.serial_ms / s.sharded_ms.max(1e-9),
+            s.bit_identical
+        );
+        scale.push(s);
+    }
+
+    let all_identical =
+        timings.iter().all(|t| t.bit_identical) && scale.iter().all(|s| s.bit_identical);
     let total_serial: f64 = timings.iter().map(|t| t.serial_ms).sum();
     let total_parallel: f64 = timings.iter().map(|t| t.parallel_ms).sum();
     let overall = total_serial / total_parallel.max(1e-9);
@@ -198,6 +270,24 @@ fn main() {
             f.recovery.mean(),
             f.qos_violation_secs,
             if i + 1 < robustness.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    // The within-run domain-sharding scaling section.
+    json.push_str("  \"scale\": [\n");
+    for (i, s) in scale.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"servers\": {}, \"videos\": {}, \"domain_workers\": {}, \
+             \"serial_ms\": {:.3}, \"sharded_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"bit_identical\": {}}}{}\n",
+            s.servers,
+            s.videos,
+            s.workers,
+            s.serial_ms,
+            s.sharded_ms,
+            s.serial_ms / s.sharded_ms.max(1e-9),
+            s.bit_identical,
+            if i + 1 < scale.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

@@ -115,9 +115,10 @@ mod tests {
     use super::super::testutil::plan_on;
     use super::*;
     use quasaq_media::{ColorDepth, FrameRate, QualitySpec, Resolution, VideoFormat};
+    use quasaq_sim::ServerId;
 
     fn cluster() -> CompositeQosApi {
-        CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20e6, 512e6)
+        CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20e6, 512e6)
     }
 
     #[test]

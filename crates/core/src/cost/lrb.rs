@@ -45,7 +45,7 @@ mod tests {
     use quasaq_sim::ServerId;
 
     fn cluster() -> CompositeQosApi {
-        CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6)
+        CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20_000_000.0, 512e6)
     }
 
     #[test]

@@ -28,11 +28,13 @@ impl CostModel for MinBitrateModel {
 mod tests {
     use super::super::testutil::plan_on;
     use super::*;
+    use quasaq_sim::ServerId;
 
     #[test]
     fn orders_by_bandwidth() {
         let plans = vec![plan_on(0, 193_000), plan_on(1, 7_000), plan_on(2, 48_000)];
-        let api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20e6, 512e6);
+        let api =
+            CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20e6, 512e6);
         let order = MinBitrateModel.rank(&plans, &api, &mut Rng::new(1));
         assert_eq!(order, vec![1, 2, 0]);
     }
@@ -40,8 +42,8 @@ mod tests {
     #[test]
     fn ignores_system_state() {
         use quasaq_qosapi::{ResourceKey, ResourceKind, ResourceVector};
-        use quasaq_sim::ServerId;
-        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20e6, 512e6);
+        let mut api =
+            CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20e6, 512e6);
         // Saturate server 1 — min-bitrate still picks it (its flaw).
         api.reserve(
             &ResourceVector::new()

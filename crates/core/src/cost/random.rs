@@ -31,11 +31,13 @@ impl CostModel for RandomModel {
 mod tests {
     use super::super::testutil::plan_on;
     use super::*;
+    use quasaq_sim::ServerId;
 
     #[test]
     fn returns_a_permutation() {
         let plans: Vec<Plan> = (0..8).map(|i| plan_on(i % 3, 40_000 + i as u64)).collect();
-        let api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20e6, 512e6);
+        let api =
+            CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20e6, 512e6);
         let mut rng = Rng::new(5);
         let order = RandomModel.rank(&plans, &api, &mut rng);
         let mut sorted = order.clone();
@@ -46,7 +48,8 @@ mod tests {
     #[test]
     fn different_draws_differ() {
         let plans: Vec<Plan> = (0..10).map(|i| plan_on(i % 3, 40_000)).collect();
-        let api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20e6, 512e6);
+        let api =
+            CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20e6, 512e6);
         let mut rng = Rng::new(6);
         let a = RandomModel.rank(&plans, &api, &mut rng);
         let b = RandomModel.rank(&plans, &api, &mut rng);

@@ -74,7 +74,8 @@ mod tests {
 
     #[test]
     fn prefers_lower_total_load() {
-        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20e6, 512e6);
+        let mut api =
+            CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20e6, 512e6);
         api.reserve(
             &ResourceVector::new()
                 .with(ResourceKey::new(ServerId(0), ResourceKind::NetBandwidth), 2_000_000.0),
@@ -94,7 +95,8 @@ mod tests {
 
     #[test]
     fn weights_change_the_ranking() {
-        let api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20e6, 512e6);
+        let api =
+            CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20e6, 512e6);
         // Two plans with the same bandwidth: one encrypted (more CPU).
         let cheap_cpu = plan_on(0, 48_000);
         let mut heavy_cpu = plan_on(1, 48_000);

@@ -104,7 +104,12 @@ mod tests {
             .replicate(&lib, &mut stores, &mut engine)
             .unwrap();
         let manager = QualityManager::new(
-            CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6),
+            CompositeQosApi::homogeneous_cluster(
+                ServerId::first_n(3),
+                3_200_000.0,
+                20_000_000.0,
+                512e6,
+            ),
             PlanGenerator::new(GeneratorConfig::default()),
             Box::new(LrbModel),
         );

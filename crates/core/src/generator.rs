@@ -408,10 +408,15 @@ mod tests {
         let n = plans.len();
         // A cluster with tiny links: every plan's delivery rate exceeds
         // capacity.
-        let tiny = CompositeQosApi::homogeneous_cluster(3, 10.0, 10.0, 10.0);
+        let tiny = CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 10.0, 10.0, 10.0);
         assert!(g.drop_infeasible(plans.clone(), &tiny).is_empty());
         // A sane cluster keeps them all.
-        let sane = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        let sane = CompositeQosApi::homogeneous_cluster(
+            ServerId::first_n(3),
+            3_200_000.0,
+            20_000_000.0,
+            512e6,
+        );
         assert_eq!(g.drop_infeasible(plans, &sane).len(), n);
     }
 

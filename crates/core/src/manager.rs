@@ -289,7 +289,12 @@ mod tests {
 
     fn manager() -> QualityManager {
         QualityManager::new(
-            CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6),
+            CompositeQosApi::homogeneous_cluster(
+                ServerId::first_n(3),
+                3_200_000.0,
+                20_000_000.0,
+                512e6,
+            ),
             PlanGenerator::new(GeneratorConfig::default()),
             Box::new(LrbModel),
         )
@@ -364,7 +369,12 @@ mod tests {
         // A tiny cluster that can serve DSL-class but not the requested
         // floor's bandwidth after a few sessions.
         let mut m = QualityManager::new(
-            CompositeQosApi::homogeneous_cluster(3, 120_000.0, 20_000_000.0, 512e6),
+            CompositeQosApi::homogeneous_cluster(
+                ServerId::first_n(3),
+                120_000.0,
+                20_000_000.0,
+                512e6,
+            ),
             PlanGenerator::new(GeneratorConfig::default()),
             Box::new(LrbModel),
         );
@@ -391,7 +401,12 @@ mod tests {
         let e = engine();
         // Same tiny cluster as the degradation test, but saturated first.
         let mut m = QualityManager::new(
-            CompositeQosApi::homogeneous_cluster(3, 120_000.0, 20_000_000.0, 512e6),
+            CompositeQosApi::homogeneous_cluster(
+                ServerId::first_n(3),
+                120_000.0,
+                20_000_000.0,
+                512e6,
+            ),
             PlanGenerator::new(GeneratorConfig::default()),
             Box::new(LrbModel),
         );
@@ -517,7 +532,12 @@ mod tests {
     fn random_model_admits_too() {
         let e = engine();
         let mut m = QualityManager::new(
-            CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6),
+            CompositeQosApi::homogeneous_cluster(
+                ServerId::first_n(3),
+                3_200_000.0,
+                20_000_000.0,
+                512e6,
+            ),
             PlanGenerator::new(GeneratorConfig::default()),
             Box::new(RandomModel),
         );

@@ -203,65 +203,96 @@ const TOPICS: &[&str] = &[
 const ADJECTIVES: &[&str] =
     &["annotated", "archived", "clinical", "raw", "edited", "panoramic", "timelapse", "training"];
 
+fn validate(cfg: &LibraryConfig) {
+    assert!(cfg.num_videos > 0, "library must contain videos");
+    assert!(cfg.min_duration <= cfg.max_duration, "invalid duration range");
+    assert!(
+        (1..=quality_ladder().len()).contains(&cfg.min_replicas)
+            && cfg.min_replicas <= cfg.max_replicas
+            && cfg.max_replicas <= quality_ladder().len(),
+        "replica count out of range"
+    );
+}
+
+/// Generates video `v` of the catalog seeded by `root`. Each video draws
+/// from its own forked stream, so any sub-range of the catalog is
+/// constructible independently — batched generation of a 10^4-video
+/// library concatenates to exactly the all-at-once result.
+fn generate_entry(root: &Rng, cfg: &LibraryConfig, ladder: &[QualityTier], v: usize) -> VideoEntry {
+    let mut rng = root.fork(v as u64);
+    let topic = *rng.choose(TOPICS);
+    let adjective = *rng.choose(ADJECTIVES);
+    let title = format!("{adjective} {topic} #{v:02}");
+    let mut keywords = vec![topic.to_string(), adjective.to_string()];
+    // A couple of extra keywords for richer search.
+    for _ in 0..rng.range_u64(1, 3) {
+        let extra = *rng.choose(TOPICS);
+        if !keywords.iter().any(|k| k == extra) {
+            keywords.push(extra.to_string());
+        }
+    }
+    let mut features = [0f32; FEATURE_DIMS];
+    for f in &mut features {
+        *f = rng.range_f64(-1.0, 1.0) as f32;
+    }
+    let norm: f32 = features.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+    for f in &mut features {
+        *f /= norm;
+    }
+    let duration = SimDuration::from_micros(
+        rng.range_u64(cfg.min_duration.as_micros(), cfg.max_duration.as_micros()),
+    );
+    let n_replicas = rng.range_u64(cfg.min_replicas as u64, cfg.max_replicas as u64) as usize;
+    // Keep the top rung always (the original), then the next rungs
+    // down: 3 replicas = full/t1/dsl, 4 = full/t1/dsl/modem.
+    let replicas: Vec<ReplicaQuality> = ladder
+        .iter()
+        .take(n_replicas)
+        .map(|t| ReplicaQuality { tier: t.name, spec: t.spec, rate_bps: t.rate_bps })
+        .collect();
+    VideoEntry {
+        meta: VideoMeta {
+            id: VideoId(v as u32),
+            title,
+            keywords,
+            features,
+            duration,
+            gop: GopPattern::mpeg1_n15(),
+            trace_seed: rng.next_u64(),
+        },
+        replicas,
+    }
+}
+
 impl Library {
     /// Generates a deterministic catalog.
     pub fn generate(seed: u64, cfg: &LibraryConfig) -> Self {
-        assert!(cfg.num_videos > 0, "library must contain videos");
-        assert!(cfg.min_duration <= cfg.max_duration, "invalid duration range");
-        assert!(
-            (1..=quality_ladder().len()).contains(&cfg.min_replicas)
-                && cfg.min_replicas <= cfg.max_replicas
-                && cfg.max_replicas <= quality_ladder().len(),
-            "replica count out of range"
-        );
+        Library { entries: Self::generate_batch(seed, cfg, 0..cfg.num_videos) }
+    }
+
+    /// Generates one contiguous batch of the catalog that `generate(seed,
+    /// cfg)` would produce: entry `v` depends only on `(seed, cfg, v)`, so
+    /// large catalogs can be produced piecewise (and the pieces
+    /// concatenated with [`Library::from_entries`]) without ever
+    /// materialising state for the videos outside the batch.
+    pub fn generate_batch(
+        seed: u64,
+        cfg: &LibraryConfig,
+        batch: std::ops::Range<usize>,
+    ) -> Vec<VideoEntry> {
+        validate(cfg);
+        assert!(batch.end <= cfg.num_videos, "batch outside the catalog");
         let root = Rng::new(seed);
         let ladder = quality_ladder();
-        let mut entries = Vec::with_capacity(cfg.num_videos);
-        for v in 0..cfg.num_videos {
-            let mut rng = root.fork(v as u64);
-            let topic = *rng.choose(TOPICS);
-            let adjective = *rng.choose(ADJECTIVES);
-            let title = format!("{adjective} {topic} #{v:02}");
-            let mut keywords = vec![topic.to_string(), adjective.to_string()];
-            // A couple of extra keywords for richer search.
-            for _ in 0..rng.range_u64(1, 3) {
-                let extra = *rng.choose(TOPICS);
-                if !keywords.iter().any(|k| k == extra) {
-                    keywords.push(extra.to_string());
-                }
-            }
-            let mut features = [0f32; FEATURE_DIMS];
-            for f in &mut features {
-                *f = rng.range_f64(-1.0, 1.0) as f32;
-            }
-            let norm: f32 = features.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
-            for f in &mut features {
-                *f /= norm;
-            }
-            let duration = SimDuration::from_micros(
-                rng.range_u64(cfg.min_duration.as_micros(), cfg.max_duration.as_micros()),
-            );
-            let n_replicas =
-                rng.range_u64(cfg.min_replicas as u64, cfg.max_replicas as u64) as usize;
-            // Keep the top rung always (the original), then the next rungs
-            // down: 3 replicas = full/t1/dsl, 4 = full/t1/dsl/modem.
-            let replicas: Vec<ReplicaQuality> = ladder
-                .iter()
-                .take(n_replicas)
-                .map(|t| ReplicaQuality { tier: t.name, spec: t.spec, rate_bps: t.rate_bps })
-                .collect();
-            entries.push(VideoEntry {
-                meta: VideoMeta {
-                    id: VideoId(v as u32),
-                    title,
-                    keywords,
-                    features,
-                    duration,
-                    gop: GopPattern::mpeg1_n15(),
-                    trace_seed: rng.next_u64(),
-                },
-                replicas,
-            });
+        batch.map(|v| generate_entry(&root, cfg, &ladder, v)).collect()
+    }
+
+    /// Assembles a library from pre-generated entries (typically batches
+    /// from [`Library::generate_batch`]). Entries must arrive in id order
+    /// with no gaps.
+    pub fn from_entries(entries: Vec<VideoEntry>) -> Self {
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.meta.id, VideoId(i as u32), "entries out of order or gapped");
         }
         Library { entries }
     }
@@ -332,6 +363,25 @@ mod tests {
         assert_eq!(a.entries(), b.entries());
         let c = Library::generate(8, &LibraryConfig::default());
         assert_ne!(a.entries(), c.entries());
+    }
+
+    #[test]
+    fn batched_generation_concatenates_to_the_full_catalog() {
+        let cfg = LibraryConfig { num_videos: 30, ..LibraryConfig::default() };
+        let whole = Library::generate(5, &cfg);
+        let mut pieces = Library::generate_batch(5, &cfg, 0..11);
+        pieces.extend(Library::generate_batch(5, &cfg, 11..23));
+        pieces.extend(Library::generate_batch(5, &cfg, 23..30));
+        let stitched = Library::from_entries(pieces);
+        assert_eq!(whole.entries(), stitched.entries());
+    }
+
+    #[test]
+    #[should_panic(expected = "entries out of order")]
+    fn from_entries_rejects_gaps() {
+        let cfg = LibraryConfig::default();
+        let tail = Library::generate_batch(5, &cfg, 3..5);
+        let _ = Library::from_entries(tail);
     }
 
     #[test]

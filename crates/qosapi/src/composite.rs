@@ -6,9 +6,13 @@
 //! provided by the Composite QoS API is QoS-related resource management:
 //! 1. admission control … 2. resource reservation … 3. renegotiation."
 //!
-//! [`CompositeQosApi`] owns one [`ResourceManager`] per (server, kind)
-//! bucket and reserves entire [`ResourceVector`]s atomically: either every
-//! bucket admits its share or nothing is reserved.
+//! [`CompositeQosApi`] shards its buckets into one [`ServerDomain`] per
+//! server — the server's resource-kind managers plus its failure stash —
+//! and reserves entire [`ResourceVector`]s atomically: either every
+//! bucket admits its share or nothing is reserved. Reservations,
+//! releases, and server failures all route through the owning domain;
+//! bucket iteration stays in global `(server, kind)` order, so the
+//! sharded layout is observationally identical to a flat bucket map.
 
 use crate::manager::{BucketFull, LeaseId, ResourceManager};
 use crate::resource::{ResourceKey, ResourceKind, ResourceVector};
@@ -47,38 +51,39 @@ struct Reservation {
     leases: Vec<(ResourceKey, LeaseId)>,
 }
 
-/// One manager per bucket plus composite (all-or-nothing) reservations.
+/// One server's QoS resource domain: its per-kind bucket managers, plus
+/// the capacities stashed while the server is down so a later restart can
+/// re-register them at their original sizes.
+#[derive(Default)]
+struct ServerDomain {
+    managers: BTreeMap<ResourceKind, ResourceManager>,
+    failed: Option<Vec<(ResourceKind, f64)>>,
+}
+
+/// Per-server bucket domains plus composite (all-or-nothing)
+/// reservations.
 pub struct CompositeQosApi {
-    managers: BTreeMap<ResourceKey, ResourceManager>,
+    domains: BTreeMap<ServerId, ServerDomain>,
     reservations: BTreeMap<ReservationId, Reservation>,
-    /// Bucket capacities of servers taken down by [`fail_server`]
-    /// (`CompositeQosApi::fail_server`), kept so a later restart can
-    /// re-register them at their original sizes.
-    failed: BTreeMap<ServerId, Vec<(ResourceKey, f64)>>,
     next_id: u64,
 }
 
 impl CompositeQosApi {
     /// Creates an API with no managed buckets.
     pub fn new() -> Self {
-        CompositeQosApi {
-            managers: BTreeMap::new(),
-            reservations: BTreeMap::new(),
-            failed: BTreeMap::new(),
-            next_id: 0,
-        }
+        CompositeQosApi { domains: BTreeMap::new(), reservations: BTreeMap::new(), next_id: 0 }
     }
 
-    /// Builds an API for a homogeneous cluster: `servers` servers, each
-    /// with one CPU, and the given bandwidth/memory capacities.
+    /// Builds an API for a homogeneous cluster: one domain per server,
+    /// each with one CPU and the given bandwidth/memory capacities.
     pub fn homogeneous_cluster(
-        servers: u32,
+        servers: impl IntoIterator<Item = ServerId>,
         net_bps: f64,
         disk_bps: f64,
         memory_bytes: f64,
     ) -> Self {
         let mut api = CompositeQosApi::new();
-        for server in ServerId::first_n(servers) {
+        for server in servers {
             api.register(ResourceKey::new(server, ResourceKind::Cpu), 1.0);
             api.register(ResourceKey::new(server, ResourceKind::NetBandwidth), net_bps);
             api.register(ResourceKey::new(server, ResourceKind::DiskBandwidth), disk_bps);
@@ -87,30 +92,44 @@ impl CompositeQosApi {
         api
     }
 
+    fn manager(&self, key: ResourceKey) -> Option<&ResourceManager> {
+        self.domains.get(&key.server)?.managers.get(&key.kind)
+    }
+
+    fn manager_mut(&mut self, key: ResourceKey) -> Option<&mut ResourceManager> {
+        self.domains.get_mut(&key.server)?.managers.get_mut(&key.kind)
+    }
+
     /// Registers a manager for a bucket. Replaces any existing manager
     /// (and its reservations' accounting), so call only at setup time.
     pub fn register(&mut self, key: ResourceKey, capacity: f64) {
-        self.managers.insert(key, ResourceManager::new(key, capacity));
+        self.domains
+            .entry(key.server)
+            .or_default()
+            .managers
+            .insert(key.kind, ResourceManager::new(key, capacity));
     }
 
-    /// The managed buckets.
+    /// The managed buckets, in global `(server, kind)` order.
     pub fn buckets(&self) -> impl Iterator<Item = ResourceKey> + '_ {
-        self.managers.keys().copied()
+        self.domains
+            .iter()
+            .flat_map(|(&s, d)| d.managers.keys().map(move |&k| ResourceKey::new(s, k)))
     }
 
     /// Capacity of a bucket (`None` when unmanaged).
     pub fn capacity(&self, key: ResourceKey) -> Option<f64> {
-        self.managers.get(&key).map(|m| m.capacity())
+        self.manager(key).map(|m| m.capacity())
     }
 
     /// Current fill fraction of a bucket (`None` when unmanaged).
     pub fn fill(&self, key: ResourceKey) -> Option<f64> {
-        self.managers.get(&key).map(|m| m.fill())
+        self.manager(key).map(|m| m.fill())
     }
 
     /// Current usage of a bucket in native units.
     pub fn used(&self, key: ResourceKey) -> Option<f64> {
-        self.managers.get(&key).map(|m| m.used())
+        self.manager(key).map(|m| m.used())
     }
 
     /// Number of outstanding composite reservations.
@@ -121,7 +140,7 @@ impl CompositeQosApi {
     /// Admission check without reserving: can `demand` fit right now?
     pub fn admits(&self, demand: &ResourceVector) -> Result<(), AdmissionError> {
         for (key, amount) in demand.iter() {
-            let mgr = self.managers.get(&key).ok_or(AdmissionError::UnknownBucket(key))?;
+            let mgr = self.manager(key).ok_or(AdmissionError::UnknownBucket(key))?;
             if !mgr.can_reserve(amount) {
                 return Err(AdmissionError::Rejected(BucketFull {
                     key,
@@ -139,7 +158,7 @@ impl CompositeQosApi {
     pub fn max_fill_with(&self, demand: &ResourceVector) -> f64 {
         let mut max = 0.0f64;
         for (key, amount) in demand.iter() {
-            match self.managers.get(&key) {
+            match self.manager(key) {
                 Some(m) => max = max.max(m.fill_with(amount)),
                 None => return f64::INFINITY,
             }
@@ -154,14 +173,14 @@ impl CompositeQosApi {
         self.admits(demand)?;
         let mut leases = Vec::with_capacity(demand.len());
         for (key, amount) in demand.iter() {
-            let mgr = self.managers.get_mut(&key).expect("checked above");
+            let mgr = self.manager_mut(key).expect("checked above");
             match mgr.reserve(amount) {
                 Ok(lease) => leases.push((key, lease)),
                 Err(full) => {
                     // Unreachable in single-threaded use, but roll back
                     // defensively.
                     for (k, l) in leases {
-                        self.managers.get_mut(&k).expect("held lease").release(l);
+                        self.manager_mut(k).expect("held lease").release(l);
                     }
                     return Err(AdmissionError::Rejected(full));
                 }
@@ -177,7 +196,7 @@ impl CompositeQosApi {
     pub fn release(&mut self, id: ReservationId) {
         if let Some(res) = self.reservations.remove(&id) {
             for (key, lease) in res.leases {
-                if let Some(mgr) = self.managers.get_mut(&key) {
+                if let Some(mgr) = self.manager_mut(key) {
                     mgr.release(lease);
                 }
             }
@@ -189,11 +208,11 @@ impl CompositeQosApi {
         self.reservations.get(&id).map(|r| &r.demand)
     }
 
-    /// Simulates the loss of a server: every bucket it hosted disappears
-    /// and every composite reservation touching it is cancelled (its
-    /// shares on surviving servers are released too — a half-dead session
-    /// is useless). Returns the cancelled reservation ids so the caller
-    /// can re-plan the affected sessions.
+    /// Simulates the loss of a server: every bucket its domain hosted
+    /// disappears and every composite reservation touching it is cancelled
+    /// (its shares on surviving servers are released too — a half-dead
+    /// session is useless). Returns the cancelled reservation ids so the
+    /// caller can re-plan the affected sessions.
     pub fn fail_server(&mut self, server: ServerId) -> Vec<ReservationId> {
         let affected: Vec<ReservationId> = self
             .reservations
@@ -204,34 +223,35 @@ impl CompositeQosApi {
         for &id in &affected {
             self.release(id);
         }
-        let lost: Vec<(ResourceKey, f64)> = self
-            .managers
-            .iter()
-            .filter(|(k, _)| k.server == server)
-            .map(|(&k, m)| (k, m.capacity()))
-            .collect();
-        if !lost.is_empty() {
-            self.failed.insert(server, lost);
+        if let Some(domain) = self.domains.get_mut(&server) {
+            if !domain.managers.is_empty() {
+                // A second failure of an already-empty domain keeps the
+                // first stash (nothing new is lost).
+                domain.failed =
+                    Some(domain.managers.iter().map(|(&k, m)| (k, m.capacity())).collect());
+                domain.managers.clear();
+            }
         }
-        self.managers.retain(|k, _| k.server != server);
         affected
     }
 
-    /// Brings a failed server back: its buckets are re-registered empty at
-    /// their pre-failure capacities, so new admissions against it succeed
-    /// again. Returns `false` when the server was not down (unknown or
-    /// never failed), in which case nothing changes.
+    /// Brings a failed server back: its domain's buckets are re-registered
+    /// empty at their pre-failure capacities, so new admissions against it
+    /// succeed again. Returns `false` when the server was not down
+    /// (unknown or never failed), in which case nothing changes.
     pub fn restore_server(&mut self, server: ServerId) -> bool {
-        let Some(buckets) = self.failed.remove(&server) else { return false };
-        for (key, capacity) in buckets {
-            self.register(key, capacity);
+        let Some(buckets) = self.domains.get_mut(&server).and_then(|d| d.failed.take()) else {
+            return false;
+        };
+        for (kind, capacity) in buckets {
+            self.register(ResourceKey::new(server, kind), capacity);
         }
         true
     }
 
     /// True when `server` is currently failed (its buckets unregistered).
     pub fn is_failed(&self, server: ServerId) -> bool {
-        self.failed.contains_key(&server)
+        self.domains.get(&server).is_some_and(|d| d.failed.is_some())
     }
 
     /// Renegotiates a reservation to `new_demand` atomically: on failure
@@ -254,7 +274,7 @@ impl CompositeQosApi {
         // share.
         let old = self.reservations[&id].demand.clone();
         for (key, amount) in new_demand.iter() {
-            let mgr = self.managers.get(&key).ok_or(AdmissionError::UnknownBucket(key))?;
+            let mgr = self.manager(key).ok_or(AdmissionError::UnknownBucket(key))?;
             let slack = mgr.available() + old.get(key);
             if amount > slack + 1e-9 {
                 return Err(AdmissionError::Rejected(BucketFull {
@@ -294,7 +314,7 @@ mod tests {
     }
 
     fn cluster() -> CompositeQosApi {
-        CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6)
+        CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20_000_000.0, 512e6)
     }
 
     fn stream_demand(server: u32, bps: f64, cpu: f64) -> ResourceVector {

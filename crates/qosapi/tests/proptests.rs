@@ -51,7 +51,7 @@ proptest! {
     fn accounting_matches_outstanding_set(
         ops in proptest::collection::vec((demand_strategy(), any::<bool>()), 1..60),
     ) {
-        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        let mut api = CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20_000_000.0, 512e6);
         let mut held: Vec<(quasaq_qosapi::ReservationId, ResourceVector)> = Vec::new();
         for (demand, release_one) in ops {
             if release_one && !held.is_empty() {
@@ -79,7 +79,7 @@ proptest! {
     /// check passes.
     #[test]
     fn admits_predicts_reserve(preload in demand_strategy(), probe in demand_strategy()) {
-        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        let mut api = CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20_000_000.0, 512e6);
         let _ = api.reserve(&preload);
         let predicted = api.admits(&probe).is_ok();
         let actual = api.reserve(&probe).is_ok();
@@ -90,7 +90,7 @@ proptest! {
     /// `(used + demand) / capacity` — Eq. (1) of the paper.
     #[test]
     fn max_fill_matches_manual_eq1(preload in demand_strategy(), probe in demand_strategy()) {
-        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        let mut api = CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20_000_000.0, 512e6);
         let _ = api.reserve(&preload);
         let mut manual = 0.0f64;
         for (key, amount) in probe.iter() {
@@ -105,11 +105,11 @@ proptest! {
     /// or leaves the old one fully intact — never a mix.
     #[test]
     fn renegotiation_is_atomic(first in demand_strategy(), second in demand_strategy()) {
-        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        let mut api = CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20_000_000.0, 512e6);
         prop_assume!(api.reserve(&first).is_ok());
         let id = {
             // Re-grab the id deterministically: make a fresh API to keep it simple.
-            let mut api2 = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+            let mut api2 = CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20_000_000.0, 512e6);
             let id = api2.reserve(&first).unwrap();
             api = api2;
             id
@@ -141,7 +141,7 @@ proptest! {
         preload in demand_strategy(),
         first in demand_strategy(),
     ) {
-        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        let mut api = CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20_000_000.0, 512e6);
         let _ = api.reserve(&preload);
         prop_assume!(api.admits(&first).is_ok());
         let id = api.reserve(&first).unwrap();
@@ -167,7 +167,7 @@ proptest! {
         first in demand_strategy(),
         scale in 0.0f64..1.5,
     ) {
-        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        let mut api = CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20_000_000.0, 512e6);
         prop_assume!(api.admits(&first).is_ok());
         let id = api.reserve(&first).unwrap();
         let mut scaled = ResourceVector::new();
@@ -193,7 +193,7 @@ proptest! {
         at_zero in demand_on(0),
         at_two in demand_on(2),
     ) {
-        let mut api = CompositeQosApi::homogeneous_cluster(3, 3_200_000.0, 20_000_000.0, 512e6);
+        let mut api = CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 3_200_000.0, 20_000_000.0, 512e6);
         let id = api.reserve(&at_zero).unwrap();
         let new_id = api.renegotiate(id, &at_two).unwrap();
         prop_assert_eq!(api.demand_of(new_id), Some(&at_two));

@@ -27,6 +27,7 @@
 //! in this crate spawns threads or reads wall-clock time.
 
 pub mod cpu;
+pub mod domain;
 pub mod fault;
 pub mod link;
 pub mod queue;
@@ -38,6 +39,7 @@ pub mod topology;
 pub use cpu::{
     Completion, CpuScheduler, Dsrt, DsrtConfig, JobId, ReservationError, TaskId, TimeSharing,
 };
+pub use domain::{step_domains, DomainStepper, LinkDomain, SerialStepper};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultModel, FaultPlan, FaultSpec};
 pub use link::{FlowId, LinkError, SharePolicy, SharedLink, XferDone, XferId};
 pub use queue::{EventId, EventQueue};

@@ -51,6 +51,15 @@ pub enum Placement {
     /// Tier `t` of video `v` goes to server `(v + t) mod n` — one copy per
     /// tier, spread across servers.
     RoundRobin,
+    /// Tier `t` of video `v` goes to servers `(v + t + c) mod n` for
+    /// `c in 0..copies` — `copies`-way replication without `Full`'s
+    /// `videos x tiers x servers` object blow-up, so hundred-server
+    /// testbeds stay linear in catalog size. `Spread { copies: 1 }` is
+    /// `RoundRobin`; `copies >= n` degenerates to `Full` for that video.
+    Spread {
+        /// Replicas per tier (clamped to the server count).
+        copies: u32,
+    },
 }
 
 /// Performs offline replication of a [`Library`] onto a set of object
@@ -86,6 +95,13 @@ impl ReplicationPlanner {
                     Placement::RoundRobin => {
                         let idx = (entry.meta.id.0 as usize + tier_idx) % servers.len();
                         vec![servers[idx]]
+                    }
+                    Placement::Spread { copies } => {
+                        let n = servers.len();
+                        let base = entry.meta.id.0 as usize + tier_idx;
+                        (0..(copies as usize).clamp(1, n))
+                            .map(|c| servers[(base + c) % n])
+                            .collect()
                     }
                 };
                 for server in targets {
@@ -283,6 +299,33 @@ mod tests {
         servers.sort();
         servers.dedup();
         assert!(servers.len() >= entry.replicas.len().min(3));
+    }
+
+    #[test]
+    fn spread_places_exactly_copies_per_tier_on_distinct_servers() {
+        let (library, _stores, engine) = setup(Placement::Spread { copies: 2 });
+        let total_tiers: usize = library.entries().iter().map(|e| e.replicas.len()).sum();
+        assert_eq!(engine.object_count(), total_tiers * 2);
+        for entry in library.entries() {
+            let reps = engine.replicas(entry.meta.id);
+            for replica in &entry.replicas {
+                let holders: Vec<ServerId> = reps
+                    .iter()
+                    .filter(|r| r.object.tier == replica.tier)
+                    .map(|r| r.object.server)
+                    .collect();
+                assert_eq!(holders.len(), 2, "two copies of every tier");
+                assert_ne!(holders[0], holders[1], "copies land on distinct servers");
+            }
+        }
+    }
+
+    #[test]
+    fn spread_clamps_copies_to_the_cluster() {
+        // copies > n degenerates to full replication, never a double-place.
+        let (library, _stores, engine) = setup(Placement::Spread { copies: 99 });
+        let total_tiers: usize = library.entries().iter().map(|e| e.replicas.len()).sum();
+        assert_eq!(engine.object_count(), total_tiers * 3);
     }
 
     #[test]

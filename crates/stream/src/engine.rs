@@ -14,9 +14,9 @@ use crate::cpumodel::{CpuKind, CpuModel};
 use crate::report::SessionReport;
 use crate::schedule::FrameSchedule;
 use quasaq_sim::cpu::{CpuScheduler, JobId, ReservationError, TaskId};
-use quasaq_sim::link::{LinkError, SharePolicy, SharedLink};
+use quasaq_sim::link::{LinkError, SharePolicy};
 use quasaq_sim::queue::{EventId, EventQueue};
-use quasaq_sim::{FlowId, ServerId, SimDuration, SimTime, XferId};
+use quasaq_sim::{FlowId, LinkDomain, ServerId, SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap};
 
 /// Per-server hardware/OS configuration.
@@ -122,12 +122,14 @@ enum Ev {
 
 struct Node {
     cpu: CpuModel,
-    link: SharedLink,
+    /// The server's outbound link plus its in-flight `(session, frame)`
+    /// transfers, with the shared fault reactions (crash cut, capacity
+    /// change) supplied by the domain layer.
+    domain: LinkDomain<(SessionId, usize)>,
     client_latency: SimDuration,
     cpu_wake: Option<(EventId, SimTime)>,
     link_wake: Option<(EventId, SimTime)>,
     tasks: HashMap<TaskId, (SessionId, usize)>,
-    xfers: HashMap<XferId, (SessionId, usize)>,
 }
 
 struct Session {
@@ -155,20 +157,15 @@ impl StreamEngine {
         let nodes = nodes
             .into_iter()
             .map(|(id, cfg)| {
-                let link = match cfg.link_policy {
-                    SharePolicy::FairShare => SharedLink::fair_share(cfg.link_capacity_bps),
-                    SharePolicy::Reserved => SharedLink::reserved(cfg.link_capacity_bps),
-                };
                 (
                     id,
                     Node {
                         cpu: CpuModel::new(cfg.cpu),
-                        link,
+                        domain: LinkDomain::with_policy(id, cfg.link_policy, cfg.link_capacity_bps),
                         client_latency: cfg.client_latency,
                         cpu_wake: None,
                         link_wake: None,
                         tasks: HashMap::new(),
-                        xfers: HashMap::new(),
                     },
                 )
             })
@@ -198,7 +195,7 @@ impl StreamEngine {
                 node.cpu.reserve(now, slice, period).map_err(SessionError::Cpu)?
             }
         };
-        let flow = match node.link.open_flow(now, cfg.link_rate_bps) {
+        let flow = match node.domain.link_mut().open_flow(now, cfg.link_rate_bps) {
             Ok(f) => f,
             Err(e) => {
                 node.cpu.remove_job(now, job);
@@ -315,8 +312,10 @@ impl StreamEngine {
                 continue;
             }
             let bytes = session.schedule.frames()[idx].bytes;
-            let xfer = node.link.send(now, session.flow, bytes as u64).expect("open session flow");
-            node.xfers.insert(xfer, (sid, idx));
+            let flow = session.flow;
+            let xfer =
+                node.domain.link_mut().send(now, flow, bytes as u64).expect("open session flow");
+            node.domain.register(xfer, flow, (sid, idx));
         }
         self.reschedule_cpu(server);
         self.reschedule_link(server);
@@ -325,11 +324,11 @@ impl StreamEngine {
     fn on_link_wake(&mut self, now: SimTime, server: ServerId) {
         let node = self.nodes.get_mut(&server).expect("wake for known node");
         node.link_wake = None;
-        node.link.advance_to(now);
-        let completions = node.link.drain_completions();
+        node.domain.step_to(now);
+        let completions = node.domain.take_pending();
         let mut finished: Vec<(SessionId, SimTime)> = Vec::new();
         for c in completions {
-            let Some((sid, idx)) = node.xfers.remove(&c.xfer) else { continue };
+            let Some((sid, idx)) = node.domain.resolve(c.xfer) else { continue };
             let session = &mut self.sessions[sid.0];
             let arrived = c.at + node.client_latency;
             session.report.mark_delivered(idx, arrived);
@@ -359,7 +358,7 @@ impl StreamEngine {
         let job = session.job;
         let now = self.queue.now();
         let node = self.nodes.get_mut(&server).expect("node");
-        node.link.close_flow(now, flow);
+        node.domain.link_mut().close_flow(now, flow);
         node.cpu.remove_job(now, job);
         self.reschedule_cpu(server);
         self.reschedule_link(server);
@@ -398,10 +397,10 @@ impl StreamEngine {
         // Undrained completions (buffered by internal advances inside
         // send/close_flow) require an immediate wake even when the fluid
         // model reports idle.
-        let want = if node.link.pending_completions() > 0 {
+        let want = if node.domain.has_buffered() {
             Some(now)
         } else {
-            node.link.next_event().map(|t| t.max(now))
+            node.domain.next_event().map(|t| t.max(now))
         };
         match (node.link_wake, want) {
             (Some((_, at)), Some(w)) if at == w => {}
@@ -443,16 +442,26 @@ impl StreamEngine {
             session.report.mark_interrupted(now);
             let (flow, job) = (session.flow, session.job);
             let node = self.nodes.get_mut(&server).expect("checked above");
-            node.link.close_flow(now, flow);
+            node.domain.link_mut().close_flow(now, flow);
             node.cpu.remove_job(now, job);
         }
         let dead: std::collections::BTreeSet<SessionId> = hit.iter().copied().collect();
         let node = self.nodes.get_mut(&server).expect("checked above");
         node.tasks.retain(|_, &mut (sid, _)| !dead.contains(&sid));
-        node.xfers.retain(|_, &mut (sid, _)| !dead.contains(&sid));
+        node.domain.retain(|&(sid, _)| !dead.contains(&sid));
         self.reschedule_cpu(server);
         self.reschedule_link(server);
         hit
+    }
+
+    /// Applies a fault-injection capacity change to a server's outbound
+    /// link (degradation when below nominal, recovery when restored) —
+    /// the same domain-layer reaction the fluid engine uses. Transfers in
+    /// flight are re-paced from the current instant.
+    pub fn set_link_capacity(&mut self, server: ServerId, capacity_bps: u64) {
+        let now = self.queue.now();
+        self.nodes.get_mut(&server).expect("unknown server").domain.set_capacity(now, capacity_bps);
+        self.reschedule_link(server);
     }
 
     /// Reserved CPU utilization on a server (0 for time-sharing nodes).
@@ -462,7 +471,7 @@ impl StreamEngine {
 
     /// Reserved link bandwidth on a server.
     pub fn link_reserved_bps(&self, server: ServerId) -> u64 {
-        self.nodes[&server].link.reserved_bps()
+        self.nodes[&server].domain.link().reserved_bps()
     }
 }
 
@@ -822,5 +831,38 @@ mod tests {
         assert_eq!(ok.interrupted_at(), None);
         // The failed node's resources are released for later re-admission.
         assert_eq!(eng.link_reserved_bps(ServerId(0)), 0);
+    }
+
+    #[test]
+    fn link_degradation_delays_delivery() {
+        let run = |degrade: bool| {
+            let mut eng = one_server(NodeConfig::vdbms(3_200_000));
+            let id = eng
+                .add_session(
+                    SimTime::ZERO,
+                    SessionConfig {
+                        server: ServerId(0),
+                        schedule: schedule(10, 193_000.0, 31),
+                        cpu: CpuPolicy::BestEffort,
+                        link_rate_bps: Some(250_000),
+                    },
+                )
+                .unwrap();
+            eng.run_until(SimTime::from_secs(2));
+            if degrade {
+                // Starve the link to 5 KB/s for most of the stream.
+                eng.set_link_capacity(ServerId(0), 5_000);
+                eng.run_until(SimTime::from_secs(30));
+                eng.set_link_capacity(ServerId(0), 3_200_000);
+            }
+            assert!(eng.run_to_completion(SimTime::from_secs(300)));
+            eng.report(id).finish().expect("completed")
+        };
+        let normal = run(false);
+        let degraded = run(true);
+        assert!(
+            degraded > normal + SimDuration::from_secs(5),
+            "degraded {degraded} vs normal {normal}"
+        );
     }
 }

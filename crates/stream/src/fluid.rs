@@ -14,12 +14,22 @@
 //!   but squeezed when the link oversubscribes, so "it took much longer
 //!   time to finish each job" — the plain-VDBMS signature of Fig 6.
 //!
+//! The engine is sharded into one [`LinkDomain`] per server. Advancing
+//! time is two-phase: phase A steps every domain to the target instant
+//! (link recomputation and completion buffering stay strictly inside the
+//! domain, so a [`DomainStepper`] may run domains concurrently); phase B
+//! merges the buffered completions serially in `ServerId` order, which
+//! reproduces the exact event order of the pre-sharding engine — results
+//! are bit-for-bit identical under any stepper.
+//!
 //! The engine is passive (`next_event`/`advance_to`/`drain_completions`)
 //! so the experiment driver owns the master event loop.
 
 use quasaq_sim::link::{LinkError, SharePolicy, SharedLink};
-use quasaq_sim::{FlowId, ServerId, SimTime, XferId};
-use std::collections::{BTreeMap, HashMap};
+use quasaq_sim::{
+    step_domains, DomainStepper, FlowId, LinkDomain, SerialStepper, ServerId, SimTime,
+};
+use std::collections::BTreeMap;
 
 /// Identifies a fluid session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -42,37 +52,40 @@ struct FluidSession {
     done: bool,
 }
 
-/// Byte-level session engine over per-server links.
+/// Byte-level session engine over per-server link domains.
 pub struct FluidEngine {
-    links: BTreeMap<ServerId, SharedLink>,
+    /// Sorted by `ServerId`; the phase-B merge walks this order.
+    domains: Vec<LinkDomain<FluidSessionId>>,
+    /// Server → index into `domains`.
+    index: BTreeMap<ServerId, usize>,
     sessions: Vec<FluidSession>,
-    xfers: BTreeMap<ServerId, HashMap<XferId, FluidSessionId>>,
     completions: Vec<FluidDone>,
 }
 
 impl FluidEngine {
-    /// Builds an engine with one link per server under the given policy.
+    /// Builds an engine with one link domain per server under the given
+    /// policy.
     pub fn new(
         servers: impl IntoIterator<Item = ServerId>,
         policy: SharePolicy,
         capacity_bps: u64,
     ) -> Self {
-        let mut links = BTreeMap::new();
-        let mut xfers = BTreeMap::new();
-        for s in servers {
-            let link = match policy {
-                SharePolicy::FairShare => SharedLink::fair_share(capacity_bps),
-                SharePolicy::Reserved => SharedLink::reserved(capacity_bps),
-            };
-            links.insert(s, link);
-            xfers.insert(s, HashMap::new());
-        }
-        FluidEngine { links, sessions: Vec::new(), xfers, completions: Vec::new() }
+        let domains = LinkDomain::cluster(servers, policy, capacity_bps);
+        let index = domains.iter().enumerate().map(|(i, d)| (d.server(), i)).collect();
+        FluidEngine { domains, index, sessions: Vec::new(), completions: Vec::new() }
+    }
+
+    fn domain(&self, server: ServerId) -> &LinkDomain<FluidSessionId> {
+        &self.domains[*self.index.get(&server).expect("unknown server")]
+    }
+
+    fn domain_mut(&mut self, server: ServerId) -> &mut LinkDomain<FluidSessionId> {
+        &mut self.domains[*self.index.get(&server).expect("unknown server")]
     }
 
     /// Link state of a server.
     pub fn link(&self, server: ServerId) -> &SharedLink {
-        &self.links[&server]
+        self.domain(server).link()
     }
 
     /// Starts a session streaming `bytes` at `rate_bps` from `server`.
@@ -85,42 +98,55 @@ impl FluidEngine {
         bytes: u64,
         rate_bps: u64,
     ) -> Result<FluidSessionId, LinkError> {
-        let link = self.links.get_mut(&server).expect("unknown server");
-        let flow = link.open_flow(now, Some(rate_bps))?;
-        let xfer = link.send(now, flow, bytes).expect("flow just opened");
         let id = FluidSessionId(self.sessions.len());
+        let domain = self.domain_mut(server);
+        let flow = domain.link_mut().open_flow(now, Some(rate_bps))?;
+        let xfer = domain.link_mut().send(now, flow, bytes).expect("flow just opened");
+        domain.register(xfer, flow, id);
         self.sessions.push(FluidSession { server, flow, done: false });
-        self.xfers.get_mut(&server).expect("server").insert(xfer, id);
         Ok(id)
     }
 
-    /// Aborts a session, freeing its bandwidth.
+    /// Aborts a session, freeing its bandwidth. The session's transfer
+    /// registration is left in place (it resolves to a dead session and is
+    /// discarded), so `active_on` counts it until the link would have
+    /// finished it — matching the historical accounting the availability
+    /// experiments were calibrated against.
     pub fn cancel_session(&mut self, now: SimTime, id: FluidSessionId) {
         let session = &mut self.sessions[id.0];
         if session.done {
             return;
         }
         session.done = true;
-        let link = self.links.get_mut(&session.server).expect("server");
-        link.close_flow(now, session.flow);
+        let (server, flow) = (session.server, session.flow);
+        self.domain_mut(server).link_mut().close_flow(now, flow);
     }
 
     /// Earliest future completion across all links.
     pub fn next_event(&self) -> Option<SimTime> {
-        self.links.values().filter_map(|l| l.next_event()).min()
+        self.domains.iter().filter_map(|d| d.next_event()).min()
     }
 
-    /// Advances every link to `t`, collecting completions.
+    /// Advances every link to `t` serially, collecting completions.
     pub fn advance_to(&mut self, t: SimTime) {
-        for (server, link) in self.links.iter_mut() {
-            link.advance_to(t);
-            for done in link.drain_completions() {
-                if let Some(id) = self.xfers.get_mut(server).expect("server").remove(&done.xfer) {
+        self.advance_domains(t, &SerialStepper);
+    }
+
+    /// Advances every link domain to `t` using `stepper` (phase A, safe to
+    /// run concurrently), then merges the buffered completions serially in
+    /// `ServerId` order (phase B) — bit-identical to [`advance_to`]
+    /// (`FluidEngine::advance_to`) under any stepper.
+    pub fn advance_domains(&mut self, t: SimTime, stepper: &dyn DomainStepper) {
+        step_domains(stepper, &mut self.domains, t);
+        for domain in self.domains.iter_mut() {
+            let server = domain.server();
+            for done in domain.take_pending() {
+                if let Some(id) = domain.resolve(done.xfer) {
                     let session = &mut self.sessions[id.0];
                     if !session.done {
                         session.done = true;
-                        link.close_flow(done.at.max(t), session.flow);
-                        self.completions.push(FluidDone { id, server: *server, at: done.at });
+                        domain.link_mut().close_flow(done.at.max(t), session.flow);
+                        self.completions.push(FluidDone { id, server, at: done.at });
                     }
                 }
             }
@@ -140,7 +166,7 @@ impl FluidEngine {
     /// Number of sessions still streaming from one server (O(active) on
     /// that server, not O(all sessions)).
     pub fn active_on(&self, server: ServerId) -> usize {
-        self.xfers.get(&server).map(HashMap::len).unwrap_or(0)
+        self.index.get(&server).map(|&i| self.domains[i].in_flight()).unwrap_or(0)
     }
 
     /// Crashes a server: every session streaming from it is killed and
@@ -148,22 +174,11 @@ impl FluidEngine {
     /// path needs to resume the remainder elsewhere. The returned list is
     /// ordered by session id, so reacting to it is deterministic.
     pub fn fail_server(&mut self, now: SimTime, server: ServerId) -> Vec<(FluidSessionId, f64)> {
-        let link = self.links.get_mut(&server).expect("unknown server");
-        link.advance_to(now);
-        let Some(map) = self.xfers.get_mut(&server) else { return Vec::new() };
-        let mut displaced: Vec<(FluidSessionId, f64)> = Vec::new();
-        for (_, &id) in map.iter() {
-            let session = &self.sessions[id.0];
-            if !session.done {
-                displaced.push((id, link.flow_backlog_bytes(session.flow)));
-            }
-        }
-        map.clear();
-        displaced.sort_by_key(|&(id, _)| id);
+        let Some(&i) = self.index.get(&server) else { return Vec::new() };
+        let sessions = &self.sessions;
+        let displaced = self.domains[i].cut(now, |id| !sessions[id.0].done);
         for &(id, _) in &displaced {
-            let session = &mut self.sessions[id.0];
-            session.done = true;
-            link.close_flow(now, session.flow);
+            self.sessions[id.0].done = true;
         }
         displaced
     }
@@ -171,7 +186,7 @@ impl FluidEngine {
     /// Applies a fault-injection capacity change to a server's outbound
     /// link (degradation when below nominal, recovery when restored).
     pub fn set_link_capacity(&mut self, now: SimTime, server: ServerId, capacity_bps: u64) {
-        self.links.get_mut(&server).expect("unknown server").set_capacity(now, capacity_bps);
+        self.domain_mut(server).set_capacity(now, capacity_bps);
     }
 }
 
@@ -315,5 +330,46 @@ mod tests {
         let done = drain_all(&mut eng, SimTime::from_secs(10));
         assert_eq!(done.len(), 2);
         let _ = SimDuration::ZERO;
+    }
+
+    #[test]
+    fn parallel_stepper_is_bit_identical_to_serial() {
+        struct ThreadedStepper;
+        // SAFETY: chunked scoped threads — each index in 0..n is claimed by
+        // exactly one thread, exactly once.
+        unsafe impl DomainStepper for ThreadedStepper {
+            fn for_each(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+                std::thread::scope(|scope| {
+                    for chunk_start in (0..n).step_by(2) {
+                        scope.spawn(move || {
+                            for i in chunk_start..(chunk_start + 2).min(n) {
+                                f(i);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        let build = || {
+            let mut eng = FluidEngine::new(ServerId::first_n(5), SharePolicy::FairShare, 100_000);
+            for i in 0..20u64 {
+                let server = ServerId((i % 5) as u32);
+                eng.add_session(SimTime::ZERO, server, 10_000 + 7_000 * i, 50_000).unwrap();
+            }
+            eng
+        };
+        let mut serial = build();
+        let mut parallel = build();
+        loop {
+            let next = serial.next_event();
+            assert_eq!(next, parallel.next_event());
+            let Some(t) = next else { break };
+            serial.advance_to(t);
+            parallel.advance_domains(t, &ThreadedStepper);
+            assert_eq!(serial.drain_completions(), parallel.drain_completions());
+        }
+        assert_eq!(serial.active_sessions(), 0);
+        assert_eq!(parallel.active_sessions(), 0);
     }
 }

@@ -27,7 +27,7 @@ pub mod traffic;
 
 pub use admission::{AdmissionConfig, AdmissionQueue, Disposition, QueueMetrics, Waiting};
 pub use fig5::{run_fig5, Contention, Fig5Config, Fig5System};
-pub use parallel::{parallel_map, run_throughput_scenarios, worker_count};
+pub use parallel::{parallel_map, run_throughput_scenarios, worker_count, DomainPool};
 pub use testbed::{CostKind, Testbed, TestbedConfig};
 pub use throughput::{
     run_throughput, run_throughput_on, FaultMetrics, SystemKind, ThroughputConfig, ThroughputResult,

@@ -97,6 +97,22 @@ impl Default for TestbedConfig {
     }
 }
 
+impl TestbedConfig {
+    /// An N-server, V-video deployment for scaling studies. Spread
+    /// placement (three copies per tier) keeps the replica count linear
+    /// in the catalog, where the paper's full replication would build
+    /// `videos x tiers x servers` objects — quadratic growth that makes a
+    /// 100-server / 10^4-video testbed impractical to even construct.
+    pub fn scale(servers: u32, num_videos: usize) -> Self {
+        TestbedConfig {
+            servers,
+            library: LibraryConfig { num_videos, ..LibraryConfig::default() },
+            placement: Placement::Spread { copies: 3 },
+            ..TestbedConfig::default()
+        }
+    }
+}
+
 /// Exact value-identity of a [`TestbedConfig`] for the shared-testbed
 /// cache: every field reduced to hashable bits (floats via `to_bits`), so
 /// equal keys imply configs that build bit-identical testbeds.
@@ -112,7 +128,7 @@ struct ConfigKey {
     max_duration_us: u64,
     min_replicas: usize,
     max_replicas: usize,
-    round_robin: bool,
+    placement: (u8, u32),
     cost_bits: [u64; 6],
 }
 
@@ -129,7 +145,11 @@ impl ConfigKey {
             max_duration_us: config.library.max_duration.as_micros(),
             min_replicas: config.library.min_replicas,
             max_replicas: config.library.max_replicas,
-            round_robin: matches!(config.placement, Placement::RoundRobin),
+            placement: match config.placement {
+                Placement::Full => (0, 0),
+                Placement::RoundRobin => (1, 0),
+                Placement::Spread { copies } => (2, copies),
+            },
             cost_bits: [
                 config.cost.stream_cpu_us_per_byte.to_bits(),
                 config.cost.stream_cpu_us_per_frame.to_bits(),
@@ -200,7 +220,7 @@ impl Testbed {
     /// A fresh Composite QoS API sized to this deployment.
     pub fn qos_api(&self) -> CompositeQosApi {
         CompositeQosApi::homogeneous_cluster(
-            self.config.servers,
+            self.servers(),
             self.config.link_capacity_bps as f64,
             self.config.disk_bps,
             self.config.memory_bytes,
@@ -266,6 +286,36 @@ mod tests {
         let fresh = Testbed::build(TestbedConfig::default());
         assert_eq!(a.library.len(), fresh.library.len());
         assert_eq!(a.engine.object_count(), fresh.engine.object_count());
+    }
+
+    /// The ISSUE acceptance scenario: a hundred-server, ten-thousand-video
+    /// deployment must be constructible (spread placement keeps the
+    /// replica count linear in the catalog) and must admit queries
+    /// end-to-end through the Quality Manager.
+    #[test]
+    fn hundred_server_ten_thousand_video_testbed_builds_and_admits() {
+        let tb = Testbed::build(TestbedConfig::scale(100, 10_000));
+        assert_eq!(tb.library.len(), 10_000);
+        assert_eq!(tb.stores.len(), 100);
+        let total_tiers: usize = tb.library.entries().iter().map(|e| e.replicas.len()).sum();
+        // Three copies per tier, not tiers x 100.
+        assert_eq!(tb.engine.object_count(), total_tiers * 3);
+        let mut manager = tb.quality_manager(CostKind::Lrb);
+        let mut rng = quasaq_sim::Rng::new(17);
+        let profile = quasaq_core::UserProfile::new("scale");
+        let mut admitted = 0;
+        for v in [0u32, 4_999, 9_999] {
+            let qop = crate::traffic::random_qop(&mut rng);
+            let request = quasaq_core::PlanRequest {
+                video: quasaq_media::VideoId(v),
+                qos: profile.translate(&qop),
+                security: quasaq_core::QopSecurity::Open,
+            };
+            if manager.process(&tb.engine, &request, &mut rng).is_ok() {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 3, "an idle hundred-server cluster admits everything");
     }
 
     #[test]

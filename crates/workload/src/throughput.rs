@@ -8,6 +8,7 @@
 //! (Fig 7b).
 
 use crate::admission::{AdmissionConfig, AdmissionQueue, QueueMetrics, Waiting};
+use crate::parallel::DomainPool;
 use crate::testbed::{CostKind, Testbed, TestbedConfig};
 use crate::traffic::{generate_queries, TrafficConfig};
 use quasaq_core::{
@@ -74,6 +75,16 @@ pub struct ThroughputConfig {
     /// slowdowns injected mid-run. `None` disables the injector entirely
     /// (bit-identical to runs before fault injection existed).
     pub faults: Option<FaultPlan>,
+    /// Mean query inter-arrival time. `None` keeps the paper's 1 s
+    /// Poisson stream; scaling studies shrink it so a hundred-server
+    /// cluster actually sees load.
+    pub arrival_period: Option<SimDuration>,
+    /// Within-run parallelism: step independent server domains on this
+    /// many lanes (a [`crate::parallel::DomainPool`], including the
+    /// calling thread). `0` or `1` keeps the serial legacy stepping. The
+    /// cross-domain merge is serial either way, so results are
+    /// bit-identical at every setting.
+    pub domain_workers: usize,
 }
 
 impl ThroughputConfig {
@@ -88,6 +99,8 @@ impl ThroughputConfig {
             local_plans_only: false,
             admission: None,
             faults: None,
+            arrival_period: None,
+            domain_workers: 0,
         }
     }
 
@@ -219,6 +232,9 @@ pub fn run_throughput_on(
 ) -> ThroughputResult {
     let mut traffic = TrafficConfig::paper(testbed.library.len(), cfg.horizon);
     traffic.video_skew = cfg.video_skew;
+    if let Some(period) = cfg.arrival_period {
+        traffic.mean_interarrival = period;
+    }
     let queries = generate_queries(cfg.seed ^ 0x51ab_17e5, &traffic);
     let mut rng = Rng::new(cfg.seed ^ 0x9e37_79b9);
 
@@ -249,6 +265,19 @@ pub fn run_throughput_on(
     // link never oversubscribes for them.
     let mut fluid =
         FluidEngine::new(testbed.servers(), SharePolicy::FairShare, cfg.testbed.link_capacity_bps);
+
+    // Within-run parallelism: phase A of every advance (per-domain fluid
+    // stepping) runs on the pool; the merge stays serial, so the event
+    // order — and every downstream float — is identical to a serial run.
+    let pool = (cfg.domain_workers > 1).then(|| DomainPool::new(cfg.domain_workers));
+    macro_rules! advance_fluid {
+        ($t:expr) => {
+            match &pool {
+                Some(p) => fluid.advance_domains($t, p),
+                None => fluid.advance_to($t),
+            }
+        };
+    }
 
     let mut queue = cfg.admission.clone().map(AdmissionQueue::new);
     let patience = cfg.admission.as_ref().map(|a| a.patience);
@@ -316,7 +345,7 @@ pub fn run_throughput_on(
             }
             violation_t = t;
         }
-        fluid.advance_to(t);
+        advance_fluid!(t);
         handle_done(
             fluid.drain_completions(),
             &mut reservations,
@@ -627,7 +656,7 @@ pub fn run_throughput_on(
                 fluid.active_on(s) as f64 * (cfg.horizon - violation_t).as_secs_f64();
         }
     }
-    fluid.advance_to(cfg.horizon);
+    advance_fluid!(cfg.horizon);
     handle_done(
         fluid.drain_completions(),
         &mut reservations,
@@ -901,6 +930,8 @@ mod tests {
             local_plans_only: false,
             admission: None,
             faults: None,
+            arrival_period: None,
+            domain_workers: 0,
         }
     }
 
@@ -984,6 +1015,34 @@ mod tests {
         let horizon = SimTime::from_micros(7);
         assert_eq!(horizon.halved(), SimTime::from_micros(3));
         assert!((r.stable_outstanding(horizon) - 6.0).abs() < 1e-12);
+    }
+
+    /// The tentpole determinism guarantee: stepping domains on a worker
+    /// pool must reproduce the serial run bit for bit — same series, same
+    /// counts, same floats — across all three systems, including a
+    /// fault-injected run whose crash handling reads mid-step state.
+    #[test]
+    fn domain_parallel_run_is_bit_identical_to_serial() {
+        let serial =
+            ThroughputConfig { admission: Some(AdmissionConfig::default()), ..short_cfg() };
+        let sharded = ThroughputConfig { domain_workers: 4, ..serial.clone() };
+        for system in
+            [SystemKind::Vdbms, SystemKind::VdbmsQosApi, SystemKind::Quasaq(CostKind::Lrb)]
+        {
+            assert_eq!(
+                run_throughput(system, &serial),
+                run_throughput(system, &sharded),
+                "{}",
+                system.label()
+            );
+        }
+        let faulty = ThroughputConfig { seed: 11, ..ThroughputConfig::availability() };
+        let faulty_sharded = ThroughputConfig { domain_workers: 3, ..faulty.clone() };
+        assert_eq!(
+            run_throughput(SystemKind::Quasaq(CostKind::Lrb), &faulty),
+            run_throughput(SystemKind::Quasaq(CostKind::Lrb), &faulty_sharded),
+            "fault-injected run"
+        );
     }
 
     #[test]
@@ -1172,6 +1231,8 @@ mod tests {
             local_plans_only: false,
             admission: None,
             faults: None,
+            arrival_period: None,
+            domain_workers: 0,
         };
         let queued = ThroughputConfig {
             admission: Some(AdmissionConfig {

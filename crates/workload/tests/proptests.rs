@@ -6,8 +6,9 @@
 
 use proptest::prelude::*;
 use quasaq_sim::{FaultKind, FaultPlan, FaultSpec, ServerId, SimDuration, SimTime};
+use quasaq_store::Placement;
 use quasaq_workload::{
-    run_throughput, run_throughput_scenarios, AdmissionConfig, CostKind, SystemKind,
+    run_throughput, run_throughput_scenarios, AdmissionConfig, CostKind, SystemKind, TestbedConfig,
     ThroughputConfig,
 };
 
@@ -67,5 +68,47 @@ proptest! {
             prop_assert_eq!(f.interrupted, f.failed_over + f.recovered + f.dropped);
             prop_assert_eq!(r.admitted + r.rejected, r.queries);
         }
+    }
+
+    /// The sharding tentpole's contract over *random* deployments: any
+    /// cluster size, placement, skew, admission mode, and fault plan
+    /// stepped on a domain pool is bitwise identical to the serial run.
+    #[test]
+    fn sharded_stepping_is_bit_identical_for_random_configs(
+        seed in 0u64..1_000,
+        servers in 2u32..8,
+        workers in 2usize..6,
+        spread in any::<bool>(),
+        skew in 0.0f64..1.5,
+        queued in any::<bool>(),
+        crash in any::<bool>(),
+        crash_server in 0u32..8,
+        crash_at in 20u64..100,
+    ) {
+        let faults = crash.then(|| {
+            FaultPlan::crash_restart(
+                ServerId(crash_server % servers),
+                SimTime::from_secs(crash_at),
+                SimTime::from_secs(crash_at + 40),
+            )
+        });
+        let serial_cfg = ThroughputConfig {
+            testbed: TestbedConfig {
+                servers,
+                placement: if spread { Placement::Spread { copies: 2 } } else { Placement::Full },
+                ..TestbedConfig::default()
+            },
+            horizon: SimTime::from_secs(120),
+            seed,
+            video_skew: skew,
+            admission: queued.then(AdmissionConfig::default),
+            faults,
+            ..ThroughputConfig::fig6()
+        };
+        let sharded_cfg =
+            ThroughputConfig { domain_workers: workers, ..serial_cfg.clone() };
+        let serial = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &serial_cfg);
+        let sharded = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &sharded_cfg);
+        prop_assert_eq!(serial, sharded);
     }
 }

@@ -144,6 +144,8 @@ fn throughput_ordering_matches_fig6_and_fig7() {
         local_plans_only: false,
         admission: None,
         faults: None,
+        arrival_period: None,
+        domain_workers: 0,
     };
     let h = cfg.horizon;
     // Four independent runs: fan them across cores via the scenario runner
@@ -271,6 +273,8 @@ fn migration_extension_improves_skewed_throughput() {
         local_plans_only: true,
         admission: None,
         faults: None,
+        arrival_period: None,
+        domain_workers: 0,
     };
     let mut tb = Testbed::build(cfg.testbed.clone());
     let before = run_throughput_on(&tb, SystemKind::Quasaq(CostKind::Lrb), &cfg);
@@ -313,6 +317,8 @@ fn utility_optimizer_trades_throughput_for_quality() {
         local_plans_only: false,
         admission: None,
         faults: None,
+        arrival_period: None,
+        domain_workers: 0,
     };
     let scenarios = vec![
         (SystemKind::Quasaq(CostKind::Lrb), cfg.clone()),
@@ -340,6 +346,8 @@ fn whole_pipeline_is_deterministic() {
             local_plans_only: false,
             admission: None,
             faults: None,
+            arrival_period: None,
+            domain_workers: 0,
         };
         let r = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
         (r.admitted, r.rejected, r.completed, r.outstanding.values().collect::<Vec<_>>())
