@@ -25,8 +25,8 @@ use quasaq_bench::Table;
 use quasaq_sim::{SimDuration, SimTime};
 use quasaq_store::{plan_migrations, Placement, QosSampler, ReplicationPlanner};
 use quasaq_workload::{
-    run_throughput_on, run_throughput_scenarios, CostKind, SystemKind, Testbed, TestbedConfig,
-    ThroughputConfig,
+    run_throughput_on, run_throughput_scenarios, CostKind, QopMix, SystemKind, Testbed,
+    TestbedConfig, ThroughputConfig,
 };
 
 fn main() {
@@ -53,6 +53,7 @@ fn migration_loop() {
         faults: None,
         arrival_period: None,
         domain_workers: 0,
+        qop_mix: QopMix::Uniform,
     };
     let mut testbed = Testbed::build(cfg.testbed.clone());
 
@@ -100,6 +101,7 @@ fn configurable_optimizer() {
         faults: None,
         arrival_period: None,
         domain_workers: 0,
+        qop_mix: QopMix::Uniform,
     };
     let mut t = Table::new(&[
         "optimizer",

@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use quasaq_media::{FrameRate, FrameTrace, GopPattern, TraceParams};
 use quasaq_sim::cpu::{CpuScheduler, Dsrt, DsrtConfig, TimeSharing};
+use quasaq_sim::queue::reference::ReferenceQueue;
 use quasaq_sim::{EventQueue, SharedLink, SimDuration, SimTime};
 use std::hint::black_box;
 
@@ -22,6 +23,63 @@ fn bench_event_queue(c: &mut Criterion) {
                 n += 1;
             }
             black_box(n)
+        })
+    });
+}
+
+/// The timing wheel against the retired binary-heap queue on the same
+/// schedule / cancel / pop churn, so a regression in either direction is
+/// visible as a ratio between adjacent rows.
+fn bench_event_queue_churn(c: &mut Criterion) {
+    fn churn<Q, I>(
+        mut schedule: impl FnMut(&mut Q, SimTime, u64) -> I,
+        mut cancel: impl FnMut(&mut Q, I),
+        mut pop: impl FnMut(&mut Q) -> bool,
+        q: &mut Q,
+    ) -> u64 {
+        let mut ids = Vec::with_capacity(1_000);
+        let mut n = 0;
+        for round in 0..4u64 {
+            ids.clear();
+            for i in 0..1_000u64 {
+                // Each round's window starts past the previous round's
+                // latest event, so draining never leaves `now` ahead of a
+                // later schedule.
+                let t = SimTime::from_micros(round * 1_000_000 + (i * 2_654_435_761) % 1_000_000);
+                ids.push(schedule(q, t, i));
+            }
+            // Cancel every third event, then drain the survivors.
+            for id in ids.drain(..).step_by(3) {
+                cancel(q, id);
+            }
+            while pop(q) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    c.bench_function("event_queue_wheel_churn_4x1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            black_box(churn(
+                |q, t, p| q.schedule(t, p),
+                |q, id| q.cancel(id),
+                |q| q.pop().is_some(),
+                &mut q,
+            ))
+        })
+    });
+
+    c.bench_function("event_queue_reference_churn_4x1k", |b| {
+        b.iter(|| {
+            let mut q: ReferenceQueue<u64> = ReferenceQueue::new();
+            black_box(churn(
+                |q, t, p| q.schedule(t, p),
+                |q, id| q.cancel(id),
+                |q| q.pop().is_some(),
+                &mut q,
+            ))
         })
     });
 }
@@ -100,5 +158,43 @@ fn bench_trace(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_cpu_schedulers, bench_link, bench_trace);
+/// Session churn on one link: open / send / advance / close cycles that
+/// stress the flow arena's free list and the incremental fair-share
+/// order, rather than steady-state draining.
+fn bench_link_churn(c: &mut Criterion) {
+    c.bench_function("fair_link_session_churn_2k", |b| {
+        b.iter(|| {
+            let mut link = SharedLink::fair_share(3_200_000);
+            let mut open = Vec::new();
+            let mut now = SimTime::ZERO;
+            let mut done = 0;
+            for i in 0..2_000u64 {
+                // Mixed caps so the water-fill order sees real churn.
+                let cap = if i % 3 == 0 { None } else { Some(24_000 + (i % 7) * 8_000) };
+                let f = link.open_flow(now, cap).unwrap();
+                link.send(now, f, 2_000 + (i % 5) * 1_000).unwrap();
+                open.push(f);
+                if open.len() > 64 {
+                    // Close the oldest flow, completed or not.
+                    let victim = open.remove(0);
+                    link.close_flow(now, victim);
+                }
+                now += SimDuration::from_micros(500);
+                link.advance_to(now);
+                done += link.drain_completions().len();
+            }
+            black_box(done)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_event_queue_churn,
+    bench_cpu_schedulers,
+    bench_link,
+    bench_link_churn,
+    bench_trace
+);
 criterion_main!(benches);

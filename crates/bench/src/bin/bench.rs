@@ -114,8 +114,43 @@ fn scale_cases(quick: bool) -> Vec<(u32, usize)> {
     sizes.iter().map(|&s| (s, s as usize * 100)).collect()
 }
 
-fn run_scale(servers: u32, videos: usize, quick: bool) -> ScaleTiming {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(2, 8);
+/// Interleaved best-of-`reps` timing of two deterministic runs. A
+/// single-shot timing on a shared box jitters by ~10%, which swamps the
+/// few-percent serial-vs-sharded deltas the scale rows exist to measure;
+/// alternating the sides inside one sampling loop makes clock drift hit
+/// both equally, and best-of-N converges on each side's undisturbed cost.
+#[allow(clippy::type_complexity)]
+fn timed_pair<R>(
+    reps: usize,
+    mut a: impl FnMut() -> R,
+    mut b: impl FnMut() -> R,
+) -> ((f64, R), (f64, R)) {
+    fn ms(t: Instant) -> f64 {
+        t.elapsed().as_secs_f64() * 1e3
+    }
+    let t = Instant::now();
+    let a_out = a();
+    let mut a_ms = ms(t);
+    let t = Instant::now();
+    let b_out = b();
+    let mut b_ms = ms(t);
+    for _ in 1..reps {
+        let t = Instant::now();
+        let _ = a();
+        a_ms = a_ms.min(ms(t));
+        let t = Instant::now();
+        let _ = b();
+        b_ms = b_ms.min(ms(t));
+    }
+    ((a_ms, a_out), (b_ms, b_out))
+}
+
+fn run_scale(
+    servers: u32,
+    videos: usize,
+    worker_counts: &[usize],
+    quick: bool,
+) -> Vec<ScaleTiming> {
     let horizon = SimTime::from_secs(if quick { 30 } else { 120 });
     // Scale arrival rate with the cluster so every rung runs near the same
     // per-server load (the paper's 1 q/s targets three servers).
@@ -126,27 +161,41 @@ fn run_scale(servers: u32, videos: usize, quick: bool) -> ScaleTiming {
         arrival_period: Some(quasaq_sim::SimDuration::from_micros(period_us)),
         ..ThroughputConfig::fig6()
     };
-    let sharded_cfg = ThroughputConfig { domain_workers: workers, ..serial_cfg.clone() };
     // Warm the shared-testbed cache so neither side pays catalog
     // generation inside its timed region.
     let _ = Testbed::shared(serial_cfg.testbed.clone());
 
-    let t0 = Instant::now();
-    let serial = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &serial_cfg);
-    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-    let t1 = Instant::now();
-    let sharded = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &sharded_cfg);
-    let sharded_ms = t1.elapsed().as_secs_f64() * 1e3;
-
-    ScaleTiming {
-        servers,
-        videos,
-        workers,
-        serial_ms,
-        sharded_ms,
-        bit_identical: serial == sharded,
-    }
+    // Cheap rungs get more samples — their runs are so short that a single
+    // scheduler hiccup shifts the ratio by several percent.
+    let reps = if servers <= 3 {
+        20
+    } else if servers <= 30 {
+        5
+    } else {
+        3
+    };
+    // Each worker count gets its own serial measurement, interleaved with
+    // its sharded one, so every row's ratio compares samples taken under
+    // the same machine conditions.
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let sharded_cfg = ThroughputConfig { domain_workers: workers, ..serial_cfg.clone() };
+            let ((serial_ms, serial), (sharded_ms, sharded)) = timed_pair(
+                reps,
+                || run_throughput(SystemKind::Quasaq(CostKind::Lrb), &serial_cfg),
+                || run_throughput(SystemKind::Quasaq(CostKind::Lrb), &sharded_cfg),
+            );
+            ScaleTiming {
+                servers,
+                videos,
+                workers,
+                serial_ms,
+                sharded_ms,
+                bit_identical: serial == sharded,
+            }
+        })
+        .collect()
 }
 
 fn run_suite(suite: &Suite) -> Timing {
@@ -178,7 +227,24 @@ fn run_suite(suite: &Suite) -> Timing {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    if smoke {
+        // CI determinism smoke: the 3-server quick scale case, serial vs
+        // 2-lane sharded, asserting bit-identity. Seconds, not minutes.
+        println!("smoke mode: 3-server scale determinism check ({cores} core(s))");
+        for s in run_scale(3, 300, &[2], true) {
+            println!(
+                "  serial {:>9.1} ms | sharded({}) {:>9.1} ms | bit-identical: {}",
+                s.serial_ms, s.workers, s.sharded_ms, s.bit_identical
+            );
+            assert!(s.bit_identical, "sharded scale run diverged from serial");
+        }
+        println!("smoke OK: bit_identical: true");
+        return;
+    }
+
     println!(
         "scenario-parallel benchmark: {cores} core(s), {} worker(s) for a 3-scenario suite{}",
         worker_count(3),
@@ -209,16 +275,17 @@ fn main() {
     let mut scale = Vec::new();
     for (servers, videos) in scale_cases(quick) {
         println!("running scale {servers}-server / {videos}-video ...");
-        let s = run_scale(servers, videos, quick);
-        println!(
-            "  serial {:>9.1} ms | sharded({}) {:>9.1} ms | speedup {:.2}x | bit-identical: {}",
-            s.serial_ms,
-            s.workers,
-            s.sharded_ms,
-            s.serial_ms / s.sharded_ms.max(1e-9),
-            s.bit_identical
-        );
-        scale.push(s);
+        for s in run_scale(servers, videos, &[2, 4], quick) {
+            println!(
+                "  serial {:>9.1} ms | sharded({}) {:>9.1} ms | speedup {:.2}x | bit-identical: {}",
+                s.serial_ms,
+                s.workers,
+                s.sharded_ms,
+                s.serial_ms / s.sharded_ms.max(1e-9),
+                s.bit_identical
+            );
+            scale.push(s);
+        }
     }
 
     let all_identical =

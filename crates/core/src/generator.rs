@@ -124,11 +124,15 @@ impl PlanGenerator {
             })
             .collect();
 
-        // A4 scratch buffer, reused across replicas.
+        // A4 scratch buffer, reused across replicas; likewise the
+        // per-cipher CPU shares hoisted out of the target-site fan-out.
         let mut deliveries: Vec<Option<Transcode>> = Vec::new();
+        let mut cpu_shares: Vec<f64> = Vec::new();
 
         for record in engine.replicas(request.video) {
             let spec = record.object.spec;
+            let stored_rate = record.object.rate_bps as f64;
+            let stored_fps = spec.frame_rate.fps();
             // Static QoS rule: quality only degrades, so the replica must
             // dominate the range floor.
             if !request.qos.reachable_from(&spec) {
@@ -177,19 +181,42 @@ impl PlanGenerator {
                     if FrameRate::from_fps(effective_fps.max(0.001)) < request.qos.min_frame_rate {
                         continue;
                     }
-                    for &target_server in targets {
-                        for &cipher in &ciphers {
-                            let (resources, delivered_bps) = Plan::compute_resources(
-                                record,
-                                target_server,
+                    // The delivered rate, buffer need, and per-cipher CPU
+                    // shares are properties of the activity chain alone —
+                    // compute them once here instead of once per target
+                    // site (the A2 fan-out multiplies by the cluster size).
+                    let (delivered_bps, _fps) = self.cfg.cost.delivered_rate(
+                        stored_rate,
+                        stored_fps,
+                        gop,
+                        transcode.as_ref(),
+                        drop,
+                    );
+                    let buffer_bytes = self.cfg.cost.buffer_bytes(delivered_bps);
+                    cpu_shares.clear();
+                    for &cipher in &ciphers {
+                        cpu_shares.push(
+                            self.cfg.cost.session_cpu_share(
+                                stored_rate,
+                                stored_fps,
                                 gop,
                                 transcode.as_ref(),
                                 drop,
                                 cipher,
-                                &self.cfg.cost,
+                            ) * self.cfg.cost.reservation_headroom,
+                        );
+                    }
+                    let mut delivered = base;
+                    delivered.frame_rate = FrameRate::from_fps(effective_fps);
+                    for &target_server in targets {
+                        for (&cipher, &cpu_share) in ciphers.iter().zip(&cpu_shares) {
+                            let resources = Plan::assemble_resources(
+                                record,
+                                target_server,
+                                delivered_bps,
+                                cpu_share,
+                                buffer_bytes,
                             );
-                            let mut delivered = base;
-                            delivered.frame_rate = FrameRate::from_fps(effective_fps);
                             out.push(Plan {
                                 object: record.clone(),
                                 target_server,

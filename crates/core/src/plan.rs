@@ -87,7 +87,31 @@ impl Plan {
         let cpu_share =
             cost.session_cpu_share(stored_rate, stored_fps, gop, transcode, drop, cipher)
                 * cost.reservation_headroom;
-        let mut v = ResourceVector::new();
+        let v = Plan::assemble_resources(
+            object,
+            target_server,
+            delivered_bps,
+            cpu_share,
+            cost.buffer_bytes(delivered_bps),
+        );
+        (v, delivered_bps)
+    }
+
+    /// Assembles the demand vector from target-independent figures. The
+    /// delivered rate, CPU share, and buffer size depend only on the
+    /// replica and the activity choices, so callers enumerating target
+    /// sites (the plan generator fans each delivery out across every
+    /// server) compute them once and re-run only this cheap assembly per
+    /// site.
+    pub fn assemble_resources(
+        object: &ObjectRecord,
+        target_server: ServerId,
+        delivered_bps: f64,
+        cpu_share: f64,
+        buffer_bytes: f64,
+    ) -> ResourceVector {
+        let stored_rate = object.object.rate_bps as f64;
+        let mut v = ResourceVector::with_capacity(5);
         let source = object.object.server;
         // The source site reads the replica from disk.
         v.add(ResourceKey::new(source, ResourceKind::DiskBandwidth), stored_rate);
@@ -99,11 +123,8 @@ impl Plan {
         // The target site runs the pipeline and streams to the client.
         v.add(ResourceKey::new(target_server, ResourceKind::Cpu), cpu_share.min(1.0));
         v.add(ResourceKey::new(target_server, ResourceKind::NetBandwidth), delivered_bps);
-        v.add(
-            ResourceKey::new(target_server, ResourceKind::Memory),
-            cost.buffer_bytes(delivered_bps),
-        );
-        (v, delivered_bps)
+        v.add(ResourceKey::new(target_server, ResourceKind::Memory), buffer_bytes);
+        v
     }
 }
 

@@ -17,7 +17,6 @@
 use crate::manager::{BucketFull, LeaseId, ResourceManager};
 use crate::resource::{ResourceKey, ResourceKind, ResourceVector};
 use quasaq_sim::ServerId;
-use std::collections::BTreeMap;
 
 /// A composite reservation spanning several buckets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,27 +50,47 @@ struct Reservation {
     leases: Vec<(ResourceKey, LeaseId)>,
 }
 
-/// One server's QoS resource domain: its per-kind bucket managers, plus
-/// the capacities stashed while the server is down so a later restart can
-/// re-register them at their original sizes.
+/// One server's QoS resource domain: its per-kind bucket managers (a
+/// fixed slot per [`ResourceKind`], in declaration order so bucket
+/// iteration stays sorted), plus the capacities stashed while the server
+/// is down so a later restart can re-register them at their original
+/// sizes.
 #[derive(Default)]
 struct ServerDomain {
-    managers: BTreeMap<ResourceKind, ResourceManager>,
+    managers: [Option<ResourceManager>; ResourceKind::ALL.len()],
     failed: Option<Vec<(ResourceKind, f64)>>,
+}
+
+impl ServerDomain {
+    fn is_empty(&self) -> bool {
+        self.managers.iter().all(|m| m.is_none())
+    }
 }
 
 /// Per-server bucket domains plus composite (all-or-nothing)
 /// reservations.
+///
+/// Domains live in a dense `ServerId.0`-indexed arena and reservations in
+/// a monotonic-id slab, so every lookup on the admission hot path is an
+/// array index rather than a tree walk.
 pub struct CompositeQosApi {
-    domains: BTreeMap<ServerId, ServerDomain>,
-    reservations: BTreeMap<ReservationId, Reservation>,
+    domains: Vec<ServerDomain>,
+    /// Slab indexed by `ReservationId.0`; ids are never reused, so a
+    /// released slot stays `None` (release idempotency, stale-id safety).
+    reservations: Vec<Option<Reservation>>,
+    outstanding: usize,
     next_id: u64,
 }
 
 impl CompositeQosApi {
     /// Creates an API with no managed buckets.
     pub fn new() -> Self {
-        CompositeQosApi { domains: BTreeMap::new(), reservations: BTreeMap::new(), next_id: 0 }
+        CompositeQosApi {
+            domains: Vec::new(),
+            reservations: Vec::new(),
+            outstanding: 0,
+            next_id: 0,
+        }
     }
 
     /// Builds an API for a homogeneous cluster: one domain per server,
@@ -93,28 +112,31 @@ impl CompositeQosApi {
     }
 
     fn manager(&self, key: ResourceKey) -> Option<&ResourceManager> {
-        self.domains.get(&key.server)?.managers.get(&key.kind)
+        self.domains.get(key.server.0 as usize)?.managers[key.kind as usize].as_ref()
     }
 
     fn manager_mut(&mut self, key: ResourceKey) -> Option<&mut ResourceManager> {
-        self.domains.get_mut(&key.server)?.managers.get_mut(&key.kind)
+        self.domains.get_mut(key.server.0 as usize)?.managers[key.kind as usize].as_mut()
     }
 
     /// Registers a manager for a bucket. Replaces any existing manager
     /// (and its reservations' accounting), so call only at setup time.
     pub fn register(&mut self, key: ResourceKey, capacity: f64) {
-        self.domains
-            .entry(key.server)
-            .or_default()
-            .managers
-            .insert(key.kind, ResourceManager::new(key, capacity));
+        let slot = key.server.0 as usize;
+        if slot >= self.domains.len() {
+            self.domains.resize_with(slot + 1, ServerDomain::default);
+        }
+        self.domains[slot].managers[key.kind as usize] = Some(ResourceManager::new(key, capacity));
     }
 
     /// The managed buckets, in global `(server, kind)` order.
     pub fn buckets(&self) -> impl Iterator<Item = ResourceKey> + '_ {
-        self.domains
-            .iter()
-            .flat_map(|(&s, d)| d.managers.keys().map(move |&k| ResourceKey::new(s, k)))
+        self.domains.iter().enumerate().flat_map(|(s, d)| {
+            ResourceKind::ALL
+                .iter()
+                .filter(move |&&k| d.managers[k as usize].is_some())
+                .map(move |&k| ResourceKey::new(ServerId(s as u32), k))
+        })
     }
 
     /// Capacity of a bucket (`None` when unmanaged).
@@ -132,9 +154,10 @@ impl CompositeQosApi {
         self.manager(key).map(|m| m.used())
     }
 
-    /// Number of outstanding composite reservations.
+    /// Number of outstanding composite reservations. O(1): counted, not
+    /// scanned.
     pub fn reservation_count(&self) -> usize {
-        self.reservations.len()
+        self.outstanding
     }
 
     /// Admission check without reserving: can `demand` fit right now?
@@ -188,13 +211,17 @@ impl CompositeQosApi {
         }
         let id = ReservationId(self.next_id);
         self.next_id += 1;
-        self.reservations.insert(id, Reservation { demand: demand.clone(), leases });
+        debug_assert_eq!(self.reservations.len() as u64, id.0);
+        self.reservations.push(Some(Reservation { demand: demand.clone(), leases }));
+        self.outstanding += 1;
         Ok(id)
     }
 
     /// Releases a composite reservation (idempotent).
     pub fn release(&mut self, id: ReservationId) {
-        if let Some(res) = self.reservations.remove(&id) {
+        let taken = self.reservations.get_mut(id.0 as usize).and_then(Option::take);
+        if let Some(res) = taken {
+            self.outstanding -= 1;
             for (key, lease) in res.leases {
                 if let Some(mgr) = self.manager_mut(key) {
                     mgr.release(lease);
@@ -205,7 +232,7 @@ impl CompositeQosApi {
 
     /// The demand vector held by a reservation.
     pub fn demand_of(&self, id: ReservationId) -> Option<&ResourceVector> {
-        self.reservations.get(&id).map(|r| &r.demand)
+        self.reservations.get(id.0 as usize)?.as_ref().map(|r| &r.demand)
     }
 
     /// Simulates the loss of a server: every bucket its domain hosted
@@ -217,19 +244,27 @@ impl CompositeQosApi {
         let affected: Vec<ReservationId> = self
             .reservations
             .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|r| (i, r)))
             .filter(|(_, r)| r.demand.iter().any(|(k, _)| k.server == server))
-            .map(|(&id, _)| id)
+            .map(|(i, _)| ReservationId(i as u64))
             .collect();
         for &id in &affected {
             self.release(id);
         }
-        if let Some(domain) = self.domains.get_mut(&server) {
-            if !domain.managers.is_empty() {
+        if let Some(domain) = self.domains.get_mut(server.0 as usize) {
+            if !domain.is_empty() {
                 // A second failure of an already-empty domain keeps the
                 // first stash (nothing new is lost).
-                domain.failed =
-                    Some(domain.managers.iter().map(|(&k, m)| (k, m.capacity())).collect());
-                domain.managers.clear();
+                domain.failed = Some(
+                    ResourceKind::ALL
+                        .iter()
+                        .filter_map(|&k| {
+                            domain.managers[k as usize].as_ref().map(|m| (k, m.capacity()))
+                        })
+                        .collect(),
+                );
+                domain.managers = Default::default();
             }
         }
         affected
@@ -240,7 +275,8 @@ impl CompositeQosApi {
     /// succeed again. Returns `false` when the server was not down
     /// (unknown or never failed), in which case nothing changes.
     pub fn restore_server(&mut self, server: ServerId) -> bool {
-        let Some(buckets) = self.domains.get_mut(&server).and_then(|d| d.failed.take()) else {
+        let Some(buckets) = self.domains.get_mut(server.0 as usize).and_then(|d| d.failed.take())
+        else {
             return false;
         };
         for (kind, capacity) in buckets {
@@ -251,7 +287,7 @@ impl CompositeQosApi {
 
     /// True when `server` is currently failed (its buckets unregistered).
     pub fn is_failed(&self, server: ServerId) -> bool {
-        self.domains.get(&server).is_some_and(|d| d.failed.is_some())
+        self.domains.get(server.0 as usize).is_some_and(|d| d.failed.is_some())
     }
 
     /// Renegotiates a reservation to `new_demand` atomically: on failure
@@ -266,13 +302,12 @@ impl CompositeQosApi {
         id: ReservationId,
         new_demand: &ResourceVector,
     ) -> Result<ReservationId, AdmissionError> {
-        if !self.reservations.contains_key(&id) {
+        let Some(old) = self.demand_of(id).cloned() else {
             return Err(AdmissionError::UnknownReservation(id));
-        }
+        };
         // Feasibility test against usage with the old reservation removed:
         // for each bucket, new demand must fit within available + old
         // share.
-        let old = self.reservations[&id].demand.clone();
         for (key, amount) in new_demand.iter() {
             let mgr = self.manager(key).ok_or(AdmissionError::UnknownBucket(key))?;
             let slack = mgr.available() + old.get(key);

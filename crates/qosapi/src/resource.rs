@@ -7,7 +7,6 @@
 //! resource vector)" — with one entry per (server, resource-kind) bucket.
 
 use quasaq_sim::ServerId;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A kind of reservable resource.
@@ -68,9 +67,17 @@ impl fmt::Display for ResourceKey {
 
 /// A sparse vector of resource demands (or capacities), keyed by bucket.
 /// Amounts are in each kind's native unit and must be non-negative.
+///
+/// Demand vectors are tiny (a streaming plan touches at most five buckets:
+/// disk and net at the source, cpu/net/memory at the target), and the plan
+/// generator builds one per candidate plan — millions per scale run. The
+/// entries therefore live in a single sorted `Vec` rather than a tree: one
+/// allocation per vector, binary-searched lookups, and cache-line iteration
+/// in the admission and LRB hot paths. Iteration order (ascending
+/// `ResourceKey`) is identical to the previous tree-backed layout.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ResourceVector {
-    entries: BTreeMap<ResourceKey, f64>,
+    entries: Vec<(ResourceKey, f64)>,
 }
 
 impl ResourceVector {
@@ -79,14 +86,26 @@ impl ResourceVector {
         ResourceVector::default()
     }
 
+    /// The empty vector with room for `n` buckets before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        ResourceVector { entries: Vec::with_capacity(n) }
+    }
+
+    fn position(&self, key: ResourceKey) -> Result<usize, usize> {
+        self.entries.binary_search_by(|&(k, _)| k.cmp(&key))
+    }
+
     /// Sets the demand for one bucket, replacing any previous value.
     /// Zero demands are dropped from the vector.
     pub fn set(&mut self, key: ResourceKey, amount: f64) -> &mut Self {
         assert!(amount >= 0.0 && amount.is_finite(), "resource amounts must be non-negative");
-        if amount == 0.0 {
-            self.entries.remove(&key);
-        } else {
-            self.entries.insert(key, amount);
+        match self.position(key) {
+            Ok(i) if amount == 0.0 => {
+                self.entries.remove(i);
+            }
+            Ok(i) => self.entries[i].1 = amount,
+            Err(_) if amount == 0.0 => {}
+            Err(i) => self.entries.insert(i, (key, amount)),
         }
         self
     }
@@ -95,7 +114,10 @@ impl ResourceVector {
     pub fn add(&mut self, key: ResourceKey, amount: f64) -> &mut Self {
         assert!(amount >= 0.0 && amount.is_finite(), "resource amounts must be non-negative");
         if amount > 0.0 {
-            *self.entries.entry(key).or_insert(0.0) += amount;
+            match self.position(key) {
+                Ok(i) => self.entries[i].1 += amount,
+                Err(i) => self.entries.insert(i, (key, amount)),
+            }
         }
         self
     }
@@ -108,12 +130,15 @@ impl ResourceVector {
 
     /// The demand on a bucket (0 when absent).
     pub fn get(&self, key: ResourceKey) -> f64 {
-        self.entries.get(&key).copied().unwrap_or(0.0)
+        match self.position(key) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
     }
 
     /// Non-zero entries in bucket order.
     pub fn iter(&self) -> impl Iterator<Item = (ResourceKey, f64)> + '_ {
-        self.entries.iter().map(|(&k, &v)| (k, v))
+        self.entries.iter().copied()
     }
 
     /// True when all demands are zero.

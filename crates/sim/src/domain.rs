@@ -26,7 +26,6 @@ use crate::time::SimTime;
 use crate::topology::ServerId;
 use crate::{FlowId, XferId};
 use std::cell::UnsafeCell;
-use std::collections::HashMap;
 
 /// Strategy for stepping `n` independent per-server domains.
 ///
@@ -71,14 +70,18 @@ unsafe impl DomainStepper for SerialStepper {
 pub struct LinkDomain<T> {
     server: ServerId,
     link: SharedLink,
-    xfers: HashMap<XferId, (FlowId, T)>,
+    /// Transfer registry as a slab indexed by `XferId`: the link hands out
+    /// ids monotonically from zero, so `xfers[id]` is a dense direct-index
+    /// lookup instead of a hash probe on the completion hot path.
+    xfers: Vec<Option<(FlowId, T)>>,
+    in_flight: usize,
     pending: Vec<XferDone>,
 }
 
 impl<T> LinkDomain<T> {
     /// Wraps an existing link as a domain for `server`.
     pub fn new(server: ServerId, link: SharedLink) -> Self {
-        LinkDomain { server, link, xfers: HashMap::new(), pending: Vec::new() }
+        LinkDomain { server, link, xfers: Vec::new(), in_flight: 0, pending: Vec::new() }
     }
 
     /// Builds the domain with a fresh link under the given policy.
@@ -120,17 +123,27 @@ impl<T> LinkDomain<T> {
 
     /// Registers an in-flight transfer with its flow and engine tag.
     pub fn register(&mut self, xfer: XferId, flow: FlowId, tag: T) {
-        self.xfers.insert(xfer, (flow, tag));
+        let idx = xfer.0 as usize;
+        if idx >= self.xfers.len() {
+            self.xfers.resize_with(idx + 1, || None);
+        }
+        if self.xfers[idx].replace((flow, tag)).is_none() {
+            self.in_flight += 1;
+        }
     }
 
     /// Removes a completed transfer from the registry, returning its tag.
     pub fn resolve(&mut self, xfer: XferId) -> Option<T> {
-        self.xfers.remove(&xfer).map(|(_, tag)| tag)
+        let entry = self.xfers.get_mut(xfer.0 as usize)?.take();
+        if entry.is_some() {
+            self.in_flight -= 1;
+        }
+        entry.map(|(_, tag)| tag)
     }
 
     /// Number of registered in-flight transfers.
     pub fn in_flight(&self) -> usize {
-        self.xfers.len()
+        self.in_flight
     }
 
     /// Earliest future event on this domain's link.
@@ -143,13 +156,27 @@ impl<T> LinkDomain<T> {
     /// touches nothing outside this domain.
     pub fn step_to(&mut self, t: SimTime) {
         self.link.advance_to(t);
-        self.pending.extend(self.link.drain_completions());
+        self.link.drain_completions_into(&mut self.pending);
     }
 
     /// Removes and returns the completions buffered by [`step_to`]
     /// (`LinkDomain::step_to`), in the order the link produced them.
     pub fn take_pending(&mut self) -> Vec<XferDone> {
         std::mem::take(&mut self.pending)
+    }
+
+    /// Number of completions buffered by [`step_to`](LinkDomain::step_to)
+    /// and not yet consumed — the merge phase's cheap skip-clean-domain
+    /// check.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Appends the buffered completions onto `out`, keeping the internal
+    /// buffer's capacity — the allocation-free alternative to
+    /// [`take_pending`](LinkDomain::take_pending) for batched merge loops.
+    pub fn drain_pending_into(&mut self, out: &mut Vec<XferDone>) {
+        out.append(&mut self.pending);
     }
 
     /// True when completions are waiting — buffered here or still inside
@@ -168,7 +195,14 @@ impl<T> LinkDomain<T> {
     /// Drops registry entries whose tag fails `keep` (crash cleanup for
     /// engines that close flows through other bookkeeping).
     pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
-        self.xfers.retain(|_, (_, tag)| keep(tag));
+        for entry in self.xfers.iter_mut() {
+            if let Some((_, tag)) = entry {
+                if !keep(tag) {
+                    *entry = None;
+                    self.in_flight -= 1;
+                }
+            }
+        }
     }
 }
 
@@ -181,12 +215,13 @@ impl<T: Copy + Ord> LinkDomain<T> {
     pub fn cut(&mut self, now: SimTime, mut live: impl FnMut(&T) -> bool) -> Vec<(T, f64)> {
         self.link.advance_to(now);
         let mut displaced: Vec<(T, FlowId)> = Vec::new();
-        for (_, &(flow, tag)) in self.xfers.iter() {
-            if live(&tag) {
-                displaced.push((tag, flow));
+        for (flow, tag) in self.xfers.iter().flatten() {
+            if live(tag) {
+                displaced.push((*tag, *flow));
             }
         }
         self.xfers.clear();
+        self.in_flight = 0;
         displaced.sort_by_key(|&(tag, _)| tag);
         let mut out = Vec::with_capacity(displaced.len());
         for (tag, flow) in displaced {

@@ -15,9 +15,26 @@
 //! submit transfers, query [`SharedLink::next_event`], advance, drain
 //! completions. Disks are the same abstraction with a different capacity,
 //! so the storage layer reuses `SharedLink`.
+//!
+//! # Layout
+//!
+//! Flow state lives in a struct-of-arrays arena (`slots` plus a free list)
+//! instead of a `BTreeMap<FlowId, Flow>`: public [`FlowId`]s stay monotonic
+//! (so ids are never reused and stale handles fail cleanly), and a dense
+//! `slot_of` table maps them to reusable slots. Two small sorted index
+//! vectors track the backlogged set incrementally — `active_by_id`
+//! (ascending `FlowId`, the completion-scan and Reserved-allocation order)
+//! and `wf` (ascending `(cap, FlowId)`, the water-filling order) — so the
+//! fair-share allocation is rebuilt in one O(backlogged) pass with no
+//! sorting and no scan over idle flows, and `backlogged_flows` /
+//! `backlog_bytes` read running state instead of walking every flow. The
+//! arithmetic (water-fill order, per-step drains, completion rounding) is
+//! kept operation-for-operation identical to the original map-based
+//! implementation so results are bit-identical; the proptests hold the two
+//! to exact equality.
 
 use crate::time::{SimDuration, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Identifies an open flow (one streaming session's use of a link).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -87,13 +104,30 @@ impl std::fmt::Display for LinkError {
 
 impl std::error::Error for LinkError {}
 
+/// Sentinel in `slot_of` for closed flows.
+const NO_SLOT: u32 = u32::MAX;
+
 #[derive(Debug)]
-struct Flow {
+struct FlowSlot {
+    /// Public id of the flow currently occupying this slot.
+    id: u64,
     /// Reserved rate (Reserved policy) or pacing cap (FairShare, 0 = no
     /// cap), in bytes/second.
     rate_bps: u64,
-    /// FIFO of `(transfer, remaining bytes)`.
+    /// FIFO of `(transfer, remaining bytes)`. Kept allocated across slot
+    /// reuse so steady-state churn does not touch the allocator.
     queue: VecDeque<(XferId, f64)>,
+}
+
+impl FlowSlot {
+    /// Water-filling cap: 0 means unconstrained.
+    fn cap(&self) -> f64 {
+        if self.rate_bps == 0 {
+            f64::INFINITY
+        } else {
+            self.rate_bps as f64
+        }
+    }
 }
 
 /// A fluid-flow shared bandwidth resource.
@@ -102,18 +136,35 @@ pub struct SharedLink {
     capacity_bps: u64,
     policy: SharePolicy,
     now: SimTime,
-    flows: BTreeMap<FlowId, Flow>,
+    /// Flow arena; `free` lists reusable entries.
+    slots: Vec<FlowSlot>,
+    free: Vec<u32>,
+    /// Dense map from public flow id to slot (`NO_SLOT` once closed).
+    slot_of: Vec<u32>,
+    /// Backlogged slots in ascending public-id order: the completion-scan
+    /// order and the Reserved allocation order.
+    active_by_id: Vec<u32>,
+    /// FairShare only: backlogged slots as `(cap, slot)` in ascending
+    /// `(cap, FlowId)` order — exactly the order the original
+    /// implementation produced by sorting on every allocation rebuild.
+    wf: Vec<(f64, u32)>,
     reserved_total: u64,
     completions: Vec<XferDone>,
     next_flow: u64,
     next_xfer: u64,
-    /// Memoized result of the water-filling allocation. The allocation
-    /// depends only on the set of backlogged flows and their caps, so it
-    /// stays valid while the fluid model merely drains bytes; it is
-    /// invalidated whenever that set can change (open/close/send/drain-to-
-    /// idle). This keeps `advance_to`'s inner loop from re-sorting the
-    /// active set at every step.
-    rates_cache: Option<Vec<(FlowId, f64)>>,
+    /// True when a zero-byte transfer sits at some flow's queue front and
+    /// no advance step has run since: the only way a sub-tolerance front
+    /// can exist at rest, and the only case where `advance_to(now)` still
+    /// has completions to pop.
+    zero_front_pending: bool,
+    /// Memoized result of the water-filling allocation as `(slot, rate)`
+    /// pairs in allocation order. The allocation depends only on the set of
+    /// backlogged flows and their caps, so it stays valid while the fluid
+    /// model merely drains bytes; it is invalidated whenever that set
+    /// changes (idle->backlogged send, backlogged close, drain-to-idle,
+    /// capacity change). Rebuilding is a single pass over the maintained
+    /// `wf`/`active_by_id` order — no sort, no idle-flow scan.
+    rates_cache: Option<Vec<(u32, f64)>>,
 }
 
 impl SharedLink {
@@ -133,11 +184,16 @@ impl SharedLink {
             capacity_bps,
             policy,
             now: SimTime::ZERO,
-            flows: BTreeMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            slot_of: Vec::new(),
+            active_by_id: Vec::new(),
+            wf: Vec::new(),
             reserved_total: 0,
             completions: Vec::new(),
             next_flow: 0,
             next_xfer: 0,
+            zero_front_pending: false,
             rates_cache: None,
         }
     }
@@ -180,17 +236,75 @@ impl SharedLink {
 
     /// Number of open flows.
     pub fn open_flows(&self) -> usize {
-        self.flows.len()
+        self.slots.len() - self.free.len()
     }
 
-    /// Number of flows with queued bytes.
+    /// Number of flows with queued bytes. O(1): reads the maintained
+    /// backlogged index.
     pub fn backlogged_flows(&self) -> usize {
-        self.flows.values().filter(|f| !f.queue.is_empty()).count()
+        self.active_by_id.len()
     }
 
-    /// Total bytes still queued across all flows.
+    /// Total bytes still queued across all flows. O(backlogged queue
+    /// entries): walks only the backlogged index, in the same id-then-FIFO
+    /// order (and therefore with the same float rounding) as a scan over
+    /// every flow — idle flows contribute no terms.
     pub fn backlog_bytes(&self) -> f64 {
-        self.flows.values().flat_map(|f| f.queue.iter().map(|&(_, b)| b)).sum()
+        self.active_by_id
+            .iter()
+            .flat_map(|&s| self.slots[s as usize].queue.iter().map(|&(_, b)| b))
+            .sum()
+    }
+
+    /// Looks up a flow's slot, if it is open.
+    fn slot(&self, flow: FlowId) -> Option<u32> {
+        match self.slot_of.get(flow.0 as usize) {
+            Some(&s) if s != NO_SLOT => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Inserts `slot` into the backlogged indexes (idle -> backlogged).
+    fn mark_backlogged(&mut self, slot: u32) {
+        let id = self.slots[slot as usize].id;
+        let slots = &self.slots;
+        let pos =
+            self.active_by_id.binary_search_by(|&s| slots[s as usize].id.cmp(&id)).unwrap_err();
+        self.active_by_id.insert(pos, slot);
+        if self.policy == SharePolicy::FairShare {
+            let cap = self.slots[slot as usize].cap();
+            let pos = self
+                .wf
+                .binary_search_by(|&(c, s)| c.total_cmp(&cap).then(slots[s as usize].id.cmp(&id)))
+                .unwrap_err();
+            self.wf.insert(pos, (cap, slot));
+        }
+    }
+
+    /// Removes `slot` from the backlogged indexes (backlogged -> gone).
+    fn unmark_backlogged(&mut self, slot: u32) {
+        let id = self.slots[slot as usize].id;
+        let slots = &self.slots;
+        if let Ok(pos) = self.active_by_id.binary_search_by(|&s| slots[s as usize].id.cmp(&id)) {
+            self.active_by_id.remove(pos);
+        }
+        self.remove_from_wf(slot);
+    }
+
+    /// Removes `slot` from the water-filling index (FairShare only).
+    fn remove_from_wf(&mut self, slot: u32) {
+        if self.policy != SharePolicy::FairShare {
+            return;
+        }
+        let id = self.slots[slot as usize].id;
+        let cap = self.slots[slot as usize].cap();
+        let slots = &self.slots;
+        if let Ok(pos) = self
+            .wf
+            .binary_search_by(|&(c, s)| c.total_cmp(&cap).then(slots[s as usize].id.cmp(&id)))
+        {
+            self.wf.remove(pos);
+        }
     }
 
     /// Opens a flow. Under [`SharePolicy::Reserved`] a rate must be given
@@ -211,9 +325,24 @@ impl SharedLink {
         };
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
-        self.flows.insert(id, Flow { rate_bps: rate, queue: VecDeque::new() });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let f = &mut self.slots[s as usize];
+                f.id = id.0;
+                f.rate_bps = rate;
+                debug_assert!(f.queue.is_empty());
+                s
+            }
+            None => {
+                self.slots.push(FlowSlot { id: id.0, rate_bps: rate, queue: VecDeque::new() });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slot_of.push(slot);
+        debug_assert_eq!(self.slot_of.len() as u64, self.next_flow);
         self.reserved_total += reserved;
-        self.rates_cache = None;
+        // A new flow opens idle: the backlogged set — and therefore the
+        // allocation — is unchanged, so the rates cache stays valid.
         Ok(id)
     }
 
@@ -221,12 +350,18 @@ impl SharedLink {
     /// reservation.
     pub fn close_flow(&mut self, now: SimTime, flow: FlowId) {
         self.advance_to(now);
-        if let Some(f) = self.flows.remove(&flow) {
-            if self.policy == SharePolicy::Reserved {
-                self.reserved_total -= f.rate_bps;
-            }
+        let Some(slot) = self.slot(flow) else { return };
+        if !self.slots[slot as usize].queue.is_empty() {
+            self.unmark_backlogged(slot);
             self.rates_cache = None;
         }
+        let f = &mut self.slots[slot as usize];
+        if self.policy == SharePolicy::Reserved {
+            self.reserved_total -= f.rate_bps;
+        }
+        f.queue.clear();
+        self.slot_of[flow.0 as usize] = NO_SLOT;
+        self.free.push(slot);
     }
 
     /// Queues `bytes` for transmission on `flow`. Fails with
@@ -234,22 +369,30 @@ impl SharedLink {
     /// already been closed.
     pub fn send(&mut self, now: SimTime, flow: FlowId, bytes: u64) -> Result<XferId, LinkError> {
         self.advance_to(now);
-        let f = self.flows.get_mut(&flow).ok_or(LinkError::UnknownFlow(flow))?;
+        let slot = self.slot(flow).ok_or(LinkError::UnknownFlow(flow))?;
         let id = XferId(self.next_xfer);
         self.next_xfer += 1;
-        if f.queue.is_empty() {
+        let f = &mut self.slots[slot as usize];
+        let was_idle = f.queue.is_empty();
+        f.queue.push_back((id, bytes as f64));
+        if was_idle {
             // Idle -> backlogged changes the active set; queueing behind an
             // existing transfer does not.
+            self.mark_backlogged(slot);
             self.rates_cache = None;
+            if bytes == 0 {
+                self.zero_front_pending = true;
+            }
         }
-        f.queue.push_back((id, bytes as f64));
         Ok(id)
     }
 
     /// Bytes still queued on one flow (0 for unknown/closed flows). This is
     /// what a failover path needs to resume a displaced transfer elsewhere.
     pub fn flow_backlog_bytes(&self, flow: FlowId) -> f64 {
-        self.flows.get(&flow).map(|f| f.queue.iter().map(|&(_, b)| b).sum()).unwrap_or(0.0)
+        self.slot(flow)
+            .map(|s| self.slots[s as usize].queue.iter().map(|&(_, b)| b).sum())
+            .unwrap_or(0.0)
     }
 
     /// Instantaneous per-flow transmission rates for all backlogged flows.
@@ -258,46 +401,54 @@ impl SharedLink {
     /// `FairShare`, rates are the max-min fair (water-filling) allocation
     /// of the capacity subject to each flow's pacing cap.
     pub fn current_rates(&self) -> Vec<(FlowId, f64)> {
+        let project = |rates: &[(u32, f64)]| -> Vec<(FlowId, f64)> {
+            rates.iter().map(|&(s, r)| (FlowId(self.slots[s as usize].id), r)).collect()
+        };
         match &self.rates_cache {
-            Some(rates) => rates.clone(),
-            None => self.compute_rates(),
+            Some(rates) => project(rates),
+            None => project(&self.compute_rates_slots()),
         }
     }
 
-    /// Computes the allocation from scratch (cache miss path).
+    /// Public-id projection of [`Self::compute_rates_slots`] (from-scratch
+    /// allocation; the rate-cache regression test diffs it against
+    /// [`Self::current_rates`]).
+    #[cfg(test)]
     fn compute_rates(&self) -> Vec<(FlowId, f64)> {
+        self.compute_rates_slots()
+            .into_iter()
+            .map(|(s, r)| (FlowId(self.slots[s as usize].id), r))
+            .collect()
+    }
+
+    /// Computes the allocation from the maintained backlogged indexes
+    /// (cache miss path): `active_by_id` already holds the Reserved
+    /// allocation order and `wf` the water-filling order, so no sorting and
+    /// no scan over idle flows — one pass over the backlogged set. The
+    /// water-fill arithmetic is order-identical to sorting the active set
+    /// afresh, so the resulting rates are bit-identical.
+    fn compute_rates_slots(&self) -> Vec<(u32, f64)> {
         match self.policy {
             SharePolicy::Reserved => self
-                .flows
+                .active_by_id
                 .iter()
-                .filter(|(_, f)| !f.queue.is_empty())
-                .map(|(&id, f)| (id, f.rate_bps as f64))
+                .map(|&s| (s, self.slots[s as usize].rate_bps as f64))
                 .collect(),
             SharePolicy::FairShare => {
-                let mut active: Vec<(FlowId, f64)> = self
-                    .flows
-                    .iter()
-                    .filter(|(_, f)| !f.queue.is_empty())
-                    .map(|(&id, f)| {
-                        let cap = if f.rate_bps == 0 { f64::INFINITY } else { f.rate_bps as f64 };
-                        (id, cap)
-                    })
-                    .collect();
-                // Water-filling: tight caps first.
-                active.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                // Water-filling: tight caps first (`wf` order).
                 let mut remaining = self.capacity_bps as f64;
-                let mut rates = Vec::with_capacity(active.len());
+                let mut rates = Vec::with_capacity(self.wf.len());
                 let mut i = 0;
-                while i < active.len() {
-                    let share = (remaining / (active.len() - i) as f64).max(0.0);
-                    let (id, cap) = active[i];
+                while i < self.wf.len() {
+                    let share = (remaining / (self.wf.len() - i) as f64).max(0.0);
+                    let (cap, slot) = self.wf[i];
                     if cap <= share {
-                        rates.push((id, cap));
+                        rates.push((slot, cap));
                         remaining = (remaining - cap).max(0.0);
                         i += 1;
                     } else {
-                        for &(id2, _) in &active[i..] {
-                            rates.push((id2, share));
+                        for &(_, s2) in &self.wf[i..] {
+                            rates.push((s2, share));
                         }
                         break;
                     }
@@ -314,13 +465,20 @@ impl SharedLink {
 
     /// Earliest future transfer completion, or `None` when fully idle.
     pub fn next_event(&self) -> Option<SimTime> {
+        let computed;
+        let rates = match &self.rates_cache {
+            Some(rates) => rates.as_slice(),
+            None => {
+                computed = self.compute_rates_slots();
+                computed.as_slice()
+            }
+        };
         let mut best: Option<SimDuration> = None;
-        for (id, rate) in self.current_rates() {
+        for &(slot, rate) in rates {
             if rate <= 0.0 {
                 continue;
             }
-            let f = &self.flows[&id];
-            let Some(&(_, bytes)) = f.queue.front() else { continue };
+            let Some(&(_, bytes)) = self.slots[slot as usize].queue.front() else { continue };
             let secs = bytes / rate;
             // Round *up* to the next microsecond: the completing transfer
             // must have fully drained by the event time, or residue smaller
@@ -337,22 +495,28 @@ impl SharedLink {
     /// Advances the fluid model to `t`.
     pub fn advance_to(&mut self, t: SimTime) {
         assert!(t >= self.now, "advance_to into the past");
+        if t == self.now && !self.zero_front_pending {
+            // Zero elapsed time drains zero bytes and — absent a zero-byte
+            // front — pops nothing, so the state cannot change. This makes
+            // the `advance_to(now)` calls inside open/close/send O(1).
+            return;
+        }
         loop {
             // Take the allocation (computing it only on a cache miss); the
             // owned Vec sidesteps borrowing `self` while flows are mutated.
             let rates = match self.rates_cache.take() {
                 Some(rates) => rates,
-                None => self.compute_rates(),
+                None => self.compute_rates_slots(),
             };
             // Earliest completion at these rates (same rounding as
             // `next_event`: up to the next microsecond so the completing
             // transfer has fully drained by the event time).
             let mut best: Option<SimDuration> = None;
-            for &(id, rate) in &rates {
+            for &(slot, rate) in &rates {
                 if rate <= 0.0 {
                     continue;
                 }
-                let Some(&(_, bytes)) = self.flows[&id].queue.front() else { continue };
+                let Some(&(_, bytes)) = self.slots[slot as usize].queue.front() else { continue };
                 let d = SimDuration::from_micros((bytes / rate * 1e6).ceil() as u64);
                 best = Some(match best {
                     Some(b) => b.min(d),
@@ -370,33 +534,48 @@ impl SharedLink {
             let step = step_end - self.now;
             // Drain bytes proportionally to each flow's current rate.
             let secs = step.as_secs_f64();
-            for &(id, rate) in &rates {
+            for &(slot, rate) in &rates {
                 if rate <= 0.0 {
                     continue;
                 }
-                let f = self.flows.get_mut(&id).expect("flow");
-                if let Some(front) = f.queue.front_mut() {
+                if let Some(front) = self.slots[slot as usize].queue.front_mut() {
                     front.1 -= rate * secs;
                 }
             }
             self.now = step_end;
-            // Pop transfers that completed (tolerance for float residue). A
-            // flow moving on to its next queued transfer keeps the same
-            // allocation; only a backlogged->idle transition invalidates it.
+            // Pop transfers that completed (tolerance for float residue),
+            // scanning backlogged flows in id order and compacting the
+            // index in place. A flow moving on to its next queued transfer
+            // keeps the same allocation; only a backlogged->idle transition
+            // invalidates it.
             let mut drained_to_idle = false;
-            for (&id, f) in self.flows.iter_mut() {
+            let mut kept = 0;
+            let mut scanned = 0;
+            while scanned < self.active_by_id.len() {
+                let slot = self.active_by_id[scanned];
+                scanned += 1;
+                let f = &mut self.slots[slot as usize];
+                let id = f.id;
                 let mut popped = false;
                 while let Some(&(xfer, bytes)) = f.queue.front() {
                     if bytes <= 1e-6 {
                         f.queue.pop_front();
                         popped = true;
-                        self.completions.push(XferDone { flow: id, xfer, at: self.now });
+                        self.completions.push(XferDone { flow: FlowId(id), xfer, at: step_end });
                     } else {
                         break;
                     }
                 }
-                drained_to_idle |= popped && f.queue.is_empty();
+                if popped && self.slots[slot as usize].queue.is_empty() {
+                    drained_to_idle = true;
+                    self.remove_from_wf(slot);
+                } else {
+                    self.active_by_id[kept] = slot;
+                    kept += 1;
+                }
             }
+            self.active_by_id.truncate(kept);
+            self.zero_front_pending = false;
             if !drained_to_idle {
                 self.rates_cache = Some(rates);
             }
@@ -417,6 +596,13 @@ impl SharedLink {
     /// Removes and returns completions recorded so far.
     pub fn drain_completions(&mut self) -> Vec<XferDone> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Appends completions recorded so far onto `out` without giving up the
+    /// internal buffer — the allocation-free batching path for per-domain
+    /// merge loops.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<XferDone>) {
+        out.append(&mut self.completions);
     }
 }
 
@@ -699,5 +885,55 @@ mod tests {
         link.send(SimTime::from_secs(5), f, 100 * KB).unwrap();
         let done = run_until_idle(&mut link, SimTime::from_secs(10));
         assert!((done[0].at.as_secs_f64() - 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backlog_counters_track_transitions() {
+        let mut link = SharedLink::fair_share(1000 * KB);
+        assert_eq!(link.backlogged_flows(), 0);
+        let a = link.open_flow(SimTime::ZERO, None).unwrap();
+        let b = link.open_flow(SimTime::ZERO, None).unwrap();
+        assert_eq!((link.open_flows(), link.backlogged_flows()), (2, 0));
+        link.send(SimTime::ZERO, a, 100 * KB).unwrap();
+        link.send(SimTime::ZERO, a, 100 * KB).unwrap();
+        link.send(SimTime::ZERO, b, 50 * KB).unwrap();
+        assert_eq!(link.backlogged_flows(), 2);
+        assert_eq!(link.backlog_bytes(), 250_000.0);
+        // b (500 KB/s share) drains at 0.1 s; a still has its second xfer.
+        link.advance_to(SimTime::from_millis(200));
+        assert_eq!(link.backlogged_flows(), 1);
+        link.close_flow(SimTime::from_millis(200), a);
+        assert_eq!((link.open_flows(), link.backlogged_flows()), (1, 0));
+        assert_eq!(link.backlog_bytes(), 0.0);
+    }
+
+    #[test]
+    fn slot_reuse_keeps_public_ids_distinct() {
+        let mut link = SharedLink::fair_share(1000 * KB);
+        let a = link.open_flow(SimTime::ZERO, None).unwrap();
+        link.send(SimTime::ZERO, a, 10 * KB).unwrap();
+        link.close_flow(SimTime::ZERO, a);
+        // The new flow reuses a's arena slot but gets a fresh public id;
+        // a's id stays dead.
+        let b = link.open_flow(SimTime::ZERO, None).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(link.send(SimTime::ZERO, a, KB).unwrap_err(), LinkError::UnknownFlow(a));
+        link.send(SimTime::ZERO, b, 10 * KB).unwrap();
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].flow, b);
+    }
+
+    #[test]
+    fn zero_byte_send_completes_at_next_advance() {
+        let mut link = SharedLink::fair_share(1000 * KB);
+        let f = link.open_flow(SimTime::ZERO, None).unwrap();
+        let x = link.send(SimTime::ZERO, f, 0).unwrap();
+        assert_eq!(link.next_event(), Some(SimTime::ZERO));
+        link.advance_to(SimTime::ZERO);
+        let done = link.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!((done[0].xfer, done[0].at), (x, SimTime::ZERO));
+        assert_eq!(link.backlogged_flows(), 0);
     }
 }

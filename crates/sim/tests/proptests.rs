@@ -3,10 +3,15 @@
 use proptest::prelude::*;
 use quasaq_sim::cpu::{CpuScheduler, Dsrt, DsrtConfig, TimeSharing};
 use quasaq_sim::link::SharePolicy;
+use quasaq_sim::queue::reference::ReferenceQueue;
 use quasaq_sim::{
     step_domains, DomainStepper, EventQueue, LinkDomain, OnlineStats, Rng, SerialStepper, ServerId,
     SharedLink, SimDuration, SimTime,
 };
+
+#[path = "support/old_link.rs"]
+mod old_link;
+use old_link::OracleLink;
 
 /// A deliberately adversarial stepper: spawns one scoped thread per chunk
 /// so domain steps genuinely interleave across threads.
@@ -321,5 +326,150 @@ proptest! {
             prop_assert_eq!(x, b.below(bound));
             prop_assert!(x < bound);
         }
+    }
+
+    /// The timing-wheel event queue is event-for-event identical to the
+    /// reference binary-heap queue under random schedule / cancel / pop /
+    /// peek traces, including `(time, seq)` tie order, tombstoned
+    /// cancellations, and cancels issued after the event already fired.
+    #[test]
+    fn timing_wheel_matches_reference_heap(
+        ops in proptest::collection::vec((0u8..5, 0u64..200_000, any::<usize>()), 1..400),
+    ) {
+        let mut wheel: EventQueue<u32> = EventQueue::new();
+        let mut heap: ReferenceQueue<u32> = ReferenceQueue::new();
+        // Parallel id logs: the k-th schedule produced ids[k] in each
+        // queue. Popped/cancelled ids stay in the log so a later cancel
+        // exercises the fired-tombstone path.
+        let mut wheel_ids = Vec::new();
+        let mut heap_ids = Vec::new();
+        for (i, &(op, offset, pick)) in ops.iter().enumerate() {
+            match op {
+                // Bias towards scheduling (two opcodes) so traces grow.
+                0 | 1 => {
+                    wheel_ids.push(wheel.schedule_in(SimDuration::from_micros(offset), i as u32));
+                    heap_ids.push(heap.schedule_in(SimDuration::from_micros(offset), i as u32));
+                }
+                2 => {
+                    if !wheel_ids.is_empty() {
+                        let k = pick % wheel_ids.len();
+                        wheel.cancel(wheel_ids[k]);
+                        heap.cancel(heap_ids[k]);
+                    }
+                }
+                3 => {
+                    prop_assert_eq!(wheel.pop(), heap.pop(), "pop diverged at op {}", i);
+                }
+                _ => {
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time(), "peek diverged at op {}", i);
+                }
+            }
+            prop_assert_eq!(wheel.live_len(), heap.live_len(), "live_len diverged at op {}", i);
+        }
+        // Drain both to the end: the full tails must agree element-wise.
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b, "tail drain diverged");
+            prop_assert_eq!(wheel.now(), heap.now());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// The arena-backed `SharedLink` behaves bit-identically to the old
+    /// map-based implementation under random open / close / send / advance
+    /// traces, on both sharing policies: same admission results, same flow
+    /// ids, same rates, same event times, and the same completion stream.
+    #[test]
+    fn arena_link_matches_map_oracle(
+        reserved in proptest::bool::ANY,
+        ops in proptest::collection::vec((0u8..6, 0u64..8, any::<usize>()), 1..250),
+    ) {
+        const CAPACITY: u64 = 1_000_000;
+        let (mut arena, mut oracle) = if reserved {
+            (SharedLink::reserved(CAPACITY), OracleLink::reserved(CAPACITY))
+        } else {
+            (SharedLink::fair_share(CAPACITY), OracleLink::fair_share(CAPACITY))
+        };
+        let mut now = SimTime::ZERO;
+        let mut flows = Vec::new();
+        for (i, &(op, arg, pick)) in ops.iter().enumerate() {
+            match op {
+                0 | 1 => {
+                    // Open with a rate drawn from a small menu so Reserved
+                    // links saturate and FairShare caps collide (equal-cap
+                    // water-filling ties are the interesting case).
+                    let rate = match arg {
+                        0 => None,
+                        r => Some(r * CAPACITY / 8),
+                    };
+                    let (ra, ro) = (arena.open_flow(now, rate), oracle.open_flow(now, rate));
+                    prop_assert_eq!(&ra, &ro, "open diverged at op {}", i);
+                    if let Ok(id) = ra {
+                        flows.push(id);
+                    }
+                }
+                2 => {
+                    if !flows.is_empty() {
+                        // Close ids even after they were closed: the
+                        // idempotent path must agree too.
+                        let f = flows[pick % flows.len()];
+                        arena.close_flow(now, f);
+                        oracle.close_flow(now, f);
+                    }
+                }
+                3 => {
+                    if !flows.is_empty() {
+                        let f = flows[pick % flows.len()];
+                        let bytes = (arg + 1) * 40_000;
+                        prop_assert_eq!(
+                            arena.send(now, f, bytes),
+                            oracle.send(now, f, bytes),
+                            "send diverged at op {}",
+                            i
+                        );
+                    }
+                }
+                4 => {
+                    now += SimDuration::from_micros(arg * 125_000);
+                    arena.advance_to(now);
+                    oracle.advance_to(now);
+                }
+                _ => {
+                    prop_assert_eq!(
+                        arena.drain_completions(),
+                        oracle.drain_completions(),
+                        "completion stream diverged at op {}",
+                        i
+                    );
+                }
+            }
+            prop_assert_eq!(arena.open_flows(), oracle.open_flows());
+            prop_assert_eq!(arena.backlogged_flows(), oracle.backlogged_flows());
+            prop_assert_eq!(arena.backlog_bytes(), oracle.backlog_bytes(), "backlog at op {}", i);
+            prop_assert_eq!(arena.reserved_bps(), oracle.reserved_bps());
+            prop_assert_eq!(arena.next_event(), oracle.next_event(), "next_event at op {}", i);
+            // Rates must agree per flow; the reporting order is allowed to
+            // differ (slot order vs id order inside equal-cap tie groups).
+            let mut ra = arena.current_rates();
+            let mut ro = oracle.current_rates();
+            ra.sort_by_key(|r| r.0);
+            ro.sort_by_key(|r| r.0);
+            prop_assert_eq!(ra, ro, "rates diverged at op {}", i);
+            for &f in &flows {
+                prop_assert_eq!(arena.flow_backlog_bytes(f), oracle.flow_backlog_bytes(f));
+            }
+        }
+        // Run every queued byte to completion and compare the final tally.
+        loop {
+            let (na, no) = (arena.next_event(), oracle.next_event());
+            prop_assert_eq!(na, no, "final drain event times diverged");
+            let Some(t) = na else { break };
+            arena.advance_to(t);
+            oracle.advance_to(t);
+        }
+        prop_assert_eq!(arena.drain_completions(), oracle.drain_completions());
+        prop_assert_eq!(arena.backlog_bytes(), 0.0);
     }
 }

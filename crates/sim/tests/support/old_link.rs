@@ -1,0 +1,301 @@
+//! The pre-arena, map-based `SharedLink` implementation, preserved
+//! verbatim (modulo imports) as a differential-testing oracle. The live
+//! implementation in `quasaq_sim::link` keeps flow state in a
+//! struct-of-arrays arena with incrementally maintained fair-share order;
+//! the property tests drive both through identical operation traces and
+//! require bit-identical observable behavior.
+#![allow(dead_code)]
+
+use quasaq_sim::link::{FlowId, LinkError, SharePolicy, XferDone, XferId};
+use quasaq_sim::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Debug)]
+struct Flow {
+    /// Reserved rate (Reserved policy) or pacing cap (FairShare, 0 = no
+    /// cap), in bytes/second.
+    rate_bps: u64,
+    /// FIFO of `(transfer, remaining bytes)`.
+    queue: VecDeque<(XferId, f64)>,
+}
+
+/// The old tree-backed fluid-flow shared bandwidth resource.
+#[derive(Debug)]
+pub struct OracleLink {
+    capacity_bps: u64,
+    policy: SharePolicy,
+    now: SimTime,
+    flows: BTreeMap<FlowId, Flow>,
+    reserved_total: u64,
+    completions: Vec<XferDone>,
+    next_flow: u64,
+    next_xfer: u64,
+    /// Memoized water-filling allocation, invalidated whenever the
+    /// backlogged set can change.
+    rates_cache: Option<Vec<(FlowId, f64)>>,
+}
+
+impl OracleLink {
+    /// Creates a fair-share (processor-sharing) link.
+    pub fn fair_share(capacity_bps: u64) -> Self {
+        Self::new(capacity_bps, SharePolicy::FairShare)
+    }
+
+    /// Creates a reservation-based link.
+    pub fn reserved(capacity_bps: u64) -> Self {
+        Self::new(capacity_bps, SharePolicy::Reserved)
+    }
+
+    fn new(capacity_bps: u64, policy: SharePolicy) -> Self {
+        assert!(capacity_bps > 0, "link capacity must be positive");
+        OracleLink {
+            capacity_bps,
+            policy,
+            now: SimTime::ZERO,
+            flows: BTreeMap::new(),
+            reserved_total: 0,
+            completions: Vec::new(),
+            next_flow: 0,
+            next_xfer: 0,
+            rates_cache: None,
+        }
+    }
+
+    /// Total capacity in bytes/second.
+    pub fn capacity_bps(&self) -> u64 {
+        self.capacity_bps
+    }
+
+    /// Sum of reserved rates (0 under FairShare).
+    pub fn reserved_bps(&self) -> u64 {
+        self.reserved_total
+    }
+
+    /// Rate still reservable.
+    pub fn available_bps(&self) -> u64 {
+        self.capacity_bps.saturating_sub(self.reserved_total)
+    }
+
+    /// Changes the link's capacity mid-run.
+    pub fn set_capacity(&mut self, now: SimTime, capacity_bps: u64) {
+        assert!(capacity_bps > 0, "link capacity must be positive");
+        self.advance_to(now);
+        if self.capacity_bps != capacity_bps {
+            self.capacity_bps = capacity_bps;
+            self.rates_cache = None;
+        }
+    }
+
+    /// Number of open flows.
+    pub fn open_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of flows with queued bytes.
+    pub fn backlogged_flows(&self) -> usize {
+        self.flows.values().filter(|f| !f.queue.is_empty()).count()
+    }
+
+    /// Total bytes still queued across all flows.
+    pub fn backlog_bytes(&self) -> f64 {
+        self.flows.values().flat_map(|f| f.queue.iter().map(|&(_, b)| b)).sum()
+    }
+
+    /// Opens a flow.
+    pub fn open_flow(&mut self, now: SimTime, rate_bps: Option<u64>) -> Result<FlowId, LinkError> {
+        self.advance_to(now);
+        let (rate, reserved) = match (self.policy, rate_bps) {
+            (SharePolicy::Reserved, Some(rate)) => {
+                let available = self.available_bps();
+                if rate > available {
+                    return Err(LinkError::Saturated { requested: rate, available });
+                }
+                (rate, rate)
+            }
+            (SharePolicy::FairShare, cap) => (cap.unwrap_or(0), 0),
+            (SharePolicy::Reserved, None) => return Err(LinkError::PolicyMismatch),
+        };
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(id, Flow { rate_bps: rate, queue: VecDeque::new() });
+        self.reserved_total += reserved;
+        self.rates_cache = None;
+        Ok(id)
+    }
+
+    /// Closes a flow, discarding any queued transfers and releasing its
+    /// reservation.
+    pub fn close_flow(&mut self, now: SimTime, flow: FlowId) {
+        self.advance_to(now);
+        if let Some(f) = self.flows.remove(&flow) {
+            if self.policy == SharePolicy::Reserved {
+                self.reserved_total -= f.rate_bps;
+            }
+            self.rates_cache = None;
+        }
+    }
+
+    /// Queues `bytes` for transmission on `flow`.
+    pub fn send(&mut self, now: SimTime, flow: FlowId, bytes: u64) -> Result<XferId, LinkError> {
+        self.advance_to(now);
+        let f = self.flows.get_mut(&flow).ok_or(LinkError::UnknownFlow(flow))?;
+        let id = XferId(self.next_xfer);
+        self.next_xfer += 1;
+        if f.queue.is_empty() {
+            self.rates_cache = None;
+        }
+        f.queue.push_back((id, bytes as f64));
+        Ok(id)
+    }
+
+    /// Bytes still queued on one flow (0 for unknown/closed flows).
+    pub fn flow_backlog_bytes(&self, flow: FlowId) -> f64 {
+        self.flows.get(&flow).map(|f| f.queue.iter().map(|&(_, b)| b).sum()).unwrap_or(0.0)
+    }
+
+    /// Instantaneous per-flow transmission rates for all backlogged flows.
+    pub fn current_rates(&self) -> Vec<(FlowId, f64)> {
+        match &self.rates_cache {
+            Some(rates) => rates.clone(),
+            None => self.compute_rates(),
+        }
+    }
+
+    /// Computes the allocation from scratch (cache miss path).
+    fn compute_rates(&self) -> Vec<(FlowId, f64)> {
+        match self.policy {
+            SharePolicy::Reserved => self
+                .flows
+                .iter()
+                .filter(|(_, f)| !f.queue.is_empty())
+                .map(|(&id, f)| (id, f.rate_bps as f64))
+                .collect(),
+            SharePolicy::FairShare => {
+                let mut active: Vec<(FlowId, f64)> = self
+                    .flows
+                    .iter()
+                    .filter(|(_, f)| !f.queue.is_empty())
+                    .map(|(&id, f)| {
+                        let cap = if f.rate_bps == 0 { f64::INFINITY } else { f.rate_bps as f64 };
+                        (id, cap)
+                    })
+                    .collect();
+                // Water-filling: tight caps first.
+                active.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                let mut remaining = self.capacity_bps as f64;
+                let mut rates = Vec::with_capacity(active.len());
+                let mut i = 0;
+                while i < active.len() {
+                    let share = (remaining / (active.len() - i) as f64).max(0.0);
+                    let (id, cap) = active[i];
+                    if cap <= share {
+                        rates.push((id, cap));
+                        remaining = (remaining - cap).max(0.0);
+                        i += 1;
+                    } else {
+                        for &(id2, _) in &active[i..] {
+                            rates.push((id2, share));
+                        }
+                        break;
+                    }
+                }
+                rates
+            }
+        }
+    }
+
+    /// Current transmission rate of a flow in bytes/second (0 when idle).
+    pub fn flow_rate_bps(&self, flow: FlowId) -> f64 {
+        self.current_rates().into_iter().find(|&(id, _)| id == flow).map(|(_, r)| r).unwrap_or(0.0)
+    }
+
+    /// Earliest future transfer completion, or `None` when fully idle.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let mut best: Option<SimDuration> = None;
+        for (id, rate) in self.current_rates() {
+            if rate <= 0.0 {
+                continue;
+            }
+            let f = &self.flows[&id];
+            let Some(&(_, bytes)) = f.queue.front() else { continue };
+            let secs = bytes / rate;
+            let d = SimDuration::from_micros((secs * 1e6).ceil() as u64);
+            best = Some(match best {
+                Some(b) => b.min(d),
+                None => d,
+            });
+        }
+        best.map(|d| self.now + d)
+    }
+
+    /// Advances the fluid model to `t`.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_to into the past");
+        loop {
+            let rates = match self.rates_cache.take() {
+                Some(rates) => rates,
+                None => self.compute_rates(),
+            };
+            let mut best: Option<SimDuration> = None;
+            for &(id, rate) in &rates {
+                if rate <= 0.0 {
+                    continue;
+                }
+                let Some(&(_, bytes)) = self.flows[&id].queue.front() else { continue };
+                let d = SimDuration::from_micros((bytes / rate * 1e6).ceil() as u64);
+                best = Some(match best {
+                    Some(b) => b.min(d),
+                    None => d,
+                });
+            }
+            let Some(until_done) = best else {
+                self.rates_cache = Some(rates);
+                self.now = t;
+                return;
+            };
+            let step_end = (self.now + until_done).min(t);
+            let step = step_end - self.now;
+            let secs = step.as_secs_f64();
+            for &(id, rate) in &rates {
+                if rate <= 0.0 {
+                    continue;
+                }
+                let f = self.flows.get_mut(&id).expect("flow");
+                if let Some(front) = f.queue.front_mut() {
+                    front.1 -= rate * secs;
+                }
+            }
+            self.now = step_end;
+            let mut drained_to_idle = false;
+            for (&id, f) in self.flows.iter_mut() {
+                let mut popped = false;
+                while let Some(&(xfer, bytes)) = f.queue.front() {
+                    if bytes <= 1e-6 {
+                        f.queue.pop_front();
+                        popped = true;
+                        self.completions.push(XferDone { flow: id, xfer, at: self.now });
+                    } else {
+                        break;
+                    }
+                }
+                drained_to_idle |= popped && f.queue.is_empty();
+            }
+            if !drained_to_idle {
+                self.rates_cache = Some(rates);
+            }
+            if self.now >= t {
+                return;
+            }
+        }
+    }
+
+    /// Number of completions recorded but not yet drained.
+    pub fn pending_completions(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Removes and returns completions recorded so far.
+    pub fn drain_completions(&mut self) -> Vec<XferDone> {
+        std::mem::take(&mut self.completions)
+    }
+}

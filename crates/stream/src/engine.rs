@@ -17,7 +17,7 @@ use quasaq_sim::cpu::{CpuScheduler, JobId, ReservationError, TaskId};
 use quasaq_sim::link::{LinkError, SharePolicy};
 use quasaq_sim::queue::{EventId, EventQueue};
 use quasaq_sim::{FlowId, LinkDomain, ServerId, SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Per-server hardware/OS configuration.
 #[derive(Debug, Clone, Copy)]
@@ -144,33 +144,63 @@ struct Session {
     closed: bool,
 }
 
+/// Sentinel in the dense server index for servers this engine doesn't own.
+const NO_NODE: u32 = u32::MAX;
+
 /// The multi-server frame-level executor.
 pub struct StreamEngine {
     queue: EventQueue<Ev>,
-    nodes: BTreeMap<ServerId, Node>,
+    /// Node arena; `node_index` maps `ServerId.0` onto it densely.
+    nodes: Vec<Node>,
+    node_index: Vec<u32>,
     sessions: Vec<Session>,
+    /// Open (not-`closed`) session count, maintained on every transition.
+    active: usize,
 }
 
 impl StreamEngine {
     /// Builds an engine with one node per `(server, config)` pair.
     pub fn new(nodes: impl IntoIterator<Item = (ServerId, NodeConfig)>) -> Self {
-        let nodes = nodes
-            .into_iter()
-            .map(|(id, cfg)| {
-                (
-                    id,
-                    Node {
-                        cpu: CpuModel::new(cfg.cpu),
-                        domain: LinkDomain::with_policy(id, cfg.link_policy, cfg.link_capacity_bps),
-                        client_latency: cfg.client_latency,
-                        cpu_wake: None,
-                        link_wake: None,
-                        tasks: HashMap::new(),
-                    },
-                )
-            })
-            .collect();
-        StreamEngine { queue: EventQueue::new(), nodes, sessions: Vec::new() }
+        let mut arena = Vec::new();
+        let mut node_index = Vec::new();
+        for (id, cfg) in nodes {
+            let slot = id.0 as usize;
+            if slot >= node_index.len() {
+                node_index.resize(slot + 1, NO_NODE);
+            }
+            node_index[slot] = arena.len() as u32;
+            arena.push(Node {
+                cpu: CpuModel::new(cfg.cpu),
+                domain: LinkDomain::with_policy(id, cfg.link_policy, cfg.link_capacity_bps),
+                client_latency: cfg.client_latency,
+                cpu_wake: None,
+                link_wake: None,
+                tasks: HashMap::new(),
+            });
+        }
+        StreamEngine {
+            queue: EventQueue::new(),
+            nodes: arena,
+            node_index,
+            sessions: Vec::new(),
+            active: 0,
+        }
+    }
+
+    fn node_slot(&self, server: ServerId) -> Option<usize> {
+        match self.node_index.get(server.0 as usize) {
+            Some(&i) if i != NO_NODE => Some(i as usize),
+            _ => None,
+        }
+    }
+
+    fn node(&self, server: ServerId) -> &Node {
+        &self.nodes[self.node_slot(server).expect("node")]
+    }
+
+    fn node_mut(&mut self, server: ServerId) -> &mut Node {
+        let i = self.node_slot(server).expect("node");
+        &mut self.nodes[i]
     }
 
     /// Current simulated time.
@@ -186,8 +216,8 @@ impl StreamEngine {
         cfg: SessionConfig,
     ) -> Result<SessionId, SessionError> {
         let now = self.queue.now().max(start);
-        let node =
-            self.nodes.get_mut(&cfg.server).ok_or(SessionError::UnknownServer(cfg.server))?;
+        let slot = self.node_slot(cfg.server).ok_or(SessionError::UnknownServer(cfg.server))?;
+        let node = &mut self.nodes[slot];
         let job = match cfg.cpu {
             CpuPolicy::BestEffort => node.cpu.add_job(now),
             CpuPolicy::Reserved { share, period } => {
@@ -219,6 +249,7 @@ impl StreamEngine {
             report,
             closed: false,
         });
+        self.active += 1;
         if empty {
             self.finish_session(id, start);
         } else {
@@ -238,9 +269,10 @@ impl StreamEngine {
         self.sessions.len()
     }
 
-    /// Number of sessions still streaming.
+    /// Number of sessions still streaming. O(1): maintained on every
+    /// open/finish/fail transition.
     pub fn active_sessions(&self) -> usize {
-        self.sessions.iter().filter(|s| !s.closed).count()
+        self.active
     }
 
     /// Runs until no event at or before `t` remains. Returns the sessions
@@ -288,7 +320,7 @@ impl StreamEngine {
         } else {
             None
         };
-        let node = self.nodes.get_mut(&server).expect("session's node exists");
+        let node = self.node_mut(server);
         let task = node.cpu.submit(now, job, frame.cpu);
         node.tasks.insert(task, (id, idx));
         if let Some(due) = next {
@@ -300,7 +332,8 @@ impl StreamEngine {
     }
 
     fn on_cpu_wake(&mut self, now: SimTime, server: ServerId) {
-        let node = self.nodes.get_mut(&server).expect("wake for known node");
+        let slot = self.node_slot(server).expect("wake for known node");
+        let node = &mut self.nodes[slot];
         node.cpu_wake = None;
         node.cpu.advance_to(now);
         let completions = node.cpu.drain_completions();
@@ -322,7 +355,8 @@ impl StreamEngine {
     }
 
     fn on_link_wake(&mut self, now: SimTime, server: ServerId) {
-        let node = self.nodes.get_mut(&server).expect("wake for known node");
+        let slot = self.node_slot(server).expect("wake for known node");
+        let node = &mut self.nodes[slot];
         node.link_wake = None;
         node.domain.step_to(now);
         let completions = node.domain.take_pending();
@@ -349,6 +383,7 @@ impl StreamEngine {
             return;
         }
         session.closed = true;
+        self.active -= 1;
         // `at` is the client-side arrival timestamp (it may include
         // propagation latency beyond the current simulation instant); it
         // is a measurement only. Resources are released at server time.
@@ -357,7 +392,7 @@ impl StreamEngine {
         let flow = session.flow;
         let job = session.job;
         let now = self.queue.now();
-        let node = self.nodes.get_mut(&server).expect("node");
+        let node = self.node_mut(server);
         node.domain.link_mut().close_flow(now, flow);
         node.cpu.remove_job(now, job);
         self.reschedule_cpu(server);
@@ -366,7 +401,8 @@ impl StreamEngine {
 
     fn reschedule_cpu(&mut self, server: ServerId) {
         let now = self.queue.now();
-        let node = self.nodes.get_mut(&server).expect("node");
+        let slot = self.node_slot(server).expect("node");
+        let node = &mut self.nodes[slot];
         // Undrained completions (buffered by internal advances) require an
         // immediate wake even when the scheduler itself reports idle.
         let want = if node.cpu.pending_completions() > 0 {
@@ -381,11 +417,11 @@ impl StreamEngine {
                     self.queue.cancel(eid);
                 }
                 let eid = self.queue.schedule(w, Ev::CpuWake(server));
-                self.nodes.get_mut(&server).expect("node").cpu_wake = Some((eid, w));
+                self.nodes[slot].cpu_wake = Some((eid, w));
             }
             (Some((eid, _)), None) => {
                 self.queue.cancel(eid);
-                self.nodes.get_mut(&server).expect("node").cpu_wake = None;
+                self.nodes[slot].cpu_wake = None;
             }
             (None, None) => {}
         }
@@ -393,7 +429,8 @@ impl StreamEngine {
 
     fn reschedule_link(&mut self, server: ServerId) {
         let now = self.queue.now();
-        let node = self.nodes.get_mut(&server).expect("node");
+        let slot = self.node_slot(server).expect("node");
+        let node = &mut self.nodes[slot];
         // Undrained completions (buffered by internal advances inside
         // send/close_flow) require an immediate wake even when the fluid
         // model reports idle.
@@ -409,11 +446,11 @@ impl StreamEngine {
                     self.queue.cancel(eid);
                 }
                 let eid = self.queue.schedule(w, Ev::LinkWake(server));
-                self.nodes.get_mut(&server).expect("node").link_wake = Some((eid, w));
+                self.nodes[slot].link_wake = Some((eid, w));
             }
             (Some((eid, _)), None) => {
                 self.queue.cancel(eid);
-                self.nodes.get_mut(&server).expect("node").link_wake = None;
+                self.nodes[slot].link_wake = None;
             }
             (None, None) => {}
         }
@@ -426,9 +463,9 @@ impl StreamEngine {
     /// sessions in id order so a caller can attempt failover for each.
     pub fn fail_server(&mut self, server: ServerId) -> Vec<SessionId> {
         let now = self.queue.now();
-        if !self.nodes.contains_key(&server) {
+        let Some(slot) = self.node_slot(server) else {
             return Vec::new();
-        }
+        };
         let hit: Vec<SessionId> = self
             .sessions
             .iter()
@@ -439,14 +476,15 @@ impl StreamEngine {
         for &id in &hit {
             let session = &mut self.sessions[id.0];
             session.closed = true;
+            self.active -= 1;
             session.report.mark_interrupted(now);
             let (flow, job) = (session.flow, session.job);
-            let node = self.nodes.get_mut(&server).expect("checked above");
+            let node = &mut self.nodes[slot];
             node.domain.link_mut().close_flow(now, flow);
             node.cpu.remove_job(now, job);
         }
         let dead: std::collections::BTreeSet<SessionId> = hit.iter().copied().collect();
-        let node = self.nodes.get_mut(&server).expect("checked above");
+        let node = &mut self.nodes[slot];
         node.tasks.retain(|_, &mut (sid, _)| !dead.contains(&sid));
         node.domain.retain(|&(sid, _)| !dead.contains(&sid));
         self.reschedule_cpu(server);
@@ -460,18 +498,18 @@ impl StreamEngine {
     /// flight are re-paced from the current instant.
     pub fn set_link_capacity(&mut self, server: ServerId, capacity_bps: u64) {
         let now = self.queue.now();
-        self.nodes.get_mut(&server).expect("unknown server").domain.set_capacity(now, capacity_bps);
+        self.node_mut(server).domain.set_capacity(now, capacity_bps);
         self.reschedule_link(server);
     }
 
     /// Reserved CPU utilization on a server (0 for time-sharing nodes).
     pub fn cpu_utilization(&self, server: ServerId) -> f64 {
-        self.nodes[&server].cpu.reserved_utilization()
+        self.node(server).cpu.reserved_utilization()
     }
 
     /// Reserved link bandwidth on a server.
     pub fn link_reserved_bps(&self, server: ServerId) -> u64 {
-        self.nodes[&server].domain.link().reserved_bps()
+        self.node(server).domain.link().reserved_bps()
     }
 }
 

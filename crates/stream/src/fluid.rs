@@ -25,11 +25,10 @@
 //! The engine is passive (`next_event`/`advance_to`/`drain_completions`)
 //! so the experiment driver owns the master event loop.
 
-use quasaq_sim::link::{LinkError, SharePolicy, SharedLink};
+use quasaq_sim::link::{LinkError, SharePolicy, SharedLink, XferDone};
 use quasaq_sim::{
     step_domains, DomainStepper, FlowId, LinkDomain, SerialStepper, ServerId, SimTime,
 };
-use std::collections::BTreeMap;
 
 /// Identifies a fluid session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -52,14 +51,22 @@ struct FluidSession {
     done: bool,
 }
 
+/// Sentinel in the dense server index for servers this engine doesn't own.
+const NO_DOMAIN: u32 = u32::MAX;
+
 /// Byte-level session engine over per-server link domains.
 pub struct FluidEngine {
     /// Sorted by `ServerId`; the phase-B merge walks this order.
     domains: Vec<LinkDomain<FluidSessionId>>,
-    /// Server → index into `domains`.
-    index: BTreeMap<ServerId, usize>,
+    /// Dense `ServerId.0` → index into `domains` (`NO_DOMAIN` for gaps).
+    index: Vec<u32>,
     sessions: Vec<FluidSession>,
+    /// Open (not-`done`) session count, maintained on every transition.
+    active: usize,
     completions: Vec<FluidDone>,
+    /// Reused buffer for the phase-B merge (keeps the per-advance merge
+    /// allocation-free).
+    merge_scratch: Vec<XferDone>,
 }
 
 impl FluidEngine {
@@ -71,16 +78,35 @@ impl FluidEngine {
         capacity_bps: u64,
     ) -> Self {
         let domains = LinkDomain::cluster(servers, policy, capacity_bps);
-        let index = domains.iter().enumerate().map(|(i, d)| (d.server(), i)).collect();
-        FluidEngine { domains, index, sessions: Vec::new(), completions: Vec::new() }
+        let max_id = domains.iter().map(|d| d.server().0 as usize).max().map_or(0, |m| m + 1);
+        let mut index = vec![NO_DOMAIN; max_id];
+        for (i, d) in domains.iter().enumerate() {
+            index[d.server().0 as usize] = i as u32;
+        }
+        FluidEngine {
+            domains,
+            index,
+            sessions: Vec::new(),
+            active: 0,
+            completions: Vec::new(),
+            merge_scratch: Vec::new(),
+        }
+    }
+
+    fn domain_index(&self, server: ServerId) -> Option<usize> {
+        match self.index.get(server.0 as usize) {
+            Some(&i) if i != NO_DOMAIN => Some(i as usize),
+            _ => None,
+        }
     }
 
     fn domain(&self, server: ServerId) -> &LinkDomain<FluidSessionId> {
-        &self.domains[*self.index.get(&server).expect("unknown server")]
+        &self.domains[self.domain_index(server).expect("unknown server")]
     }
 
     fn domain_mut(&mut self, server: ServerId) -> &mut LinkDomain<FluidSessionId> {
-        &mut self.domains[*self.index.get(&server).expect("unknown server")]
+        let i = self.domain_index(server).expect("unknown server");
+        &mut self.domains[i]
     }
 
     /// Link state of a server.
@@ -104,6 +130,7 @@ impl FluidEngine {
         let xfer = domain.link_mut().send(now, flow, bytes).expect("flow just opened");
         domain.register(xfer, flow, id);
         self.sessions.push(FluidSession { server, flow, done: false });
+        self.active += 1;
         Ok(id)
     }
 
@@ -118,6 +145,7 @@ impl FluidEngine {
             return;
         }
         session.done = true;
+        self.active -= 1;
         let (server, flow) = (session.server, session.flow);
         self.domain_mut(server).link_mut().close_flow(now, flow);
     }
@@ -138,19 +166,31 @@ impl FluidEngine {
     /// (`FluidEngine::advance_to`) under any stepper.
     pub fn advance_domains(&mut self, t: SimTime, stepper: &dyn DomainStepper) {
         step_domains(stepper, &mut self.domains, t);
+        // Phase B: one serial pass over the domains, consuming each one's
+        // completion buffer as a batch (clean domains are skipped outright)
+        // into a reused scratch vector.
+        let mut batch = std::mem::take(&mut self.merge_scratch);
         for domain in self.domains.iter_mut() {
+            if domain.pending_len() == 0 {
+                continue;
+            }
+            batch.clear();
+            domain.drain_pending_into(&mut batch);
             let server = domain.server();
-            for done in domain.take_pending() {
+            for done in &batch {
                 if let Some(id) = domain.resolve(done.xfer) {
                     let session = &mut self.sessions[id.0];
                     if !session.done {
                         session.done = true;
+                        self.active -= 1;
                         domain.link_mut().close_flow(done.at.max(t), session.flow);
                         self.completions.push(FluidDone { id, server, at: done.at });
                     }
                 }
             }
         }
+        batch.clear();
+        self.merge_scratch = batch;
     }
 
     /// Removes and returns completions recorded so far.
@@ -158,15 +198,16 @@ impl FluidEngine {
         std::mem::take(&mut self.completions)
     }
 
-    /// Number of sessions still streaming.
+    /// Number of sessions still streaming. O(1): maintained on every
+    /// open/complete/cancel/fail transition.
     pub fn active_sessions(&self) -> usize {
-        self.sessions.iter().filter(|s| !s.done).count()
+        self.active
     }
 
-    /// Number of sessions still streaming from one server (O(active) on
-    /// that server, not O(all sessions)).
+    /// Number of sessions still streaming from one server (O(1), not
+    /// O(all sessions)).
     pub fn active_on(&self, server: ServerId) -> usize {
-        self.index.get(&server).map(|&i| self.domains[i].in_flight()).unwrap_or(0)
+        self.domain_index(server).map(|i| self.domains[i].in_flight()).unwrap_or(0)
     }
 
     /// Crashes a server: every session streaming from it is killed and
@@ -174,11 +215,12 @@ impl FluidEngine {
     /// path needs to resume the remainder elsewhere. The returned list is
     /// ordered by session id, so reacting to it is deterministic.
     pub fn fail_server(&mut self, now: SimTime, server: ServerId) -> Vec<(FluidSessionId, f64)> {
-        let Some(&i) = self.index.get(&server) else { return Vec::new() };
+        let Some(i) = self.domain_index(server) else { return Vec::new() };
         let sessions = &self.sessions;
         let displaced = self.domains[i].cut(now, |id| !sessions[id.0].done);
         for &(id, _) in &displaced {
             self.sessions[id.0].done = true;
+            self.active -= 1;
         }
         displaced
     }

@@ -32,4 +32,6 @@ pub use testbed::{CostKind, Testbed, TestbedConfig};
 pub use throughput::{
     run_throughput, run_throughput_on, FaultMetrics, SystemKind, ThroughputConfig, ThroughputResult,
 };
-pub use traffic::{generate_queries, random_qop, GeneratedQuery, TrafficConfig};
+pub use traffic::{
+    generate_queries, random_qop, random_qop_with, GeneratedQuery, QopMix, TrafficConfig,
+};

@@ -160,7 +160,22 @@ impl DomainPool {
     /// A pool with `workers` total lanes of parallelism, the calling
     /// thread included — `DomainPool::new(4)` spawns three helper threads
     /// and the publishing thread works alongside them.
+    ///
+    /// Lanes are capped at the machine's available parallelism: helper
+    /// threads beyond the core count cannot speed anything up, but their
+    /// per-event wake/claim traffic still costs (the driver calls
+    /// [`DomainStepper::for_each`] at every simulation event). On a
+    /// single-core box the pool therefore spawns nothing and steps
+    /// domains inline — output is bit-identical at every lane count, so
+    /// the cap changes timing only.
     pub fn new(workers: usize) -> Self {
+        let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+        Self::with_lanes(workers.min(cores))
+    }
+
+    /// A pool with exactly `workers` lanes, uncapped — the threaded
+    /// publish/claim machinery must stay testable on single-core boxes.
+    pub(crate) fn with_lanes(workers: usize) -> Self {
         let shared = Arc::new(PoolShared {
             slot: Mutex::new(JobSlot { generation: 0, items: 0, job: None, shutdown: false }),
             posted: Condvar::new(),
@@ -209,6 +224,14 @@ impl DomainPool {
 unsafe impl DomainStepper for DomainPool {
     fn for_each(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
         if n == 0 {
+            return;
+        }
+        if self.workers.is_empty() {
+            // No helper threads (single-core cap): step inline with zero
+            // publish/claim overhead. Exactly-once trivially holds.
+            for i in 0..n {
+                f(i);
+            }
             return;
         }
         // SAFETY: the erased reference is only dereferenced before
@@ -291,7 +314,9 @@ mod tests {
 
     #[test]
     fn domain_pool_visits_every_index_exactly_once() {
-        let pool = DomainPool::new(4);
+        // Force 4 lanes regardless of the box's core count: this test is
+        // about the cross-thread claims machinery, not the sizing policy.
+        let pool = DomainPool::with_lanes(4);
         assert_eq!(pool.workers(), 4);
         // Many small jobs through one pool: the generation-tagged cursor
         // must never skip or double-run an index across job boundaries.
@@ -323,7 +348,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "domain step panicked")]
     fn domain_pool_propagates_worker_panics() {
-        let pool = DomainPool::new(2);
+        let pool = DomainPool::with_lanes(2);
         pool.for_each(8, &|i| {
             if i == 3 {
                 panic!("boom");
@@ -342,6 +367,7 @@ mod tests {
             sample_step: SimDuration::from_secs(10),
             seed: 23,
             video_skew: 0.0,
+            qop_mix: crate::traffic::QopMix::Uniform,
             local_plans_only: false,
             admission: None,
             faults: None,
@@ -372,6 +398,7 @@ mod tests {
             sample_step: SimDuration::from_secs(10),
             seed: 29,
             video_skew: 0.0,
+            qop_mix: crate::traffic::QopMix::Uniform,
             local_plans_only: false,
             admission: Some(crate::admission::AdmissionConfig::default()),
             faults: None,

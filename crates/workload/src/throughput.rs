@@ -10,7 +10,7 @@
 use crate::admission::{AdmissionConfig, AdmissionQueue, QueueMetrics, Waiting};
 use crate::parallel::DomainPool;
 use crate::testbed::{CostKind, Testbed, TestbedConfig};
-use crate::traffic::{generate_queries, TrafficConfig};
+use crate::traffic::{generate_queries, QopMix, TrafficConfig};
 use quasaq_core::{
     PlanExecutor, PlanRequest, QopSecurity, QosWeights, QualityManager, Rejection, UserProfile,
     UtilityGain,
@@ -62,6 +62,10 @@ pub struct ThroughputConfig {
     pub seed: u64,
     /// Zipf skew over videos (0 = the paper's uniform access).
     pub video_skew: f64,
+    /// Distribution of requested QoP parameters. `QopMix::Uniform` is the
+    /// paper's stated generator (and the legacy RNG-identical path);
+    /// `QopMix::PaperSkewed` is calibrated to the published Fig 6 factor.
+    pub qop_mix: QopMix,
     /// Restrict QuaSAQ plans to the replica's own site (placement
     /// studies; the paper's default allows cross-site delivery).
     pub local_plans_only: bool,
@@ -96,6 +100,7 @@ impl ThroughputConfig {
             sample_step: SimDuration::from_secs(10),
             seed: 7,
             video_skew: 0.0,
+            qop_mix: QopMix::Uniform,
             local_plans_only: false,
             admission: None,
             faults: None,
@@ -212,6 +217,28 @@ enum SystemState {
     Quasaq { manager: QualityManager, executor: PlanExecutor },
 }
 
+/// Dense per-session side table indexed by [`FluidSessionId`] (the fluid
+/// engine allocates ids contiguously from 0, so a `Vec` replaces the old
+/// session-keyed hash maps on the admission/completion hot path).
+struct PerSession<T>(Vec<Option<T>>);
+
+impl<T> PerSession<T> {
+    fn new() -> Self {
+        PerSession(Vec::new())
+    }
+
+    fn insert(&mut self, id: FluidSessionId, value: T) {
+        if id.0 >= self.0.len() {
+            self.0.resize_with(id.0 + 1, || None);
+        }
+        self.0[id.0] = Some(value);
+    }
+
+    fn remove(&mut self, id: FluidSessionId) -> Option<T> {
+        self.0.get_mut(id.0).and_then(Option::take)
+    }
+}
+
 /// Runs one system against the shared query stream on the (process-wide,
 /// immutably shared) testbed for `cfg.testbed`. Runs never mutate the
 /// testbed, so N system-variants over one deployment pay for catalog
@@ -232,6 +259,7 @@ pub fn run_throughput_on(
 ) -> ThroughputResult {
     let mut traffic = TrafficConfig::paper(testbed.library.len(), cfg.horizon);
     traffic.video_skew = cfg.video_skew;
+    traffic.qop_mix = cfg.qop_mix;
     if let Some(period) = cfg.arrival_period {
         traffic.mean_interarrival = period;
     }
@@ -285,7 +313,7 @@ pub fn run_throughput_on(
     // reverse index for completion-time removal. Both stay empty when the
     // front end is disabled, so the legacy event sequence is untouched.
     let mut deadlines: BTreeSet<(SimTime, FluidSessionId)> = BTreeSet::new();
-    let mut deadline_of: HashMap<FluidSessionId, SimTime> = HashMap::new();
+    let mut deadline_of: PerSession<SimTime> = PerSession::new();
 
     // Fault injection. The timeline is empty when `cfg.faults` is `None`,
     // so the legacy event sequence — and every RNG draw — is untouched.
@@ -303,7 +331,7 @@ pub fn run_throughput_on(
     let mut fm = FaultMetrics::default();
     // Per-session request context, kept only under fault injection so a
     // crash can re-plan the displaced sessions.
-    let mut ctxs: HashMap<FluidSessionId, SessionCtx> = HashMap::new();
+    let mut ctxs: PerSession<SessionCtx> = PerSession::new();
     let mut down: BTreeSet<ServerId> = BTreeSet::new();
     // Overlapping windows compose: crashes nest by depth, capacity
     // factors multiply (in stable order, so the float product is a pure
@@ -314,7 +342,7 @@ pub fn run_throughput_on(
     let mut impaired: BTreeSet<ServerId> = BTreeSet::new();
     let mut violation_t = SimTime::ZERO;
 
-    let mut reservations: HashMap<FluidSessionId, ReservationId> = HashMap::new();
+    let mut reservations: PerSession<ReservationId> = PerSession::new();
     let mut outstanding = LevelTracker::new();
     let mut completions = RateCounter::new(SimDuration::from_secs(60));
     let mut rejects = Series::new();
@@ -366,13 +394,13 @@ pub fn run_throughput_on(
                 break;
             }
             deadlines.remove(&(dt, sid));
-            deadline_of.remove(&sid);
+            deadline_of.remove(sid);
             fluid.cancel_session(t, sid);
             outstanding.adjust(t, -1);
-            if let Some(res) = reservations.remove(&sid) {
+            if let Some(res) = reservations.remove(sid) {
                 release(&mut state, res);
             }
-            ctxs.remove(&sid);
+            ctxs.remove(sid);
             queue
                 .as_mut()
                 .expect("deadlines only exist with admission enabled")
@@ -400,14 +428,14 @@ pub fn run_throughput_on(
                         for (sid, remaining) in fluid.fail_server(t, spec.server) {
                             outstanding.adjust(t, -1);
                             fm.interrupted += 1;
-                            if let Some(dl) = deadline_of.remove(&sid) {
+                            if let Some(dl) = deadline_of.remove(sid) {
                                 deadlines.remove(&(dl, sid));
                             }
                             // The site failure above already cancelled the
                             // dead server's reservations; release is
                             // idempotent, so dropping the id is enough.
-                            reservations.remove(&sid);
-                            let ctx = ctxs.remove(&sid).expect("fault runs track context");
+                            reservations.remove(sid);
+                            let ctx = ctxs.remove(sid).expect("fault runs track context");
                             let frac = (remaining / ctx.total_bytes.max(1) as f64).clamp(0.0, 1.0);
                             // Walk the QoP ladder down until a survivor
                             // admits the remaining bytes.
@@ -772,26 +800,26 @@ fn release(state: &mut SystemState, res: ReservationId) {
 #[allow(clippy::too_many_arguments)]
 fn handle_done(
     done: Vec<quasaq_stream::FluidDone>,
-    reservations: &mut HashMap<FluidSessionId, ReservationId>,
+    reservations: &mut PerSession<ReservationId>,
     state: &mut SystemState,
     outstanding: &mut LevelTracker,
     completions: &mut RateCounter,
     completed: &mut u64,
     deadlines: &mut BTreeSet<(SimTime, FluidSessionId)>,
-    deadline_of: &mut HashMap<FluidSessionId, SimTime>,
-    ctxs: &mut HashMap<FluidSessionId, SessionCtx>,
+    deadline_of: &mut PerSession<SimTime>,
+    ctxs: &mut PerSession<SessionCtx>,
 ) {
     for d in done {
         outstanding.adjust(d.at, -1);
         completions.record(d.at);
         *completed += 1;
-        if let Some(res) = reservations.remove(&d.id) {
+        if let Some(res) = reservations.remove(d.id) {
             release(state, res);
         }
-        if let Some(dl) = deadline_of.remove(&d.id) {
+        if let Some(dl) = deadline_of.remove(d.id) {
             deadlines.remove(&(dl, d.id));
         }
-        ctxs.remove(&d.id);
+        ctxs.remove(d.id);
     }
 }
 
@@ -927,6 +955,7 @@ mod tests {
             sample_step: SimDuration::from_secs(10),
             seed: 11,
             video_skew: 0.0,
+            qop_mix: QopMix::Uniform,
             local_plans_only: false,
             admission: None,
             faults: None,
@@ -1228,6 +1257,7 @@ mod tests {
             sample_step: SimDuration::from_secs(10),
             seed: 11,
             video_skew: 0.0,
+            qop_mix: QopMix::Uniform,
             local_plans_only: false,
             admission: None,
             faults: None,

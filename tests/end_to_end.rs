@@ -12,7 +12,7 @@ use quasaq::stream::{NodeConfig, StreamEngine};
 use quasaq::vdbms;
 use quasaq::workload::{
     run_fig5, run_throughput, run_throughput_scenarios, Contention, CostKind, Fig5Config,
-    Fig5System, SystemKind, Testbed, TestbedConfig, ThroughputConfig,
+    Fig5System, QopMix, SystemKind, Testbed, TestbedConfig, ThroughputConfig,
 };
 
 fn testbed() -> Testbed {
@@ -146,6 +146,7 @@ fn throughput_ordering_matches_fig6_and_fig7() {
         faults: None,
         arrival_period: None,
         domain_workers: 0,
+        qop_mix: QopMix::Uniform,
     };
     let h = cfg.horizon;
     // Four independent runs: fan them across cores via the scenario runner
@@ -275,6 +276,7 @@ fn migration_extension_improves_skewed_throughput() {
         faults: None,
         arrival_period: None,
         domain_workers: 0,
+        qop_mix: QopMix::Uniform,
     };
     let mut tb = Testbed::build(cfg.testbed.clone());
     let before = run_throughput_on(&tb, SystemKind::Quasaq(CostKind::Lrb), &cfg);
@@ -319,6 +321,7 @@ fn utility_optimizer_trades_throughput_for_quality() {
         faults: None,
         arrival_period: None,
         domain_workers: 0,
+        qop_mix: QopMix::Uniform,
     };
     let scenarios = vec![
         (SystemKind::Quasaq(CostKind::Lrb), cfg.clone()),
@@ -348,6 +351,7 @@ fn whole_pipeline_is_deterministic() {
             faults: None,
             arrival_period: None,
             domain_workers: 0,
+            qop_mix: QopMix::Uniform,
         };
         let r = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
         (r.admitted, r.rejected, r.completed, r.outstanding.values().collect::<Vec<_>>())
