@@ -54,6 +54,8 @@ fn migration_loop() {
         arrival_period: None,
         domain_workers: 0,
         qop_mix: QopMix::Uniform,
+        arrival_burst: 1,
+        plan_cache: false,
     };
     let mut testbed = Testbed::build(cfg.testbed.clone());
 
@@ -102,6 +104,8 @@ fn configurable_optimizer() {
         arrival_period: None,
         domain_workers: 0,
         qop_mix: QopMix::Uniform,
+        arrival_burst: 1,
+        plan_cache: false,
     };
     let mut t = Table::new(&[
         "optimizer",

@@ -145,6 +145,60 @@ fn timed_pair<R>(
     ((a_ms, a_out), (b_ms, b_out))
 }
 
+/// One rung of the plan-cache study: the same Zipf-skewed run with full
+/// enumeration vs the memoized plan cache. `burst > 1` turns it into the
+/// flash-crowd case, where same-instant arrivals go through the
+/// bulk-admit prefetch that amortizes enumeration across the batch.
+struct CachedTiming {
+    servers: u32,
+    videos: usize,
+    burst: usize,
+    uncached_ms: f64,
+    cached_ms: f64,
+    bit_identical: bool,
+}
+
+fn run_cached(servers: u32, videos: usize, burst: usize, quick: bool) -> CachedTiming {
+    let horizon = SimTime::from_secs(if quick { 30 } else { 120 });
+    let period_us = (3_000_000 / servers as u64).max(1);
+    let uncached_cfg = ThroughputConfig {
+        testbed: quasaq_workload::TestbedConfig::scale(servers, videos),
+        horizon,
+        arrival_period: Some(quasaq_sim::SimDuration::from_micros(period_us)),
+        // Uniform access over a 10^4-video catalog with 36 uniform QoP
+        // rungs would make cache hits vanishingly rare; the Zipf skew
+        // plus the paper-calibrated QoP mix (~85% of requests at the top
+        // rung) model the popular-title traffic the cache exists for
+        // (EXPERIMENTS.md).
+        video_skew: 1.1,
+        qop_mix: quasaq_workload::QopMix::PaperSkewed,
+        arrival_burst: burst,
+        ..ThroughputConfig::fig6()
+    };
+    let cached_cfg = ThroughputConfig { plan_cache: true, ..uncached_cfg.clone() };
+    let _ = Testbed::shared(uncached_cfg.testbed.clone());
+    let reps = if servers <= 3 {
+        20
+    } else if servers <= 30 {
+        5
+    } else {
+        3
+    };
+    let ((uncached_ms, uncached), (cached_ms, cached)) = timed_pair(
+        reps,
+        || run_throughput(SystemKind::Quasaq(CostKind::Lrb), &uncached_cfg),
+        || run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cached_cfg),
+    );
+    CachedTiming {
+        servers,
+        videos,
+        burst,
+        uncached_ms,
+        cached_ms,
+        bit_identical: uncached == cached,
+    }
+}
+
 fn run_scale(
     servers: u32,
     videos: usize,
@@ -241,6 +295,14 @@ fn main() {
             );
             assert!(s.bit_identical, "sharded scale run diverged from serial");
         }
+        // Cached-admission smoke: the same quick rung with flash-crowd
+        // bursts, full enumeration vs the memoized plan cache.
+        let c = run_cached(3, 300, 4, true);
+        println!(
+            "  uncached {:>9.1} ms | cached {:>9.1} ms | bit-identical: {}",
+            c.uncached_ms, c.cached_ms, c.bit_identical
+        );
+        assert!(c.bit_identical, "cached admission diverged from full enumeration");
         println!("smoke OK: bit_identical: true");
         return;
     }
@@ -288,8 +350,40 @@ fn main() {
         }
     }
 
-    let all_identical =
-        timings.iter().all(|t| t.bit_identical) && scale.iter().all(|s| s.bit_identical);
+    // The plan-cache study: the same Zipf-skewed run with full enumeration
+    // vs the memoized cache (`cached`, burst 1), plus the flash-crowd
+    // bulk-admit case (`bulk`, every arrival an 8-query burst through the
+    // batch prefetch).
+    let mut cached = Vec::new();
+    for (servers, videos) in scale_cases(quick) {
+        println!("running cached {servers}-server / {videos}-video ...");
+        let c = run_cached(servers, videos, 1, quick);
+        println!(
+            "  uncached {:>9.1} ms | cached {:>9.1} ms | speedup {:.2}x | bit-identical: {}",
+            c.uncached_ms,
+            c.cached_ms,
+            c.uncached_ms / c.cached_ms.max(1e-9),
+            c.bit_identical
+        );
+        cached.push(c);
+    }
+    let mut bulk = Vec::new();
+    for (servers, videos) in scale_cases(quick) {
+        println!("running bulk {servers}-server / {videos}-video (burst 8) ...");
+        let c = run_cached(servers, videos, 8, quick);
+        println!(
+            "  uncached {:>9.1} ms | cached {:>9.1} ms | speedup {:.2}x | bit-identical: {}",
+            c.uncached_ms,
+            c.cached_ms,
+            c.uncached_ms / c.cached_ms.max(1e-9),
+            c.bit_identical
+        );
+        bulk.push(c);
+    }
+
+    let all_identical = timings.iter().all(|t| t.bit_identical)
+        && scale.iter().all(|s| s.bit_identical)
+        && cached.iter().chain(&bulk).all(|c| c.bit_identical);
     let total_serial: f64 = timings.iter().map(|t| t.serial_ms).sum();
     let total_parallel: f64 = timings.iter().map(|t| t.parallel_ms).sum();
     let overall = total_serial / total_parallel.max(1e-9);
@@ -358,6 +452,26 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    // The plan-cache (`cached`) and flash-crowd bulk-admit (`bulk`) rows.
+    for (section, rows) in [("cached", &cached), ("bulk", &bulk)] {
+        json.push_str(&format!("  \"{section}\": [\n"));
+        for (i, c) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"servers\": {}, \"videos\": {}, \"burst\": {}, \
+                 \"uncached_ms\": {:.3}, \"cached_ms\": {:.3}, \"speedup\": {:.3}, \
+                 \"bit_identical\": {}}}{}\n",
+                c.servers,
+                c.videos,
+                c.burst,
+                c.uncached_ms,
+                c.cached_ms,
+                c.uncached_ms / c.cached_ms.max(1e-9),
+                c.bit_identical,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n");
+    }
     json.push_str(&format!("  \"overall_speedup\": {overall:.3},\n"));
     json.push_str(&format!("  \"all_bit_identical\": {all_identical}\n"));
     json.push_str("}\n");

@@ -236,21 +236,20 @@ impl PlanGenerator {
 
     /// Instantly drops plans whose resource demand exceeds some bucket's
     /// *total* capacity — "some of the plans can be immediately dropped
-    /// by the Plan Generator if their costs are intolerably high".
-    pub fn drop_infeasible(&self, plans: Vec<Plan>, api: &CompositeQosApi) -> Vec<Plan> {
-        let mut plans = plans;
-        self.retain_feasible(&mut plans, api);
-        plans
+    /// by the Plan Generator if their costs are intolerably high". In
+    /// place, so the plan buffer's allocation stays alive for reuse
+    /// across queries. The cut depends only on bucket *capacities* (never
+    /// current usage), which is what lets plan caches snapshot its result
+    /// per structural [state epoch](CompositeQosApi::state_epoch).
+    pub fn retain_feasible(&self, plans: &mut Vec<Plan>, api: &CompositeQosApi) {
+        plans.retain(|p| Self::is_feasible(p, api));
     }
 
-    /// In-place variant of [`drop_infeasible`](Self::drop_infeasible): keeps
-    /// the plan buffer's allocation alive for reuse across queries.
-    pub fn retain_feasible(&self, plans: &mut Vec<Plan>, api: &CompositeQosApi) {
-        plans.retain(|p| {
-            p.resources
-                .iter()
-                .all(|(key, demand)| api.capacity(key).is_some_and(|c| demand <= c + 1e-9))
-        });
+    /// The single-plan predicate behind [`retain_feasible`](Self::retain_feasible).
+    pub fn is_feasible(plan: &Plan, api: &CompositeQosApi) -> bool {
+        plan.resources
+            .iter()
+            .all(|(key, demand)| api.capacity(key).is_some_and(|c| demand <= c + 1e-9))
     }
 
     /// The unpruned combinatorial bound `O(d^n)` for a request: replicas ×
@@ -436,7 +435,9 @@ mod tests {
         // A cluster with tiny links: every plan's delivery rate exceeds
         // capacity.
         let tiny = CompositeQosApi::homogeneous_cluster(ServerId::first_n(3), 10.0, 10.0, 10.0);
-        assert!(g.drop_infeasible(plans.clone(), &tiny).is_empty());
+        let mut dropped = plans.clone();
+        g.retain_feasible(&mut dropped, &tiny);
+        assert!(dropped.is_empty());
         // A sane cluster keeps them all.
         let sane = CompositeQosApi::homogeneous_cluster(
             ServerId::first_n(3),
@@ -444,7 +445,9 @@ mod tests {
             20_000_000.0,
             512e6,
         );
-        assert_eq!(g.drop_infeasible(plans, &sane).len(), n);
+        let mut kept = plans;
+        g.retain_feasible(&mut kept, &sane);
+        assert_eq!(kept.len(), n);
     }
 
     #[test]

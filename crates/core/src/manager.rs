@@ -13,10 +13,13 @@
 use crate::cost::CostModel;
 use crate::generator::{PlanGenerator, PlanRequest};
 use crate::plan::Plan;
+use crate::plancache::{PlanCache, PlanCacheKey, PlanCacheStats};
 use crate::qop::UserProfile;
 use quasaq_qosapi::{CompositeQosApi, ReservationId};
 use quasaq_sim::Rng;
 use quasaq_store::MetadataEngine;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A plan that passed admission and holds its reservation.
 #[derive(Debug, Clone)]
@@ -98,6 +101,14 @@ pub struct QualityManager {
     /// every time showed up in profiles. Holds no state between calls
     /// beyond its allocation.
     plan_buf: Vec<Plan>,
+    /// Memoized enumeration results (`None` = caching off, the default).
+    /// Cached and uncached admission are bit-identical — the cache holds
+    /// only the pure enumeration output plus a feasibility snapshot, and
+    /// ranking/reservation always run live.
+    plan_cache: Option<PlanCache>,
+    /// Manager-side cache epoch: part of every [`PlanCacheKey`], bumped by
+    /// renegotiation and [`invalidate_plan_cache`](Self::invalidate_plan_cache).
+    cache_epoch: u64,
 }
 
 impl QualityManager {
@@ -114,6 +125,46 @@ impl QualityManager {
             cost_model,
             last_stats: PlanningStats::default(),
             plan_buf: Vec::new(),
+            plan_cache: None,
+            cache_epoch: 0,
+        }
+    }
+
+    /// Turns plan-enumeration memoization on (with default bounds) or
+    /// off. Toggling clears any cached state, so a manager with caching
+    /// enabled mid-run behaves exactly like a fresh one.
+    pub fn set_plan_caching(&mut self, enabled: bool) {
+        self.plan_cache = enabled.then(PlanCache::new);
+    }
+
+    /// Whether plan caching is enabled.
+    pub fn plan_caching(&self) -> bool {
+        self.plan_cache.is_some()
+    }
+
+    /// Cache behaviour counters (`None` when caching is off).
+    pub fn plan_cache_stats(&self) -> Option<PlanCacheStats> {
+        self.plan_cache.as_ref().map(PlanCache::stats)
+    }
+
+    /// Explicit invalidation hook: drops every cached entry and bumps the
+    /// manager-side epoch so in-flight keys stop matching. Call after
+    /// mutating planning inputs behind the manager's back (e.g. editing
+    /// the metadata engine without a server failure/restore hook).
+    pub fn invalidate_plan_cache(&mut self) {
+        self.cache_epoch += 1;
+        if let Some(cache) = &mut self.plan_cache {
+            cache.invalidate_all();
+        }
+    }
+
+    fn cache_key(&self, request: &PlanRequest) -> PlanCacheKey {
+        PlanCacheKey {
+            video: request.video,
+            qos: request.qos.clone(),
+            security: request.security,
+            api_epoch: self.api.state_epoch(),
+            mgr_epoch: self.cache_epoch,
         }
     }
 
@@ -135,6 +186,22 @@ impl QualityManager {
 
     /// Generates, ranks, and admits a plan for `request`.
     pub fn process(
+        &mut self,
+        engine: &MetadataEngine,
+        request: &PlanRequest,
+        rng: &mut Rng,
+    ) -> Result<AdmittedPlan, Rejection> {
+        if self.plan_cache.is_some() {
+            return self.process_cached(engine, request, rng);
+        }
+        self.process_uncached(engine, request, rng)
+    }
+
+    /// The plain (uncached) admission pipeline. Also serves as the
+    /// doorkeeper's bypass lane when caching is on: a first-touch miss
+    /// runs here so one-hit-wonder keys cost exactly what caching-off
+    /// costs — no entry allocation, no eviction pressure.
+    fn process_uncached(
         &mut self,
         engine: &MetadataEngine,
         request: &PlanRequest,
@@ -164,6 +231,143 @@ impl QualityManager {
         }
         self.last_stats.attempts = order.len();
         Err(Rejection::AdmissionFailed)
+    }
+
+    /// The cached admission path. Memoizes only the *pure* enumeration
+    /// (plus a capacity-feasibility snapshot); feasibility, ranking, and
+    /// reservation run live every time, so the decision — plan, order,
+    /// RNG draws, stats — is bit-identical to the uncached
+    /// [`process`](Self::process).
+    fn process_cached(
+        &mut self,
+        engine: &MetadataEngine,
+        request: &PlanRequest,
+        rng: &mut Rng,
+    ) -> Result<AdmittedPlan, Rejection> {
+        let key = self.cache_key(request);
+        let cached = self.plan_cache.as_mut().expect("caching on").lookup(&key);
+        let (plans, live) = match cached {
+            Some((plans, snapshot, fingerprint)) => {
+                // Cheap revalidation: O(buckets), not O(plans). Every
+                // supported capacity mutation bumps the epoch in the key,
+                // so a matching fingerprint proves the snapshot equals
+                // what `retain_feasible` would compute right now.
+                if fingerprint == self.api.capacity_fingerprint() {
+                    (plans, snapshot)
+                } else {
+                    // A capacity change slipped past the epoch hooks
+                    // (e.g. an un-hooked engine edit). Never trust the
+                    // entry — drop it and re-enumerate.
+                    self.plan_cache.as_mut().expect("caching on").note_revalidation_failure(&key);
+                    self.enumerate_and_insert(engine, request, key)
+                }
+            }
+            None => {
+                // Doorkeeper: only a key's second miss earns a slot. The
+                // Zipf tail is full of keys seen exactly once — storing
+                // them just evicts warm entries and pays an
+                // allocate-then-free cycle of ~10³ plans for nothing.
+                // First touches take the plain pipeline instead (same
+                // decisions, cost identical to caching-off).
+                if !self.plan_cache.as_mut().expect("caching on").should_store(&key) {
+                    return self.process_uncached(engine, request, rng);
+                }
+                self.enumerate_and_insert(engine, request, key)
+            }
+        };
+        self.last_stats.generated = plans.len();
+        if plans.is_empty() {
+            self.last_stats.feasible = 0;
+            self.last_stats.attempts = 0;
+            return Err(Rejection::NoFeasiblePlan);
+        }
+        self.last_stats.feasible = live.len();
+        if live.is_empty() {
+            self.last_stats.attempts = 0;
+            return Err(Rejection::NoFeasiblePlan);
+        }
+        let order = self.cost_model.rank_subset(&plans, &live, &self.api, rng);
+        for (attempt, &i) in order.iter().enumerate() {
+            if let Ok(reservation) = self.api.reserve(&plans[i].resources) {
+                self.last_stats.attempts = attempt + 1;
+                return Ok(AdmittedPlan { plan: plans[i].clone(), reservation });
+            }
+        }
+        self.last_stats.attempts = order.len();
+        Err(Rejection::AdmissionFailed)
+    }
+
+    /// Indices of `plans` passing the capacity-feasibility cut right now —
+    /// the subset [`PlanGenerator::retain_feasible`] would keep, by index.
+    fn live_feasible(plans: &[Plan], api: &CompositeQosApi) -> Vec<usize> {
+        plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| PlanGenerator::is_feasible(p, api))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Full enumeration for `request`, stored under `key` with its live
+    /// feasibility snapshot. Pure: consumes no RNG, touches no
+    /// reservations.
+    fn enumerate_and_insert(
+        &mut self,
+        engine: &MetadataEngine,
+        request: &PlanRequest,
+        key: PlanCacheKey,
+    ) -> (Arc<Vec<Plan>>, Arc<Vec<usize>>) {
+        // Pre-size from the previous enumeration: plan counts are nearly
+        // constant across requests on one testbed, and growth reallocs of
+        // a few hundred `Plan`s showed up in the miss-path profile.
+        let mut out = Vec::with_capacity(self.last_stats.generated.max(32));
+        self.generator.generate_into(engine, request, &mut out);
+        let plans = Arc::new(out);
+        let live = Arc::new(Self::live_feasible(&plans, &self.api));
+        self.plan_cache.as_mut().expect("caching on").insert(
+            key,
+            Arc::clone(&plans),
+            Arc::clone(&live),
+            self.api.capacity_fingerprint(),
+        );
+        (plans, live)
+    }
+
+    /// The bulk-admit enumeration pass: warms the plan cache for a batch
+    /// of arrivals (the flash-crowd case). Requests are sorted by video —
+    /// metadata-engine locality — and deduplicated by cache key; each
+    /// absent key that repeats within the batch is enumerated exactly
+    /// once (batch singletons defer to the per-request doorkeeper).
+    /// Consumes no RNG and makes no reservations, so `prefetch_plans`
+    /// followed by sequential
+    /// [`process`](Self::process) calls in arrival order is bit-identical
+    /// to processing the batch cold. No-op when caching is off.
+    pub fn prefetch_plans(&mut self, engine: &MetadataEngine, requests: &[PlanRequest]) {
+        if self.plan_cache.is_none() {
+            return;
+        }
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| requests[i].video);
+        // Batch multiplicity decides storage: a key appearing twice in
+        // the batch pays for its entry within the batch itself. Batch
+        // singletons are left to the per-request doorkeeper (see
+        // `process_cached`), so a flash crowd of one-hit wonders cannot
+        // flush the warm set.
+        let mut count: HashMap<PlanCacheKey, u32> = HashMap::new();
+        for req in requests {
+            *count.entry(self.cache_key(req)).or_insert(0) += 1;
+        }
+        let mut done: HashSet<PlanCacheKey> = HashSet::new();
+        for i in order {
+            let key = self.cache_key(&requests[i]);
+            if count[&key] < 2
+                || self.plan_cache.as_ref().expect("caching on").contains(&key)
+                || !done.insert(key.clone())
+            {
+                continue;
+            }
+            let _ = self.enumerate_and_insert(engine, &requests[i], key);
+        }
     }
 
     /// The full user-facing path: try the requested quality, then walk the
@@ -220,14 +424,35 @@ impl QualityManager {
     /// sessions — the User Profile's statistics exist "enabling better
     /// renegotiation decisions in case of resource failure".
     pub fn handle_server_failure(&mut self, server: quasaq_sim::ServerId) -> Vec<ReservationId> {
-        self.api.fail_server(server)
+        let cancelled = self.api.fail_server(server);
+        // Cache invalidation: the API epoch already moved, and the caller
+        // is about to drop the server from the metadata engine too (which
+        // the epoch cannot see) — clear everything.
+        self.invalidate_plan_cache();
+        cancelled
     }
 
     /// Handles a failed server coming back: its buckets re-register empty
     /// at their pre-failure capacities, so subsequent `process` calls plan
     /// against it again. Returns `false` when the server was not down.
     pub fn handle_server_restart(&mut self, server: quasaq_sim::ServerId) -> bool {
-        self.api.restore_server(server)
+        let restored = self.api.restore_server(server);
+        if restored {
+            // Mirror of the failure hook: the engine regains the site.
+            self.invalidate_plan_cache();
+        }
+        restored
+    }
+
+    /// Re-rates one resource bucket (link degradation / recovery faults),
+    /// routing through the composite API's epoch bump and invalidating
+    /// cached plans. Returns `false` for unmanaged buckets.
+    pub fn set_capacity(&mut self, key: quasaq_qosapi::ResourceKey, capacity: f64) -> bool {
+        let changed = self.api.set_capacity(key, capacity);
+        if changed {
+            self.invalidate_plan_cache();
+        }
+        changed
     }
 
     /// Renegotiates a running session to a new QoS range (user action
@@ -255,7 +480,14 @@ impl QualityManager {
             if let Ok(new_id) =
                 self.api.renegotiate(admitted.reservation, &self.plan_buf[i].resources)
             {
-                return Ok(AdmittedPlan { plan: self.plan_buf[i].clone(), reservation: new_id });
+                let plan = self.plan_buf[i].clone();
+                // Conservative invalidation on successful renegotiation
+                // (the ISSUE's explicit-hook contract). Strictly the swap
+                // only moves *usage*, which cached feasibility cannot see
+                // — but renegotiations are rare (failover, user action)
+                // and clearing keeps the staleness argument trivial.
+                self.invalidate_plan_cache();
+                return Ok(AdmittedPlan { plan, reservation: new_id });
             }
         }
         Err(Rejection::AdmissionFailed)
@@ -526,6 +758,214 @@ mod tests {
         }
         // No bucket on the failed server remains managed.
         assert!(m.api().buckets().all(|k| k.server != failed));
+    }
+
+    /// Drives a cache-on and a cache-off manager through the same
+    /// admission/release/fault/renegotiation sequence and asserts every
+    /// observable — outcomes, stats, RNG stream — stays bit-identical.
+    fn assert_cached_matches_uncached(make_model: fn() -> Box<dyn CostModel>, seed: u64) {
+        let mut e_cold = engine();
+        let mut e_warm = engine();
+        let api = || {
+            CompositeQosApi::homogeneous_cluster(
+                ServerId::first_n(3),
+                3_200_000.0,
+                20_000_000.0,
+                512e6,
+            )
+        };
+        let mut cold = QualityManager::new(
+            api(),
+            PlanGenerator::new(GeneratorConfig::default()),
+            make_model(),
+        );
+        let mut warm = QualityManager::new(
+            api(),
+            PlanGenerator::new(GeneratorConfig::default()),
+            make_model(),
+        );
+        warm.set_plan_caching(true);
+        let mut rng_c = Rng::new(seed);
+        let mut rng_w = Rng::new(seed);
+        let profile = UserProfile::new("u");
+        let mut live: Vec<(AdmittedPlan, AdmittedPlan)> = Vec::new();
+        for round in 0..120u32 {
+            match round {
+                // Mid-sequence structural events, mirrored on both sides.
+                40 => {
+                    let down = ServerId(1);
+                    assert_eq!(cold.handle_server_failure(down), warm.handle_server_failure(down));
+                    e_cold.fail_site(down);
+                    e_warm.fail_site(down);
+                }
+                55 => {
+                    // Renegotiate the most recent surviving pair upward.
+                    if let Some((a, b)) = live.pop() {
+                        let up = PlanRequest {
+                            video: a.plan.object.object.video,
+                            qos: profile.translate(&QopRequest::diagnostic()),
+                            security: QopSecurity::Open,
+                        };
+                        let ra = cold.renegotiate(&e_cold, &a, &up, &mut rng_c);
+                        let rb = warm.renegotiate(&e_warm, &b, &up, &mut rng_w);
+                        assert_eq!(format!("{ra:?}"), format!("{rb:?}"), "renegotiation diverged");
+                        if let (Ok(na), Ok(nb)) = (ra, rb) {
+                            live.push((na, nb));
+                        } else {
+                            live.push((a, b));
+                        }
+                    }
+                }
+                70 => {
+                    assert_eq!(
+                        cold.handle_server_restart(ServerId(1)),
+                        warm.handle_server_restart(ServerId(1))
+                    );
+                }
+                90 => {
+                    let key = ResourceKey::new(ServerId(0), ResourceKind::NetBandwidth);
+                    assert_eq!(
+                        cold.set_capacity(key, 2_500_000.0),
+                        warm.set_capacity(key, 2_500_000.0)
+                    );
+                }
+                _ => {}
+            }
+            // Load rises and falls: periodically complete the oldest pair
+            // (releasing a fault-cancelled reservation is a no-op on both
+            // sides, so no special-casing after round 40).
+            if round % 7 == 6 && !live.is_empty() {
+                let (a, b) = live.remove(0);
+                cold.release(&a);
+                warm.release(&b);
+            }
+            let req = request(round % 5);
+            let rc = cold.process(&e_cold, &req, &mut rng_c);
+            let rw = warm.process(&e_warm, &req, &mut rng_w);
+            assert_eq!(format!("{rc:?}"), format!("{rw:?}"), "round {round}: outcome diverged");
+            assert_eq!(cold.last_stats(), warm.last_stats(), "round {round}: stats diverged");
+            assert_eq!(
+                rng_c.below(1 << 30),
+                rng_w.below(1 << 30),
+                "round {round}: RNG streams diverged"
+            );
+            if let (Ok(a), Ok(b)) = (rc, rw) {
+                live.push((a, b));
+            }
+        }
+        let stats = warm.plan_cache_stats().expect("caching on");
+        assert!(stats.hits > 0, "the repetitive request mix must hit: {stats:?}");
+    }
+
+    #[test]
+    fn cached_admission_is_bit_identical_to_uncached_lrb() {
+        assert_cached_matches_uncached(|| Box::new(LrbModel), 11);
+    }
+
+    #[test]
+    fn cached_admission_is_bit_identical_to_uncached_random() {
+        // RandomModel consumes RNG during ranking, so this additionally
+        // proves rank_subset draws exactly what rank would.
+        assert_cached_matches_uncached(|| Box::new(RandomModel), 12);
+    }
+
+    #[test]
+    fn corrupted_fingerprint_falls_back_to_full_enumeration() {
+        let e = engine();
+        let mut cold = manager();
+        let mut warm = manager();
+        warm.set_plan_caching(true);
+        let mut rng_c = Rng::new(13);
+        let mut rng_w = Rng::new(13);
+        let req = request(3);
+        // Two rounds: the doorkeeper stores only on the second miss.
+        for _ in 0..2 {
+            let a = cold.process(&e, &req, &mut rng_c).unwrap();
+            let b = warm.process(&e, &req, &mut rng_w).unwrap();
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        // Sabotage the fingerprint (simulates a capacity change that bypassed
+        // every epoch hook): the next hit must detect the mismatch, drop
+        // the entry, and fall back to full enumeration — still
+        // bit-identical to the uncached manager.
+        let key = warm.cache_key(&req);
+        assert!(warm.plan_cache.as_mut().unwrap().corrupt_fingerprint(&key));
+        let a2 = cold.process(&e, &req, &mut rng_c);
+        let b2 = warm.process(&e, &req, &mut rng_w);
+        assert_eq!(format!("{a2:?}"), format!("{b2:?}"));
+        assert_eq!(cold.last_stats(), warm.last_stats());
+        let stats = warm.plan_cache_stats().unwrap();
+        assert_eq!(stats.revalidation_failures, 1);
+        // The re-enumerated entry is trustworthy again.
+        let a3 = cold.process(&e, &req, &mut rng_c);
+        let b3 = warm.process(&e, &req, &mut rng_w);
+        assert_eq!(format!("{a3:?}"), format!("{b3:?}"));
+        assert_eq!(warm.plan_cache_stats().unwrap().revalidation_failures, 1);
+    }
+
+    #[test]
+    fn fault_and_capacity_hooks_invalidate_the_cache() {
+        let e = engine();
+        let mut m = manager();
+        m.set_plan_caching(true);
+        let mut rng = Rng::new(14);
+        // Each warm-up processes twice: the doorkeeper stores on the
+        // second miss of a key.
+        let _ = m.process(&e, &request(0), &mut rng);
+        let _ = m.process(&e, &request(0), &mut rng);
+        assert!(!m.plan_cache.as_ref().unwrap().is_empty());
+        let epoch0 = m.cache_epoch;
+        m.handle_server_failure(ServerId(2));
+        assert!(m.plan_cache.as_ref().unwrap().is_empty(), "failure must clear the cache");
+        assert_eq!(m.plan_cache_stats().unwrap().invalidations, 1);
+        assert!(m.cache_epoch > epoch0);
+        let _ = m.process(&e, &request(0), &mut rng);
+        let _ = m.process(&e, &request(0), &mut rng);
+        assert!(m.handle_server_restart(ServerId(2)), "restart of a down server restores");
+        assert!(m.plan_cache.as_ref().unwrap().is_empty(), "restore must clear the cache");
+        // Restarting a live server is a no-op and must NOT invalidate.
+        let _ = m.process(&e, &request(0), &mut rng);
+        let _ = m.process(&e, &request(0), &mut rng);
+        assert!(!m.handle_server_restart(ServerId(2)));
+        assert!(!m.plan_cache.as_ref().unwrap().is_empty());
+        // Re-rating a managed bucket invalidates; an unknown bucket doesn't.
+        assert!(m.set_capacity(ResourceKey::new(ServerId(0), ResourceKind::NetBandwidth), 1e6));
+        assert!(m.plan_cache.as_ref().unwrap().is_empty());
+        let _ = m.process(&e, &request(0), &mut rng);
+        let _ = m.process(&e, &request(0), &mut rng);
+        assert!(!m.set_capacity(ResourceKey::new(ServerId(9), ResourceKind::NetBandwidth), 1e6));
+        assert!(!m.plan_cache.as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn prefetch_amortizes_enumeration_without_changing_decisions() {
+        let e = engine();
+        let reqs: Vec<PlanRequest> = (0..10u32).map(|i| request(i % 4)).collect();
+        let mut plain = manager();
+        let mut bulk = manager();
+        bulk.set_plan_caching(true);
+        let mut rng_p = Rng::new(15);
+        let mut rng_b = Rng::new(15);
+        bulk.prefetch_plans(&e, &reqs);
+        // Four distinct keys enumerated once each; prefetch itself touches
+        // no counters, no RNG, no reservations, no stats.
+        let s = bulk.plan_cache_stats().unwrap();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        assert_eq!(bulk.plan_cache.as_ref().unwrap().len(), 4);
+        assert_eq!(bulk.api().reservation_count(), 0);
+        assert_eq!(bulk.last_stats(), PlanningStats::default());
+        for req in &reqs {
+            let rp = plain.process(&e, req, &mut rng_p);
+            let rb = bulk.process(&e, req, &mut rng_b);
+            assert_eq!(format!("{rp:?}"), format!("{rb:?}"));
+            assert_eq!(plain.last_stats(), bulk.last_stats());
+        }
+        let s = bulk.plan_cache_stats().unwrap();
+        assert_eq!(s.misses, 0, "prefetch should have warmed every key: {s:?}");
+        assert_eq!(s.hits, reqs.len() as u64);
+        // Prefetching is idempotent: already-cached keys are skipped.
+        bulk.prefetch_plans(&e, &reqs);
+        assert_eq!(bulk.plan_cache.as_ref().unwrap().len(), 4);
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl fmt::Display for QualitySpec {
 }
 
 /// An inclusive range of acceptable application QoS attached to a query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Hashable so admission layers can key memoization (e.g. the plan cache)
+/// on the exact requested ladder rung.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QosRange {
     /// Smallest acceptable resolution.
     pub min_resolution: Resolution,

@@ -90,14 +90,18 @@ impl ResourceManager {
         self.leases.len()
     }
 
-    /// Whether `amount` can be reserved.
+    /// Whether `amount` can be reserved. Malformed demands (negative, NaN,
+    /// infinite) are never reservable — admission paths feed this straight
+    /// from plan resource vectors, so garbage must bounce as a rejection
+    /// rather than corrupt `used`.
     pub fn can_reserve(&self, amount: f64) -> bool {
-        amount <= self.available() + 1e-9
+        amount >= 0.0 && amount.is_finite() && amount <= self.available() + 1e-9
     }
 
-    /// Reserves `amount`, returning a lease.
+    /// Reserves `amount`, returning a lease. Malformed (negative/non-finite)
+    /// amounts are reported as a typed rejection, not a panic: they are
+    /// reachable from the admission path via plan resource vectors.
     pub fn reserve(&mut self, amount: f64) -> Result<LeaseId, BucketFull> {
-        assert!(amount >= 0.0 && amount.is_finite(), "reservation must be non-negative");
         if !self.can_reserve(amount) {
             return Err(BucketFull {
                 key: self.key,
@@ -122,7 +126,15 @@ impl ResourceManager {
     /// Adjusts an existing lease to a new amount (renegotiation on one
     /// bucket). On failure the lease is unchanged.
     pub fn adjust(&mut self, lease: LeaseId, new_amount: f64) -> Result<(), BucketFull> {
-        assert!(new_amount >= 0.0 && new_amount.is_finite(), "reservation must be non-negative");
+        if !(new_amount >= 0.0 && new_amount.is_finite()) {
+            // Same rationale as `reserve`: renegotiation demands come from
+            // plan arithmetic, so malformed values reject instead of panic.
+            return Err(BucketFull {
+                key: self.key,
+                requested: new_amount,
+                available: self.available(),
+            });
+        }
         let Some(&old) = self.leases.get(&lease) else {
             return Err(BucketFull {
                 key: self.key,
@@ -141,6 +153,21 @@ impl ResourceManager {
         self.leases.insert(lease, new_amount);
         self.used = (self.used + delta).max(0.0);
         Ok(())
+    }
+
+    /// Re-rates the bucket to a new total capacity (link degradation /
+    /// recovery). Existing leases are untouched: shrinking below `used`
+    /// leaves the bucket oversubscribed (`fill() > 1`), which only blocks
+    /// *new* admissions — the paper's model degrades in-flight sessions via
+    /// renegotiation, not forced eviction.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is non-positive or non-finite, mirroring
+    /// [`ResourceManager::new`]: capacities come from operator-side
+    /// topology/fault declarations, not the admission path.
+    pub fn set_capacity(&mut self, capacity: f64) {
+        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
+        self.capacity = capacity;
     }
 }
 
@@ -226,5 +253,35 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = mgr(0.0);
+    }
+
+    #[test]
+    fn malformed_amounts_reject_instead_of_panicking() {
+        let mut m = mgr(100.0);
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(!m.can_reserve(bad));
+            assert!(m.reserve(bad).is_err(), "reserve({bad}) must reject");
+            assert_eq!(m.used(), 0.0, "failed reserve must not corrupt usage");
+        }
+        let a = m.reserve(10.0).unwrap();
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(m.adjust(a, bad).is_err(), "adjust({bad}) must reject");
+            assert_eq!(m.used(), 10.0, "failed adjust must leave the lease intact");
+        }
+    }
+
+    #[test]
+    fn set_capacity_rerates_without_touching_leases() {
+        let mut m = mgr(100.0);
+        let a = m.reserve(60.0).unwrap();
+        m.set_capacity(50.0);
+        assert_eq!(m.capacity(), 50.0);
+        assert_eq!(m.used(), 60.0);
+        assert!(m.fill() > 1.0, "shrink below used oversubscribes");
+        assert!(!m.can_reserve(1.0));
+        m.set_capacity(200.0);
+        assert!(m.can_reserve(100.0));
+        m.release(a);
+        assert_eq!(m.used(), 0.0);
     }
 }

@@ -18,6 +18,16 @@
 //! items, not the whole event population — the common schedule/cancel/pop
 //! cycle is O(1) amortized.
 //!
+//! Small populations skip the wheel entirely: while fewer than
+//! [`DEFAULT_HEAP_THRESHOLD`] entries are stored, `schedule` pushes
+//! straight onto the `ready` heap, whose `log` factor at those sizes beats
+//! the wheel's cascade bookkeeping (the wheel used to lose ~22% to the
+//! plain heap on 1k-event churn). This is purely a routing choice — `pop`
+//! and `peek_time` already merge the heap and the wheel by comparing the
+//! ready head against the wheel's next slot deadline, so the fired order
+//! is identical whichever side an entry landed on, and mid-run threshold
+//! crossings need no migration.
+//!
 //! Wheel invariants:
 //! 1. every wheel entry's time is `>= cursor` (entries scheduled behind the
 //!    cursor — possible after `peek_time` cascades ahead of `now` — go
@@ -38,6 +48,13 @@ use std::collections::{BinaryHeap, HashSet};
 /// Identifies a scheduled event so it can be cancelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+/// Below this many stored entries, `schedule` bypasses the wheel and uses
+/// the `ready` heap directly: a couple thousand entries is where the
+/// heap's `log` factor starts losing to the wheel's O(1)-amortized
+/// bookkeeping. Chosen above the 1k-event churn micro-bench population so
+/// small sims never pay the wheel's constant factors.
+pub const DEFAULT_HEAP_THRESHOLD: usize = 2048;
 
 /// Bits per wheel level: 64 slots each.
 const LEVEL_BITS: u32 = 6;
@@ -85,6 +102,10 @@ pub struct EventQueue<E> {
     /// Physical entries stored (wheel + ready), including unreaped
     /// tombstones.
     stored: usize,
+    /// Physical entries currently in the wheel (not `ready`): lets the
+    /// pop/peek merge skip the per-level occupancy probe entirely while the
+    /// queue runs in heap mode.
+    in_wheel: usize,
     /// Sequence numbers scheduled but not yet fired or cancelled. Needed so
     /// `cancel` can tell a live event from one that already fired: blindly
     /// tombstoning an already-fired seq would leave it in `cancelled`
@@ -92,6 +113,9 @@ pub struct EventQueue<E> {
     live: HashSet<u64>,
     /// Tombstones for cancelled-but-unreaped entries.
     cancelled: HashSet<u64>,
+    /// Population below which `schedule` routes to the heap instead of the
+    /// wheel (see [`DEFAULT_HEAP_THRESHOLD`]; 0 forces pure-wheel).
+    heap_threshold: usize,
     now: SimTime,
     seq: u64,
 }
@@ -119,11 +143,23 @@ impl<E> EventQueue<E> {
             cursor: 0,
             ready: BinaryHeap::with_capacity(capacity.min(SLOTS)),
             stored: 0,
+            in_wheel: 0,
             live: HashSet::with_capacity(capacity),
             cancelled: HashSet::new(),
+            heap_threshold: DEFAULT_HEAP_THRESHOLD,
             now: SimTime::ZERO,
             seq: 0,
         }
+    }
+
+    /// Overrides the population below which scheduling bypasses the wheel.
+    /// `0` forces every entry through the wheel (the differential tests use
+    /// this to pin the structure under test); `usize::MAX` degenerates to a
+    /// plain binary heap. Takes effect for subsequent schedules only —
+    /// already-stored entries stay where they are, which is safe because
+    /// pop/peek merge both sides regardless.
+    pub fn set_heap_threshold(&mut self, threshold: usize) {
+        self.heap_threshold = threshold;
     }
 
     /// Current simulated time: the firing time of the most recently popped
@@ -149,9 +185,11 @@ impl<E> EventQueue<E> {
         self.stored += 1;
         let entry = Entry { time: at, seq: id, payload };
         let t = at.as_micros();
-        if t < self.cursor {
-            // `peek_time` may have cascaded the cursor past `now`; entries
-            // landing in that gap bypass the wheel (invariant 1).
+        if t < self.cursor || self.stored <= self.heap_threshold {
+            // Two reasons to bypass the wheel: `peek_time` may have cascaded
+            // the cursor past `now`, and entries landing in that gap must
+            // skip it (invariant 1); and below the hybrid threshold the heap
+            // is simply faster than wheel bookkeeping.
             self.ready.push(entry);
         } else {
             self.insert_wheel(entry);
@@ -239,6 +277,7 @@ impl<E> EventQueue<E> {
         let slot = (t >> (level as u32 * LEVEL_BITS)) as usize & (SLOTS - 1);
         self.slots[level * SLOTS + slot].push(entry);
         self.occupancy[level] |= 1 << slot;
+        self.in_wheel += 1;
     }
 
     /// First occupied wheel bucket `(level, slot, deadline)` in firing
@@ -272,7 +311,11 @@ impl<E> EventQueue<E> {
     /// slot (level 0). Ties drain too, so same-time entries meet in the
     /// heap where `(time, seq)` order decides.
     fn pull_due_into_ready(&mut self) {
-        while let Some((level, slot, deadline)) = self.wheel_next() {
+        while self.in_wheel > 0 {
+            let Some((level, slot, deadline)) = self.wheel_next() else {
+                debug_assert!(false, "in_wheel > 0 but no occupied slot");
+                break;
+            };
             if let Some(head) = self.ready.peek() {
                 if head.time.as_micros() < deadline {
                     break;
@@ -280,6 +323,7 @@ impl<E> EventQueue<E> {
             }
             let bucket = std::mem::take(&mut self.slots[level * SLOTS + slot]);
             self.occupancy[level] &= !(1 << slot);
+            self.in_wheel -= bucket.len();
             if level == 0 {
                 // All entries in a level-0 slot share one exact time.
                 for entry in bucket {
@@ -486,6 +530,8 @@ mod tests {
         // peek_time cascades the wheel cursor toward the next event; a later
         // schedule between `now` and that event must still fire first.
         let mut q = EventQueue::new();
+        q.set_heap_threshold(0); // pin the wheel path
+
         q.schedule(SimTime::from_micros(62), "pop-me");
         q.schedule(SimTime::from_micros(130), "far");
         assert_eq!(q.pop().map(|(_, e)| e), Some("pop-me"));
@@ -501,7 +547,8 @@ mod tests {
     #[test]
     fn far_horizon_events_cascade_correctly() {
         let mut q = EventQueue::new();
-        // Spread across many wheel levels, including the top.
+        q.set_heap_threshold(0); // pin the wheel path
+                                 // Spread across many wheel levels, including the top.
         let times = [1u64, 63, 64, 65, 4096, 262144, 1 << 40, u64::MAX / 2, u64::MAX - 1];
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(t), i);
@@ -596,10 +643,31 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_threshold_crossing_keeps_global_order() {
+        // Grow well past the hybrid threshold (later entries take the wheel,
+        // early ones sit in the heap), then drain back through it: the merge
+        // must fire everything in exact (time, seq) order throughout.
+        let mut q = EventQueue::new();
+        q.set_heap_threshold(8);
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        for i in 0..40u64 {
+            // Colliding times so ties straddle the heap/wheel boundary.
+            let t = (i * 37) % 23 + 1;
+            q.schedule(SimTime::from_micros(t), i);
+            expected.push((t, i));
+        }
+        expected.sort_unstable();
+        let got: Vec<(u64, u64)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_micros(), e))).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
     fn matches_reference_queue_on_interleaved_trace() {
         // A quick inline differential check; the heavyweight randomized
         // version lives in tests/proptests.rs.
         let mut wheel = EventQueue::new();
+        wheel.set_heap_threshold(0); // pin the wheel path
         let mut heap = reference::ReferenceQueue::new();
         let times = [5u64, 5, 3, 700, 700, 64, 65, 1_000_000, 12, 13];
         let mut wheel_ids = Vec::new();

@@ -332,11 +332,19 @@ proptest! {
     /// reference binary-heap queue under random schedule / cancel / pop /
     /// peek traces, including `(time, seq)` tie order, tombstoned
     /// cancellations, and cancels issued after the event already fired.
+    /// The hybrid heap-below-threshold routing is pinned at all three
+    /// regimes: pure wheel (0), crossing mid-trace (16 — these traces grow
+    /// past 16 live events and drain back), and pure heap (the default
+    /// threshold, far above any trace here).
     #[test]
     fn timing_wheel_matches_reference_heap(
+        threshold in proptest::sample::select(
+            vec![0usize, 16, quasaq_sim::queue::DEFAULT_HEAP_THRESHOLD],
+        ),
         ops in proptest::collection::vec((0u8..5, 0u64..200_000, any::<usize>()), 1..400),
     ) {
         let mut wheel: EventQueue<u32> = EventQueue::new();
+        wheel.set_heap_threshold(threshold);
         let mut heap: ReferenceQueue<u32> = ReferenceQueue::new();
         // Parallel id logs: the k-th schedule produced ids[k] in each
         // queue. Popped/cancelled ids stay in the log so a later cancel

@@ -372,6 +372,8 @@ mod tests {
             admission: None,
             faults: None,
             arrival_period: None,
+            arrival_burst: 1,
+            plan_cache: false,
             domain_workers: 0,
         };
         let scenarios: Vec<(SystemKind, ThroughputConfig)> = vec![
@@ -403,6 +405,8 @@ mod tests {
             admission: Some(crate::admission::AdmissionConfig::default()),
             faults: None,
             arrival_period: None,
+            arrival_burst: 1,
+            plan_cache: false,
             domain_workers: 0,
         };
         let scenarios: Vec<(SystemKind, ThroughputConfig)> = vec![

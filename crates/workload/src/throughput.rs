@@ -83,6 +83,16 @@ pub struct ThroughputConfig {
     /// Poisson stream; scaling studies shrink it so a hundred-server
     /// cluster actually sees load.
     pub arrival_period: Option<SimDuration>,
+    /// Queries per arrival instant (flash crowds). `1` keeps the paper's
+    /// one-query-per-arrival Poisson stream, bit-identical to runs before
+    /// bursts existed.
+    pub arrival_burst: usize,
+    /// Memoize plan enumeration in the Quality Manager (QuaSAQ systems
+    /// only). Admission decisions are bit-identical either way — the cache
+    /// holds only the pure enumeration output, and ranking/reservation run
+    /// live — so this is purely a constant-factor switch; the differential
+    /// proptests hold it to that.
+    pub plan_cache: bool,
     /// Within-run parallelism: step independent server domains on this
     /// many lanes (a [`crate::parallel::DomainPool`], including the
     /// calling thread). `0` or `1` keeps the serial legacy stepping. The
@@ -105,6 +115,8 @@ impl ThroughputConfig {
             admission: None,
             faults: None,
             arrival_period: None,
+            arrival_burst: 1,
+            plan_cache: false,
             domain_workers: 0,
         }
     }
@@ -211,6 +223,10 @@ impl ThroughputResult {
     }
 }
 
+// One instance per run, stack-allocated in `run_throughput`; the size gap
+// (QualityManager grew a plan cache) doesn't justify a Box deref on the
+// per-query admission path.
+#[allow(clippy::large_enum_variant)]
 enum SystemState {
     Plain { planner: BaselinePlanner },
     QosApi { planner: BaselinePlanner, api: CompositeQosApi, headroom: f64 },
@@ -263,6 +279,7 @@ pub fn run_throughput_on(
     if let Some(period) = cfg.arrival_period {
         traffic.mean_interarrival = period;
     }
+    traffic.burst = cfg.arrival_burst.max(1);
     let queries = generate_queries(cfg.seed ^ 0x51ab_17e5, &traffic);
     let mut rng = Rng::new(cfg.seed ^ 0x9e37_79b9);
 
@@ -275,17 +292,21 @@ pub fn run_throughput_on(
             api: testbed.qos_api(),
             headroom: cfg.testbed.cost.reservation_headroom,
         },
-        SystemKind::Quasaq(kind) => SystemState::Quasaq {
-            manager: testbed.quality_manager_with(
+        SystemKind::Quasaq(kind) => {
+            let mut manager = testbed.quality_manager_with(
                 kind,
                 quasaq_core::GeneratorConfig {
                     cost: cfg.testbed.cost,
                     allow_remote: !cfg.local_plans_only,
                     ..quasaq_core::GeneratorConfig::default()
                 },
-            ),
-            executor: PlanExecutor { cost: cfg.testbed.cost, ..PlanExecutor::default() },
-        },
+            );
+            manager.set_plan_caching(cfg.plan_cache);
+            SystemState::Quasaq {
+                manager,
+                executor: PlanExecutor { cost: cfg.testbed.cost, ..PlanExecutor::default() },
+            }
+        }
     };
 
     // All systems pace sessions at their stream rate on fair-share links;
@@ -631,50 +652,80 @@ pub fn run_throughput_on(
             }
         }
         if tq == Some(t) {
-            let q = &queries[qi];
-            qi += 1;
-            let request = QueuedQuery { video: q.video, qos: q.qos.clone() };
-            match admit(&mut state, testbed, &request, &mut fluid, &mut rng, t, None, &down) {
-                Ok(sess) => {
-                    admitted += 1;
-                    outstanding.adjust(t, 1);
-                    access.record(q.video, sess.server);
-                    if let Some(u) = sess.utility {
-                        utility_sum += u;
-                        utility_n += 1;
-                    }
-                    if let Some(res) = sess.reservation {
-                        reservations.insert(sess.sid, res);
-                    }
-                    if let Some(qu) = queue.as_mut() {
-                        qu.record_admitted(t, t);
-                    }
-                    if let Some(p) = patience {
-                        let dl = t + sess.nominal + p;
-                        deadlines.insert((dl, sess.sid));
-                        deadline_of.insert(sess.sid, dl);
-                    }
-                    if faults_on {
-                        ctxs.insert(
-                            sess.sid,
-                            SessionCtx { query: request, total_bytes: sess.bytes },
-                        );
+            // Every query arriving at this exact instant forms one batch (a
+            // flash-crowd burst under `arrival_burst > 1`; always a single
+            // query for Poisson arrivals). With the plan cache on, the
+            // bulk-admit path warms the cache for the whole batch first —
+            // requests sorted by cache key, each distinct enumeration done
+            // once — before the queries admit sequentially in arrival
+            // order. Prefetching consumes no RNG and reserves nothing, so
+            // the decisions are bit-identical to cold processing.
+            let batch_end = qi + queries[qi..].iter().take_while(|q| q.at == t).count();
+            if batch_end - qi > 1 {
+                if let SystemState::Quasaq { manager, .. } = &mut state {
+                    if manager.plan_caching() {
+                        let reqs: Vec<PlanRequest> = queries[qi..batch_end]
+                            .iter()
+                            .map(|q| PlanRequest {
+                                video: q.video,
+                                qos: q.qos.clone(),
+                                security: QopSecurity::Open,
+                            })
+                            .collect();
+                        manager.prefetch_plans(&testbed.engine, &reqs);
                     }
                 }
-                Err(why) => match queue.as_mut() {
-                    Some(qu) => {
-                        let w =
-                            Waiting { query: request, arrival: t, attempts: 1, interrupted: None };
-                        if qu.admit_failure(t, w, &why).is_rejection() {
+            }
+            while qi < batch_end {
+                let q = &queries[qi];
+                qi += 1;
+                let request = QueuedQuery { video: q.video, qos: q.qos.clone() };
+                match admit(&mut state, testbed, &request, &mut fluid, &mut rng, t, None, &down) {
+                    Ok(sess) => {
+                        admitted += 1;
+                        outstanding.adjust(t, 1);
+                        access.record(q.video, sess.server);
+                        if let Some(u) = sess.utility {
+                            utility_sum += u;
+                            utility_n += 1;
+                        }
+                        if let Some(res) = sess.reservation {
+                            reservations.insert(sess.sid, res);
+                        }
+                        if let Some(qu) = queue.as_mut() {
+                            qu.record_admitted(t, t);
+                        }
+                        if let Some(p) = patience {
+                            let dl = t + sess.nominal + p;
+                            deadlines.insert((dl, sess.sid));
+                            deadline_of.insert(sess.sid, dl);
+                        }
+                        if faults_on {
+                            ctxs.insert(
+                                sess.sid,
+                                SessionCtx { query: request, total_bytes: sess.bytes },
+                            );
+                        }
+                    }
+                    Err(why) => match queue.as_mut() {
+                        Some(qu) => {
+                            let w = Waiting {
+                                query: request,
+                                arrival: t,
+                                attempts: 1,
+                                interrupted: None,
+                            };
+                            if qu.admit_failure(t, w, &why).is_rejection() {
+                                rejected += 1;
+                                rejects.push(t, rejected as f64);
+                            }
+                        }
+                        None => {
                             rejected += 1;
                             rejects.push(t, rejected as f64);
                         }
-                    }
-                    None => {
-                        rejected += 1;
-                        rejects.push(t, rejected as f64);
-                    }
-                },
+                    },
+                }
             }
         }
     }
@@ -708,6 +759,15 @@ pub fn run_throughput_on(
         fm.dropped += displaced_pending;
     }
 
+    // Env-gated diagnostic (EXPERIMENTS.md, plan-cache study): end-of-run
+    // cache counters on stderr, leaving the returned result untouched.
+    if std::env::var_os("QUASAQ_CACHE_DEBUG").is_some() {
+        if let SystemState::Quasaq { manager, .. } = &state {
+            if let Some(s) = manager.plan_cache_stats() {
+                eprintln!("cache stats: {s:?}");
+            }
+        }
+    }
     ThroughputResult {
         label: system.label(),
         outstanding: outstanding.sample(cfg.sample_step, cfg.horizon),
@@ -960,6 +1020,8 @@ mod tests {
             admission: None,
             faults: None,
             arrival_period: None,
+            arrival_burst: 1,
+            plan_cache: false,
             domain_workers: 0,
         }
     }
@@ -1262,6 +1324,8 @@ mod tests {
             admission: None,
             faults: None,
             arrival_period: None,
+            arrival_burst: 1,
+            plan_cache: false,
             domain_workers: 0,
         };
         let queued = ThroughputConfig {
@@ -1290,5 +1354,30 @@ mod tests {
         assert!(p2 < w2, "patience must cap the pile-up ({p2} vs {w2})");
         let q = with.queue.as_ref().expect("front end enabled");
         assert!(q.abandoned_streaming > 0, "stretched sessions must be abandoned");
+    }
+
+    /// The flash-crowd case the bulk-admit path exists for: bursty
+    /// arrivals over a skewed catalog, cache on vs off. The cached run
+    /// must be bit-identical — same admissions, same series, same floats —
+    /// while the batch prefetch amortizes enumeration across the burst.
+    #[test]
+    fn flash_crowd_with_plan_cache_is_bit_identical() {
+        let base = ThroughputConfig {
+            video_skew: 1.1,
+            arrival_burst: 8,
+            admission: Some(AdmissionConfig::default()),
+            ..short_cfg()
+        };
+        let cached = ThroughputConfig { plan_cache: true, ..base.clone() };
+        for kind in [CostKind::Lrb, CostKind::Random] {
+            let cold = run_throughput(SystemKind::Quasaq(kind), &base);
+            let warm = run_throughput(SystemKind::Quasaq(kind), &cached);
+            assert_eq!(cold, warm, "cache changed a {kind:?} decision");
+            assert_eq!(cold.admitted + cold.rejected, cold.queries);
+        }
+        // Bursts actually multiply load: ~8x the queries of the lone stream.
+        let lone = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &short_cfg());
+        let burst = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &base);
+        assert!(burst.queries > lone.queries * 6, "{} vs {}", burst.queries, lone.queries);
     }
 }

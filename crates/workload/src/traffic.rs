@@ -44,6 +44,11 @@ pub struct TrafficConfig {
     pub video_skew: f64,
     /// Distribution of requested QoP parameters.
     pub qop_mix: QopMix,
+    /// Queries per arrival instant. `1` is the paper's Poisson stream
+    /// (bit-identical RNG consumption to the legacy generator); larger
+    /// values model flash crowds — every arrival is a burst of
+    /// simultaneous, independently drawn requests.
+    pub burst: usize,
 }
 
 impl TrafficConfig {
@@ -55,6 +60,7 @@ impl TrafficConfig {
             num_videos,
             video_skew: 0.0,
             qop_mix: QopMix::Uniform,
+            burst: 1,
         }
     }
 }
@@ -131,14 +137,18 @@ pub fn generate_queries(seed: u64, cfg: &TrafficConfig) -> Vec<GeneratedQuery> {
         if t > cfg.horizon {
             break;
         }
-        let video = if cfg.video_skew > 0.0 {
-            VideoId(rng.zipf(cfg.num_videos, cfg.video_skew) as u32)
-        } else {
-            VideoId(rng.index(cfg.num_videos) as u32)
-        };
-        let qop = random_qop_with(&mut rng, cfg.qop_mix);
-        let qos = profile.translate(&qop);
-        out.push(GeneratedQuery { at: t, video, qop, qos });
+        // A burst of `burst` simultaneous requests per arrival instant;
+        // with `burst == 1` the draw sequence is the legacy one exactly.
+        for _ in 0..cfg.burst.max(1) {
+            let video = if cfg.video_skew > 0.0 {
+                VideoId(rng.zipf(cfg.num_videos, cfg.video_skew) as u32)
+            } else {
+                VideoId(rng.index(cfg.num_videos) as u32)
+            };
+            let qop = random_qop_with(&mut rng, cfg.qop_mix);
+            let qos = profile.translate(&qop);
+            out.push(GeneratedQuery { at: t, video, qop, qos });
+        }
     }
     out
 }
@@ -238,6 +248,24 @@ mod tests {
         // DvdLike is weighted 45%, Preview 5%; uniform would give both 25%.
         assert!(rich > N * 4 / 10, "rich draws {rich}/{N}");
         assert!(preview < N / 10, "preview draws {preview}/{N}");
+    }
+
+    #[test]
+    fn bursts_share_an_arrival_instant() {
+        let mut c = cfg();
+        c.burst = 8;
+        let qs = generate_queries(6, &c);
+        assert_eq!(qs.len() % 8, 0);
+        for chunk in qs.chunks(8) {
+            assert!(chunk.iter().all(|q| q.at == chunk[0].at), "burst must be simultaneous");
+        }
+        // Independent draws inside a burst: videos are not all identical.
+        assert!(qs.chunks(8).any(|c| c.iter().any(|q| q.video != c[0].video)));
+        // Arrival instants themselves match the burst-free stream.
+        let lone = generate_queries(6, &cfg());
+        // Different RNG consumption shifts later gaps, but the first
+        // instant (drawn before any per-query randomness) must agree.
+        assert_eq!(qs[0].at, lone[0].at);
     }
 
     #[test]

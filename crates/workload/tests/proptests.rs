@@ -111,4 +111,65 @@ proptest! {
         let sharded = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &sharded_cfg);
         prop_assert_eq!(serial, sharded);
     }
+
+    /// The plan-cache tentpole's contract: turning the memoized plan
+    /// cache (and its bulk-admit prefetch) on changes *nothing* about
+    /// admission decisions — every series, float, and fault metric is
+    /// bitwise identical to the uncached run, serial and sharded alike,
+    /// across random cluster sizes, skews, bursts, admission modes, cost
+    /// models, and fault plans.
+    #[test]
+    fn plan_cache_is_bit_identical_to_full_enumeration(
+        seed in 0u64..1_000,
+        servers in 2u32..8,
+        workers in 2usize..6,
+        skew in 0.0f64..1.5,
+        burst in 1usize..6,
+        queued in any::<bool>(),
+        random_model in any::<bool>(),
+        crash in any::<bool>(),
+        crash_server in 0u32..8,
+        crash_at in 20u64..100,
+    ) {
+        let faults = crash.then(|| {
+            FaultPlan::crash_restart(
+                ServerId(crash_server % servers),
+                SimTime::from_secs(crash_at),
+                SimTime::from_secs(crash_at + 40),
+            )
+        });
+        let uncached_cfg = ThroughputConfig {
+            testbed: TestbedConfig { servers, ..TestbedConfig::default() },
+            horizon: SimTime::from_secs(120),
+            seed,
+            video_skew: skew,
+            arrival_burst: burst,
+            admission: queued.then(AdmissionConfig::default),
+            faults,
+            ..ThroughputConfig::fig6()
+        };
+        let cached_cfg = ThroughputConfig { plan_cache: true, ..uncached_cfg.clone() };
+        // `Random` ranks by consuming the RNG, so equality here proves the
+        // cache hit path replays the exact draw sequence of a full
+        // enumeration, not just the same plan set.
+        let kind = if random_model {
+            SystemKind::Quasaq(CostKind::Random)
+        } else {
+            SystemKind::Quasaq(CostKind::Lrb)
+        };
+        let uncached = run_throughput(kind, &uncached_cfg);
+        let cached = run_throughput(kind, &cached_cfg);
+        prop_assert_eq!(&uncached, &cached);
+        let uncached_sharded = run_throughput(
+            kind,
+            &ThroughputConfig { domain_workers: workers, ..uncached_cfg },
+        );
+        let cached_sharded = run_throughput(
+            kind,
+            &ThroughputConfig { domain_workers: workers, ..cached_cfg },
+        );
+        prop_assert_eq!(&uncached_sharded, &cached_sharded);
+        prop_assert_eq!(&uncached, &uncached_sharded);
+        prop_assert_eq!(uncached.admitted + uncached.rejected, uncached.queries);
+    }
 }

@@ -147,6 +147,8 @@ fn throughput_ordering_matches_fig6_and_fig7() {
         arrival_period: None,
         domain_workers: 0,
         qop_mix: QopMix::Uniform,
+        arrival_burst: 1,
+        plan_cache: false,
     };
     let h = cfg.horizon;
     // Four independent runs: fan them across cores via the scenario runner
@@ -277,6 +279,8 @@ fn migration_extension_improves_skewed_throughput() {
         arrival_period: None,
         domain_workers: 0,
         qop_mix: QopMix::Uniform,
+        arrival_burst: 1,
+        plan_cache: false,
     };
     let mut tb = Testbed::build(cfg.testbed.clone());
     let before = run_throughput_on(&tb, SystemKind::Quasaq(CostKind::Lrb), &cfg);
@@ -322,6 +326,8 @@ fn utility_optimizer_trades_throughput_for_quality() {
         arrival_period: None,
         domain_workers: 0,
         qop_mix: QopMix::Uniform,
+        arrival_burst: 1,
+        plan_cache: false,
     };
     let scenarios = vec![
         (SystemKind::Quasaq(CostKind::Lrb), cfg.clone()),
@@ -352,6 +358,8 @@ fn whole_pipeline_is_deterministic() {
             arrival_period: None,
             domain_workers: 0,
             qop_mix: QopMix::Uniform,
+            arrival_burst: 1,
+            plan_cache: false,
         };
         let r = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
         (r.admitted, r.rejected, r.completed, r.outstanding.values().collect::<Vec<_>>())
