@@ -56,6 +56,8 @@ fn migration_loop() {
         qop_mix: QopMix::Uniform,
         arrival_burst: 1,
         plan_cache: false,
+        links: None,
+        adaptation: None,
     };
     let mut testbed = Testbed::build(cfg.testbed.clone());
 
@@ -106,6 +108,8 @@ fn configurable_optimizer() {
         qop_mix: QopMix::Uniform,
         arrival_burst: 1,
         plan_cache: false,
+        links: None,
+        adaptation: None,
     };
     let mut t = Table::new(&[
         "optimizer",

@@ -90,7 +90,7 @@ fn bench_cpu_schedulers(c: &mut Criterion) {
             let mut cpu = TimeSharing::solaris_default();
             let jobs: Vec<_> = (0..50).map(|_| cpu.add_job(SimTime::ZERO)).collect();
             for i in 0..1_000 {
-                cpu.submit(SimTime::ZERO, jobs[i % 50], SimDuration::from_micros(1_500));
+                cpu.submit(SimTime::ZERO, jobs[i % 50], SimDuration::from_micros(1_500)).unwrap();
             }
             let mut done = 0;
             while let Some(t) = cpu.next_event() {
@@ -115,7 +115,7 @@ fn bench_cpu_schedulers(c: &mut Criterion) {
                 })
                 .collect();
             for i in 0..1_000 {
-                cpu.submit(SimTime::ZERO, jobs[i % 20], SimDuration::from_micros(1_500));
+                cpu.submit(SimTime::ZERO, jobs[i % 20], SimDuration::from_micros(1_500)).unwrap();
             }
             let mut done = 0;
             while let Some(t) = cpu.next_event() {

@@ -18,10 +18,11 @@
 
 use std::time::Instant;
 
-use quasaq_sim::{FaultPlan, ServerId, SimTime};
+use quasaq_sim::{FaultPlan, LinkModel, LinkPlan, LinkSpec, ServerId, SimDuration, SimTime};
 use quasaq_workload::{
-    run_throughput, run_throughput_scenarios, worker_count, CostKind, FaultMetrics, SystemKind,
-    Testbed, ThroughputConfig, ThroughputResult,
+    run_throughput, run_throughput_scenarios, worker_count, AdaptationConfig, CostKind,
+    DegradationMetrics, FaultMetrics, SystemKind, Testbed, TestbedConfig, ThroughputConfig,
+    ThroughputResult,
 };
 
 struct Suite {
@@ -199,6 +200,92 @@ fn run_cached(servers: u32, videos: usize, burst: usize, quick: bool) -> CachedT
     }
 }
 
+/// One rung of the stochastic-link study: the same scaled testbed run
+/// three ways — steady (fixed links), degraded (a sampled Markov capacity
+/// process with the QoP ladder frozen), and adaptive (same process with
+/// the congestion-driven renegotiation loop and admission brownout on) —
+/// with the adaptive run checked bit-identical serial vs sharded and its
+/// degradation counters recorded.
+struct StochasticTiming {
+    servers: u32,
+    videos: usize,
+    steady_ms: f64,
+    degraded_ms: f64,
+    adaptive_ms: f64,
+    bit_identical: bool,
+    degraded_violation_s: f64,
+    adaptive_violation_s: f64,
+    degradation: DegradationMetrics,
+}
+
+/// The Markov good/degraded/bad capacity process the stochastic rows
+/// sample, dwell times scaled so several transitions land inside the
+/// horizon. The bad state holds a third of the stationary distribution:
+/// brownout arms when ≥25% of servers are congested at once, and at 100
+/// servers the concurrently-bad fraction concentrates on its mean, so a
+/// rarer bad state would never trip the fleet-wide threshold there even
+/// though smaller rungs cross it on binomial noise.
+fn stochastic_links(servers: u32, horizon: SimTime, seed: u64, quick: bool) -> LinkPlan {
+    let dwell = if quick { [15, 10, 10] } else { [50, 30, 40] };
+    LinkPlan::sample(
+        seed,
+        ServerId::first_n(servers),
+        horizon,
+        LinkModel::Markov { factors: [1.0, 0.45, 0.2], dwell: dwell.map(SimDuration::from_secs) },
+    )
+}
+
+fn run_stochastic(servers: u32, videos: usize, quick: bool) -> StochasticTiming {
+    // A longer quick horizon than the other studies: utilization has to
+    // build up before a capacity dip congests, so 30 s would leave the
+    // adaptation loop with nothing to do.
+    let horizon = SimTime::from_secs(if quick { 60 } else { 120 });
+    let period_us = (3_000_000 / servers as u64).max(1);
+    let steady_cfg = ThroughputConfig {
+        testbed: TestbedConfig::scale(servers, videos),
+        horizon,
+        arrival_period: Some(SimDuration::from_micros(period_us)),
+        ..ThroughputConfig::fig6()
+    };
+    let degraded_cfg = ThroughputConfig {
+        links: Some(stochastic_links(servers, horizon, steady_cfg.seed, quick)),
+        ..steady_cfg.clone()
+    };
+    let adaptive_cfg =
+        ThroughputConfig { adaptation: Some(AdaptationConfig::default()), ..degraded_cfg.clone() };
+    let adaptive_sharded = ThroughputConfig { domain_workers: 4, ..adaptive_cfg.clone() };
+    let _ = Testbed::shared(steady_cfg.testbed.clone());
+    let reps = if servers <= 3 {
+        20
+    } else if servers <= 30 {
+        5
+    } else {
+        3
+    };
+    let kind = SystemKind::Quasaq(CostKind::Lrb);
+    let ((steady_ms, _steady), (degraded_ms, degraded)) = timed_pair(
+        reps,
+        || run_throughput(kind, &steady_cfg),
+        || run_throughput(kind, &degraded_cfg),
+    );
+    let ((adaptive_ms, adaptive), (_, sharded)) = timed_pair(
+        reps,
+        || run_throughput(kind, &adaptive_cfg),
+        || run_throughput(kind, &adaptive_sharded),
+    );
+    StochasticTiming {
+        servers,
+        videos,
+        steady_ms,
+        degraded_ms,
+        adaptive_ms,
+        bit_identical: adaptive == sharded,
+        degraded_violation_s: degraded.faults.as_ref().map_or(0.0, |f| f.qos_violation_secs),
+        adaptive_violation_s: adaptive.faults.as_ref().map_or(0.0, |f| f.qos_violation_secs),
+        degradation: adaptive.degradation.clone().unwrap_or_default(),
+    }
+}
+
 fn run_scale(
     servers: u32,
     videos: usize,
@@ -303,6 +390,34 @@ fn main() {
             c.uncached_ms, c.cached_ms, c.bit_identical
         );
         assert!(c.bit_identical, "cached admission diverged from full enumeration");
+        // Stochastic-link brownout smoke: crush every link to 5% mid-run.
+        // The plain system must detect congestion, start shedding arrivals
+        // by QoP class, and stay bit-identical serial vs sharded.
+        let horizon = SimTime::from_secs(30);
+        let crush = LinkPlan {
+            changes: ServerId::first_n(3)
+                .map(|server| LinkSpec { server, at: SimTime::from_secs(5), factor: 0.05 })
+                .collect(),
+        };
+        let cfg = ThroughputConfig {
+            testbed: TestbedConfig::scale(3, 300),
+            horizon,
+            arrival_period: Some(SimDuration::from_secs(1)),
+            links: Some(crush),
+            adaptation: Some(AdaptationConfig::default()),
+            ..ThroughputConfig::fig6()
+        };
+        let serial = run_throughput(SystemKind::Vdbms, &cfg);
+        let sharded =
+            run_throughput(SystemKind::Vdbms, &ThroughputConfig { domain_workers: 2, ..cfg });
+        assert!(serial == sharded, "brownout run diverged serial vs sharded");
+        let dm = serial.degradation.as_ref().expect("adaptation enabled");
+        println!(
+            "  brownout: {} congestion event(s), {} degraded, {} rejected | bit-identical: true",
+            dm.congestion_events, dm.brownout_degraded, dm.brownout_rejected
+        );
+        assert!(dm.congestion_events > 0, "crushed links must congest: {dm:?}");
+        assert!(dm.brownout_rejected > 0, "brownout must shed arrivals: {dm:?}");
         println!("smoke OK: bit_identical: true");
         return;
     }
@@ -381,9 +496,36 @@ fn main() {
         bulk.push(c);
     }
 
+    // The stochastic-link study: steady vs degraded (ladder frozen) vs
+    // adaptive (congestion renegotiation + brownout) under the same
+    // sampled Markov capacity process.
+    let mut stochastic = Vec::new();
+    for (servers, videos) in scale_cases(quick) {
+        println!("running stochastic {servers}-server / {videos}-video ...");
+        let s = run_stochastic(servers, videos, quick);
+        println!(
+            "  steady {:>9.1} ms | degraded {:>9.1} ms | adaptive {:>9.1} ms | \
+             violation {:>8.1} s -> {:>8.1} s | down {} up {} osc {} | \
+             brownout {}/{} | bit-identical: {}",
+            s.steady_ms,
+            s.degraded_ms,
+            s.adaptive_ms,
+            s.degraded_violation_s,
+            s.adaptive_violation_s,
+            s.degradation.downshifts,
+            s.degradation.upshifts,
+            s.degradation.oscillations,
+            s.degradation.brownout_degraded,
+            s.degradation.brownout_rejected,
+            s.bit_identical
+        );
+        stochastic.push(s);
+    }
+
     let all_identical = timings.iter().all(|t| t.bit_identical)
         && scale.iter().all(|s| s.bit_identical)
-        && cached.iter().chain(&bulk).all(|c| c.bit_identical);
+        && cached.iter().chain(&bulk).all(|c| c.bit_identical)
+        && stochastic.iter().all(|s| s.bit_identical);
     let total_serial: f64 = timings.iter().map(|t| t.serial_ms).sum();
     let total_parallel: f64 = timings.iter().map(|t| t.parallel_ms).sum();
     let overall = total_serial / total_parallel.max(1e-9);
@@ -472,6 +614,37 @@ fn main() {
         }
         json.push_str("  ],\n");
     }
+    // The stochastic-link degradation rows: per cluster size, the cost of
+    // the capacity process and the adaptation loop's effect on QoS
+    // violation exposure, plus its counters.
+    json.push_str("  \"stochastic\": [\n");
+    for (i, s) in stochastic.iter().enumerate() {
+        let d = &s.degradation;
+        json.push_str(&format!(
+            "    {{\"servers\": {}, \"videos\": {}, \"steady_ms\": {:.3}, \
+             \"degraded_ms\": {:.3}, \"adaptive_ms\": {:.3}, \
+             \"degraded_violation_s\": {:.3}, \"adaptive_violation_s\": {:.3}, \
+             \"downshifts\": {}, \"upshifts\": {}, \"oscillations\": {}, \
+             \"violation_s_avoided\": {:.3}, \"brownout_degraded\": {}, \
+             \"brownout_rejected\": {}, \"bit_identical\": {}}}{}\n",
+            s.servers,
+            s.videos,
+            s.steady_ms,
+            s.degraded_ms,
+            s.adaptive_ms,
+            s.degraded_violation_s,
+            s.adaptive_violation_s,
+            d.downshifts,
+            d.upshifts,
+            d.oscillations,
+            d.violation_secs_avoided,
+            d.brownout_degraded,
+            d.brownout_rejected,
+            s.bit_identical,
+            if i + 1 < stochastic.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!("  \"overall_speedup\": {overall:.3},\n"));
     json.push_str(&format!("  \"all_bit_identical\": {all_identical}\n"));
     json.push_str("}\n");

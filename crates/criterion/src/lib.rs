@@ -5,10 +5,11 @@
 //! workspace's benches use — `Criterion::bench_function`, `Bencher::iter`,
 //! `criterion_group!`, `criterion_main!`, `configure_from_args`, and
 //! `final_summary` — with a plain wall-clock measurement loop: a short
-//! warm-up, then timed batches until a fixed budget elapses, then a printed
-//! mean per-iteration time. There is no statistical analysis, outlier
-//! rejection, or HTML report; the point is that `cargo bench` runs green
-//! offline and still prints usable numbers.
+//! warm-up, then individually timed iterations until a fixed budget
+//! elapses, then a printed `mean ± std (min … max)` per-iteration summary.
+//! There is no outlier rejection or HTML report; the point is that
+//! `cargo bench` runs green offline and still prints numbers with enough
+//! spread information to judge run-to-run noise.
 
 use std::time::{Duration, Instant};
 
@@ -37,10 +38,16 @@ impl Criterion {
     {
         let mut bencher = Bencher::default();
         f(&mut bencher);
-        match bencher.measurement {
-            Some((iters, elapsed)) => {
-                let per_iter = elapsed.as_secs_f64() / iters as f64;
-                println!("bench: {name:<32} {:>12}  ({iters} iters)", format_time(per_iter));
+        match bencher.stats() {
+            Some(s) => {
+                println!(
+                    "bench: {name:<32} {:>12} ± {} ({} … {}, {} iters)",
+                    format_time(s.mean),
+                    format_time(s.std_dev),
+                    format_time(s.min),
+                    format_time(s.max),
+                    s.iters,
+                );
             }
             None => println!("bench: {name:<32} (no measurement — iter() never called)"),
         }
@@ -48,10 +55,25 @@ impl Criterion {
     }
 }
 
+/// Per-iteration timing statistics of one measured benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of measured (post-warm-up) iterations.
+    pub iters: u64,
+    /// Mean seconds per iteration.
+    pub mean: f64,
+    /// Population standard deviation in seconds.
+    pub std_dev: f64,
+    /// Fastest iteration in seconds.
+    pub min: f64,
+    /// Slowest iteration in seconds.
+    pub max: f64,
+}
+
 /// Mirror of `criterion::Bencher`.
 #[derive(Debug, Default)]
 pub struct Bencher {
-    measurement: Option<(u64, Duration)>,
+    samples: Vec<f64>,
 }
 
 impl Bencher {
@@ -59,13 +81,33 @@ impl Bencher {
         for _ in 0..WARMUP_ITERS {
             std::hint::black_box(routine());
         }
-        let mut iters = 0u64;
+        self.samples.clear();
         let start = Instant::now();
-        while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
+        while start.elapsed() < MEASURE_BUDGET && (self.samples.len() as u64) < MAX_ITERS {
+            let t = Instant::now();
             std::hint::black_box(routine());
-            iters += 1;
+            self.samples.push(t.elapsed().as_secs_f64());
         }
-        self.measurement = Some((iters.max(1), start.elapsed()));
+        if self.samples.is_empty() {
+            // A single routine call ran past the whole budget: keep it as
+            // the lone sample rather than reporting nothing.
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Statistics over the measured iterations, `None` before `iter` ran.
+    pub fn stats(&self) -> Option<SampleStats> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        let var = self.samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(SampleStats { iters: self.samples.len() as u64, mean, std_dev: var.sqrt(), min, max })
     }
 }
 
@@ -114,6 +156,18 @@ mod tests {
         c.bench_function("noop", |b| b.iter(|| 1 + 1))
             .bench_function("spin", |b| b.iter(|| (0..64u64).sum::<u64>()));
         c.final_summary();
+    }
+
+    #[test]
+    fn stats_summarize_per_iteration_samples() {
+        let mut b = Bencher::default();
+        assert!(b.stats().is_none());
+        b.iter(|| (0..256u64).sum::<u64>());
+        let s = b.stats().expect("measured");
+        assert!(s.iters >= 1);
+        assert!(s.min <= s.mean && s.mean <= s.max, "{s:?}");
+        assert!(s.std_dev >= 0.0 && s.std_dev.is_finite());
+        assert!(s.mean > 0.0);
     }
 
     #[test]

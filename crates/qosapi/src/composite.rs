@@ -149,12 +149,19 @@ impl CompositeQosApi {
     /// recovery), leaving existing reservations untouched — shrinking below
     /// current usage oversubscribes the bucket, which only blocks new
     /// admissions. Returns `false` (and changes nothing) for unmanaged
-    /// buckets. Bumps the [state epoch](Self::state_epoch).
+    /// buckets. Bumps the [state epoch](Self::state_epoch), except when the
+    /// new capacity is bit-equal to the current one: a no-op re-rate leaves
+    /// every capacity-derived decision (and the
+    /// [fingerprint](Self::capacity_fingerprint)) unchanged, so
+    /// invalidating plan caches over it would only cost hit rate — stochastic
+    /// link trajectories re-assert the same level routinely.
     pub fn set_capacity(&mut self, key: ResourceKey, capacity: f64) -> bool {
         match self.manager_mut(key) {
             Some(mgr) => {
-                mgr.set_capacity(capacity);
-                self.state_epoch += 1;
+                if mgr.capacity().to_bits() != capacity.to_bits() {
+                    mgr.set_capacity(capacity);
+                    self.state_epoch += 1;
+                }
                 true
             }
             None => false,
@@ -366,11 +373,15 @@ impl CompositeQosApi {
             return Err(AdmissionError::UnknownReservation(id));
         };
         // Feasibility test against usage with the old reservation removed:
-        // for each bucket, new demand must fit within available + old
-        // share.
+        // for each bucket, new demand must fit within the headroom left
+        // once the old share is returned. Headroom is computed unclamped —
+        // a bucket re-rated below its outstanding reservations has
+        // `available() == 0` but genuinely negative slack, and the clamped
+        // figure would wave through demands the post-release reserve must
+        // then bounce.
         for (key, amount) in new_demand.iter() {
             let mgr = self.manager(key).ok_or(AdmissionError::UnknownBucket(key))?;
-            let slack = mgr.available() + old.get(key);
+            let slack = mgr.capacity() - mgr.used() + old.get(key);
             if amount > slack + 1e-9 {
                 return Err(AdmissionError::Rejected(BucketFull {
                     key,
@@ -523,6 +534,28 @@ mod tests {
     }
 
     #[test]
+    fn renegotiate_on_oversubscribed_bucket_uses_true_slack() {
+        // A bucket re-rated below its outstanding reservations: two 40s on
+        // a bucket crushed from 100 to 50. `available()` clamps to 0, but
+        // the true slack once one 40 is returned is 50 - 80 + 40 = 10, so
+        // holding at 40 or shrinking to 20 must both bounce (cleanly, with
+        // the original kept), while a shrink inside the slack is honored.
+        let mut api = CompositeQosApi::new();
+        let k = key(0, ResourceKind::NetBandwidth);
+        api.register(k, 100.0);
+        let r = api.reserve(&ResourceVector::new().with(k, 40.0)).unwrap();
+        let _other = api.reserve(&ResourceVector::new().with(k, 40.0)).unwrap();
+        assert!(api.set_capacity(k, 50.0));
+        for doomed in [40.0, 20.0] {
+            let err = api.renegotiate(r, &ResourceVector::new().with(k, doomed)).unwrap_err();
+            assert!(matches!(err, AdmissionError::Rejected(_)), "{doomed}: {err:?}");
+            assert!((api.used(k).unwrap() - 80.0).abs() < 1e-9, "original kept");
+        }
+        api.renegotiate(r, &ResourceVector::new().with(k, 10.0)).unwrap();
+        assert!((api.used(k).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn renegotiate_unknown_reservation() {
         let mut api = cluster();
         let err = api.renegotiate(ReservationId(42), &ResourceVector::new()).unwrap_err();
@@ -598,6 +631,10 @@ mod tests {
         assert!(e3 > e2);
         // Unknown bucket: no-op, no bump.
         assert!(!api.set_capacity(key(9, ResourceKind::Cpu), 1.0));
+        assert_eq!(api.state_epoch(), e3);
+        // Re-asserting the current capacity is a successful no-op: the
+        // fingerprint could not change, so plan caches keep their entries.
+        assert!(api.set_capacity(key(0, ResourceKind::NetBandwidth), 1_600_000.0));
         assert_eq!(api.state_epoch(), e3);
         // Failing an already-failed (empty) domain keeps the epoch too.
         api.fail_server(ServerId(2));

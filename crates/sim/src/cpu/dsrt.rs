@@ -8,7 +8,7 @@
 //! configurable overhead fraction models the scheduler daemon's own CPU
 //! consumption (the paper measures 0.16 ms per 10 ms = 1.6 %).
 
-use super::{Completion, CpuScheduler, JobId, TaskId};
+use super::{Completion, CpuError, CpuScheduler, JobId, TaskId};
 use crate::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -406,17 +406,19 @@ impl CpuScheduler for Dsrt {
         }
     }
 
-    fn submit(&mut self, now: SimTime, job: JobId, work: SimDuration) -> TaskId {
+    fn submit(&mut self, now: SimTime, job: JobId, work: SimDuration) -> Result<TaskId, CpuError> {
         self.advance_to(now);
+        let Some(entry) = self.jobs.get_mut(&job) else {
+            return Err(CpuError::UnknownJob(job));
+        };
         let id = TaskId(self.next_task);
         self.next_task += 1;
-        let entry = self.jobs.get_mut(&job).expect("submit to unknown job");
         entry.tasks.push_back((id, work));
         if entry.reservation.is_none() && !entry.be_runnable {
             entry.be_runnable = true;
             self.be_queue.push_back(job);
         }
-        id
+        Ok(id)
     }
 
     fn next_event(&self) -> Option<SimTime> {
@@ -494,7 +496,7 @@ mod tests {
     fn reserved_job_runs_immediately() {
         let mut cpu = no_overhead();
         let j = cpu.reserve(SimTime::ZERO, ms(5), ms(40)).unwrap();
-        cpu.submit(SimTime::ZERO, j, ms(2));
+        cpu.submit(SimTime::ZERO, j, ms(2)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(100));
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].at, at_ms(2));
@@ -504,11 +506,11 @@ mod tests {
     fn reserved_preempts_best_effort() {
         let mut cpu = no_overhead();
         let be = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, be, ms(50));
+        cpu.submit(SimTime::ZERO, be, ms(50)).unwrap();
         // Let the best-effort hog start, then a reserved task arrives.
         cpu.advance_to(at_ms(3));
         let r = cpu.reserve(at_ms(3), ms(5), ms(40)).unwrap();
-        cpu.submit(at_ms(3), r, ms(2));
+        cpu.submit(at_ms(3), r, ms(2)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(200));
         let reserved_done = done.iter().find(|c| c.job == r).unwrap();
         // The reserved task runs 3..5 ms despite the hog.
@@ -524,7 +526,7 @@ mod tests {
         let j = cpu.reserve(SimTime::ZERO, ms(5), ms(20)).unwrap();
         // 12 ms of work against a 5 ms/20 ms reservation and no best-effort
         // competition: DSRT still caps the job at its budget each period.
-        cpu.submit(SimTime::ZERO, j, ms(12));
+        cpu.submit(SimTime::ZERO, j, ms(12)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(200));
         // 5 ms in period 1 (0-20), 5 ms in period 2 (20-40), 2 ms in
         // period 3 -> completes at 42 ms.
@@ -535,9 +537,9 @@ mod tests {
     fn best_effort_consumes_leftover() {
         let mut cpu = no_overhead();
         let r = cpu.reserve(SimTime::ZERO, ms(10), ms(20)).unwrap();
-        cpu.submit(SimTime::ZERO, r, ms(10));
+        cpu.submit(SimTime::ZERO, r, ms(10)).unwrap();
         let be = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, be, ms(5));
+        cpu.submit(SimTime::ZERO, be, ms(5)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(100));
         // Reserved runs 0-10, best-effort 10-15.
         assert_eq!(done.iter().find(|c| c.job == r).unwrap().at, at_ms(10));
@@ -550,8 +552,8 @@ mod tests {
         // Job A: deadline at 10 ms; job B: deadline at 30 ms.
         let a = cpu.reserve(SimTime::ZERO, ms(3), ms(10)).unwrap();
         let b = cpu.reserve(SimTime::ZERO, ms(3), ms(30)).unwrap();
-        cpu.submit(SimTime::ZERO, b, ms(3));
-        cpu.submit(SimTime::ZERO, a, ms(3));
+        cpu.submit(SimTime::ZERO, b, ms(3)).unwrap();
+        cpu.submit(SimTime::ZERO, a, ms(3)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(100));
         // A has the earlier deadline and runs first even though B was
         // submitted first.
@@ -592,7 +594,7 @@ mod tests {
         let mut cpu = Dsrt::new(DsrtConfig { overhead_fraction: 0.016, ..DsrtConfig::default() });
         assert!((cpu.available_utilization() - 0.984).abs() < 1e-9);
         let j = cpu.reserve(SimTime::ZERO, ms(10), ms(20)).unwrap();
-        cpu.submit(SimTime::ZERO, j, ms(10));
+        cpu.submit(SimTime::ZERO, j, ms(10)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(100));
         // 10 ms of work at rate 0.984 takes ~10.163 ms of wall time.
         let at = done[0].at.as_micros();
@@ -610,9 +612,9 @@ mod tests {
         let mut t = SimTime::ZERO;
         let mut completions = Vec::new();
         for _ in 0..50 {
-            cpu.submit(t, stream, ms(2));
+            cpu.submit(t, stream, ms(2)).unwrap();
             for &h in &hogs {
-                cpu.submit(t, h, ms(20));
+                cpu.submit(t, h, ms(20)).unwrap();
             }
             let next = t + frame_interval;
             completions
@@ -639,8 +641,8 @@ mod tests {
         let mut cpu = no_overhead();
         let a = cpu.add_job(SimTime::ZERO);
         let b = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, a, ms(20));
-        cpu.submit(SimTime::ZERO, b, ms(20));
+        cpu.submit(SimTime::ZERO, a, ms(20)).unwrap();
+        cpu.submit(SimTime::ZERO, b, ms(20)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(100));
         assert_eq!(done.len(), 2);
         // Fair interleave: both finish in 30-40 ms.
@@ -661,7 +663,7 @@ mod tests {
     fn zero_work_task_completes_at_submission() {
         let mut cpu = no_overhead();
         let j = cpu.reserve(SimTime::ZERO, ms(1), ms(10)).unwrap();
-        cpu.submit(at_ms(3), j, SimDuration::ZERO);
+        cpu.submit(at_ms(3), j, SimDuration::ZERO).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(20));
         assert_eq!(done[0].at, at_ms(3));
     }

@@ -52,6 +52,27 @@ pub struct Completion {
     pub at: SimTime,
 }
 
+/// Why submitted work was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuError {
+    /// The referenced job is not registered on this CPU — it was never
+    /// added here, or has already been removed (e.g. by a fault-injection
+    /// path racing a caller that still holds the id).
+    UnknownJob(JobId),
+}
+
+impl std::fmt::Display for CpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpuError::UnknownJob(id) => {
+                write!(f, "job {} is not registered on this CPU", id.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
 /// Common interface over CPU scheduling models.
 ///
 /// Invariants callers rely on:
@@ -66,8 +87,10 @@ pub trait CpuScheduler {
     /// Removes a job, discarding its queued tasks.
     fn remove_job(&mut self, now: SimTime, job: JobId);
 
-    /// Appends `work` of CPU time to the job's task FIFO.
-    fn submit(&mut self, now: SimTime, job: JobId, work: SimDuration) -> TaskId;
+    /// Appends `work` of CPU time to the job's task FIFO. Fails with
+    /// [`CpuError::UnknownJob`] when the job was never added or has been
+    /// removed.
+    fn submit(&mut self, now: SimTime, job: JobId, work: SimDuration) -> Result<TaskId, CpuError>;
 
     /// The next instant at which the scheduler's externally visible state
     /// can change (a completion, quantum expiry, or budget replenishment),

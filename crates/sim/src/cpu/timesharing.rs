@@ -1,6 +1,6 @@
 //! Round-robin time-sharing CPU scheduler (Solaris-like, 10 ms quantum).
 
-use super::{Completion, CpuScheduler, JobId, TaskId};
+use super::{Completion, CpuError, CpuScheduler, JobId, TaskId};
 use crate::time::{SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -94,9 +94,10 @@ impl TimeSharing {
         }
     }
 
-    /// Wakes a job that received new work while blocked.
+    /// Wakes a job that received new work while blocked. A no-op for
+    /// removed jobs (callers validate existence first).
     fn make_runnable(&mut self, job_id: JobId) {
-        let job = self.jobs.get_mut(&job_id).expect("unknown job");
+        let Some(job) = self.jobs.get_mut(&job_id) else { return };
         if !job.runnable {
             job.runnable = true;
             self.run_queue.push_back(job_id);
@@ -125,23 +126,30 @@ impl CpuScheduler for TimeSharing {
         // Stale run-queue entries are skipped in dispatch().
     }
 
-    fn submit(&mut self, now: SimTime, job: JobId, work: SimDuration) -> TaskId {
+    fn submit(&mut self, now: SimTime, job: JobId, work: SimDuration) -> Result<TaskId, CpuError> {
         self.advance_to(now);
+        let Some(entry) = self.jobs.get_mut(&job) else {
+            return Err(CpuError::UnknownJob(job));
+        };
         let id = TaskId(self.next_task);
         self.next_task += 1;
-        let entry = self.jobs.get_mut(&job).expect("submit to unknown job");
         entry.tasks.push_back((id, work));
         let currently_running = self.current.map(|(j, _)| j) == Some(job);
         if !currently_running {
             self.make_runnable(job);
         }
-        id
+        Ok(id)
     }
 
     fn next_event(&self) -> Option<SimTime> {
         if let Some((job_id, quantum_left)) = self.current {
-            let job = self.jobs.get(&job_id).expect("current job missing");
-            let task_left = job.tasks.front().map(|&(_, w)| w).unwrap_or(SimDuration::ZERO);
+            // `remove_job` clears `current`, so the lookup cannot miss; the
+            // defensive fallback treats a missing job as having no work.
+            let task_left = self
+                .jobs
+                .get(&job_id)
+                .and_then(|job| job.tasks.front().map(|&(_, w)| w))
+                .unwrap_or(SimDuration::ZERO);
             let step = self.pending_overhead + task_left.min(quantum_left);
             Some(self.now + step)
         } else {
@@ -180,7 +188,13 @@ impl CpuScheduler for TimeSharing {
                 continue;
             }
 
-            let job = self.jobs.get_mut(&job_id).expect("current job missing");
+            let Some(job) = self.jobs.get_mut(&job_id) else {
+                // `remove_job` clears `current`, so this cannot miss; the
+                // defensive fallback yields the CPU.
+                self.current = None;
+                self.pending_overhead = SimDuration::ZERO;
+                continue;
+            };
             let Some(&(task_id, task_left)) = job.tasks.front() else {
                 // Job blocked (no tasks): yield the CPU.
                 job.runnable = false;
@@ -272,7 +286,7 @@ mod tests {
     fn single_job_runs_to_completion() {
         let mut cpu = TimeSharing::new(ms(10));
         let j = cpu.add_job(SimTime::ZERO);
-        let t = cpu.submit(SimTime::ZERO, j, ms(25));
+        let t = cpu.submit(SimTime::ZERO, j, ms(25)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(100));
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].job, j);
@@ -287,8 +301,8 @@ mod tests {
         let mut cpu = TimeSharing::new(ms(10));
         let a = cpu.add_job(SimTime::ZERO);
         let b = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, a, ms(20));
-        cpu.submit(SimTime::ZERO, b, ms(20));
+        cpu.submit(SimTime::ZERO, a, ms(20)).unwrap();
+        cpu.submit(SimTime::ZERO, b, ms(20)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(100));
         // Interleaving: a 0-10, b 10-20, a 20-30 (done), b 30-40 (done).
         assert_eq!(done.len(), 2);
@@ -305,10 +319,10 @@ mod tests {
         let mut cpu = TimeSharing::new(ms(10));
         let hog = cpu.add_job(SimTime::ZERO);
         let stream = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, hog, ms(10));
+        cpu.submit(SimTime::ZERO, hog, ms(10)).unwrap();
         // Four 2 ms "frames" queued while the hog runs.
         for _ in 0..4 {
-            cpu.submit(SimTime::ZERO, stream, ms(2));
+            cpu.submit(SimTime::ZERO, stream, ms(2)).unwrap();
         }
         let done = run_until_idle(&mut cpu, at_ms(100));
         let frame_times: Vec<SimTime> =
@@ -324,9 +338,9 @@ mod tests {
         let a = cpu.add_job(SimTime::ZERO);
         let b = cpu.add_job(SimTime::ZERO);
         let c = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, a, ms(15));
-        cpu.submit(SimTime::ZERO, b, ms(5));
-        cpu.submit(SimTime::ZERO, c, ms(5));
+        cpu.submit(SimTime::ZERO, a, ms(15)).unwrap();
+        cpu.submit(SimTime::ZERO, b, ms(5)).unwrap();
+        cpu.submit(SimTime::ZERO, c, ms(5)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(100));
         // a runs 0-10 (preempted), b 10-15, c 15-20, a 20-25.
         let order: Vec<(JobId, SimTime)> = done.iter().map(|d| (d.job, d.at)).collect();
@@ -338,8 +352,8 @@ mod tests {
         let mut cpu = TimeSharing::new(ms(10));
         let a = cpu.add_job(SimTime::ZERO);
         let b = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, a, ms(2));
-        cpu.submit(SimTime::ZERO, b, ms(2));
+        cpu.submit(SimTime::ZERO, a, ms(2)).unwrap();
+        cpu.submit(SimTime::ZERO, b, ms(2)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(100));
         // a finishes at 2 and blocks; b starts immediately, not at 10.
         assert_eq!(done[0].at, at_ms(2));
@@ -350,13 +364,29 @@ mod tests {
     fn late_submission_wakes_job() {
         let mut cpu = TimeSharing::new(ms(10));
         let j = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, j, ms(1));
+        cpu.submit(SimTime::ZERO, j, ms(1)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(10));
         assert_eq!(done[0].at, at_ms(1));
         // Job is now blocked; submit again at t = 30 ms.
-        cpu.submit(at_ms(30), j, ms(1));
+        cpu.submit(at_ms(30), j, ms(1)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(50));
         assert_eq!(done[0].at, at_ms(31));
+    }
+
+    #[test]
+    fn submit_to_unknown_job_is_a_typed_error() {
+        let mut cpu = TimeSharing::new(ms(10));
+        let j = cpu.add_job(SimTime::ZERO);
+        cpu.remove_job(SimTime::ZERO, j);
+        assert_eq!(cpu.submit(SimTime::ZERO, j, ms(1)), Err(CpuError::UnknownJob(j)));
+        assert_eq!(
+            cpu.submit(SimTime::ZERO, JobId(99), ms(1)),
+            Err(CpuError::UnknownJob(JobId(99)))
+        );
+        // Refused work allocates no task id: the next accepted submission
+        // continues the sequence.
+        let k = cpu.add_job(SimTime::ZERO);
+        assert_eq!(cpu.submit(SimTime::ZERO, k, ms(1)), Ok(TaskId(0)));
     }
 
     #[test]
@@ -364,8 +394,8 @@ mod tests {
         let mut cpu = TimeSharing::new(ms(10));
         let a = cpu.add_job(SimTime::ZERO);
         let b = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, a, ms(30));
-        cpu.submit(SimTime::ZERO, b, ms(5));
+        cpu.submit(SimTime::ZERO, a, ms(30)).unwrap();
+        cpu.submit(SimTime::ZERO, b, ms(5)).unwrap();
         cpu.advance_to(at_ms(5));
         cpu.remove_job(at_ms(5), a);
         let done = run_until_idle(&mut cpu, at_ms(100));
@@ -377,7 +407,7 @@ mod tests {
     fn context_switch_overhead_is_charged() {
         let mut cpu = TimeSharing::with_overhead(ms(10), ms(1));
         let j = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, j, ms(5));
+        cpu.submit(SimTime::ZERO, j, ms(5)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(50));
         assert_eq!(done[0].at, at_ms(6));
     }
@@ -387,9 +417,9 @@ mod tests {
         let mut cpu = TimeSharing::new(ms(10));
         let a = cpu.add_job(SimTime::ZERO);
         let b = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, a, ms(4));
-        cpu.submit(SimTime::ZERO, a, ms(4));
-        cpu.submit(SimTime::ZERO, b, ms(4));
+        cpu.submit(SimTime::ZERO, a, ms(4)).unwrap();
+        cpu.submit(SimTime::ZERO, a, ms(4)).unwrap();
+        cpu.submit(SimTime::ZERO, b, ms(4)).unwrap();
         assert_eq!(cpu.backlog_jobs(), 2);
         assert_eq!(cpu.backlog_work(), ms(12));
         cpu.advance_to(at_ms(2));
@@ -400,7 +430,7 @@ mod tests {
     fn zero_length_task_completes_immediately() {
         let mut cpu = TimeSharing::new(ms(10));
         let j = cpu.add_job(SimTime::ZERO);
-        cpu.submit(SimTime::ZERO, j, SimDuration::ZERO);
+        cpu.submit(SimTime::ZERO, j, SimDuration::ZERO).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(10));
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].at, SimTime::ZERO);
@@ -411,7 +441,7 @@ mod tests {
         let mut cpu = TimeSharing::new(ms(10));
         let j = cpu.add_job(SimTime::ZERO);
         assert_eq!(cpu.next_event(), None);
-        cpu.submit(SimTime::ZERO, j, ms(3));
+        cpu.submit(SimTime::ZERO, j, ms(3)).unwrap();
         assert!(cpu.next_event().is_some());
         run_until_idle(&mut cpu, at_ms(10));
         assert_eq!(cpu.next_event(), None);
@@ -421,9 +451,9 @@ mod tests {
     fn per_job_fifo_order_is_preserved() {
         let mut cpu = TimeSharing::new(ms(10));
         let j = cpu.add_job(SimTime::ZERO);
-        let t1 = cpu.submit(SimTime::ZERO, j, ms(3));
-        let t2 = cpu.submit(SimTime::ZERO, j, ms(3));
-        let t3 = cpu.submit(SimTime::ZERO, j, ms(3));
+        let t1 = cpu.submit(SimTime::ZERO, j, ms(3)).unwrap();
+        let t2 = cpu.submit(SimTime::ZERO, j, ms(3)).unwrap();
+        let t3 = cpu.submit(SimTime::ZERO, j, ms(3)).unwrap();
         let done = run_until_idle(&mut cpu, at_ms(100));
         let order: Vec<TaskId> = done.iter().map(|c| c.task).collect();
         assert_eq!(order, vec![t1, t2, t3]);

@@ -146,6 +146,14 @@ impl<T> LinkDomain<T> {
         self.in_flight
     }
 
+    /// Iterates the tags of all registered in-flight transfers, in
+    /// ascending `XferId` order (a pure function of the registry, so the
+    /// iteration is deterministic). The adaptation loop uses this to find
+    /// which sessions occupy a congested server.
+    pub fn tags(&self) -> impl Iterator<Item = &T> {
+        self.xfers.iter().flatten().map(|(_, tag)| tag)
+    }
+
     /// Earliest future event on this domain's link.
     pub fn next_event(&self) -> Option<SimTime> {
         self.link.next_event()

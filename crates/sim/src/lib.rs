@@ -18,6 +18,9 @@
 //!   disks, with fair-share and reservation policies.
 //! * [`fault`] — seeded, schedule-driven fault injection (server crashes,
 //!   link degradation, disk slowdown) for robustness experiments.
+//! * [`linkdyn`] — seeded stochastic link-capacity trajectories (Markov
+//!   quality regimes, fading noise, diurnal ramps) for congestion
+//!   experiments.
 //! * [`stats`] — accumulators for the measurements the paper reports
 //!   (mean/S.D. tables, delay traces, session counts, completion rates).
 //!
@@ -30,6 +33,7 @@ pub mod cpu;
 pub mod domain;
 pub mod fault;
 pub mod link;
+pub mod linkdyn;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -37,11 +41,13 @@ pub mod time;
 pub mod topology;
 
 pub use cpu::{
-    Completion, CpuScheduler, Dsrt, DsrtConfig, JobId, ReservationError, TaskId, TimeSharing,
+    Completion, CpuError, CpuScheduler, Dsrt, DsrtConfig, JobId, ReservationError, TaskId,
+    TimeSharing,
 };
 pub use domain::{step_domains, DomainStepper, LinkDomain, SerialStepper};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultModel, FaultPlan, FaultSpec};
 pub use link::{FlowId, LinkError, SharePolicy, SharedLink, XferDone, XferId};
+pub use linkdyn::{LinkInjector, LinkModel, LinkPlan, LinkSpec};
 pub use queue::{EventId, EventQueue};
 pub use rng::Rng;
 pub use stats::{Histogram, LevelTracker, OnlineStats, RateCounter, Series};

@@ -149,6 +149,13 @@ pub struct SharedLink {
     /// implementation produced by sorting on every allocation rebuild.
     wf: Vec<(f64, u32)>,
     reserved_total: u64,
+    /// Sum of the nominal rates of all *open* flows (reserved rates under
+    /// `Reserved`, pacing caps under `FairShare`; uncapped flows contribute
+    /// nothing). This is the link's offered load — the congestion signal:
+    /// backlog is useless for that purpose because fluid senders queue
+    /// everything up front, but demand vs capacity says whether the
+    /// water-filling allocation is squeezing flows below their caps.
+    demand_bps: u64,
     completions: Vec<XferDone>,
     next_flow: u64,
     next_xfer: u64,
@@ -190,6 +197,7 @@ impl SharedLink {
             active_by_id: Vec::new(),
             wf: Vec::new(),
             reserved_total: 0,
+            demand_bps: 0,
             completions: Vec::new(),
             next_flow: 0,
             next_xfer: 0,
@@ -211,6 +219,14 @@ impl SharedLink {
     /// Sum of reserved rates (0 under FairShare).
     pub fn reserved_bps(&self) -> u64 {
         self.reserved_total
+    }
+
+    /// Sum of the nominal rates of all open flows — the offered load in
+    /// bytes/second. `demand_bps() > capacity_bps()` means the link cannot
+    /// serve every flow at its nominal rate (congestion), regardless of
+    /// policy. O(1): maintained on open/close.
+    pub fn demand_bps(&self) -> u64 {
+        self.demand_bps
     }
 
     /// Rate still reservable. Saturates at zero when a capacity cut (fault
@@ -341,6 +357,7 @@ impl SharedLink {
         self.slot_of.push(slot);
         debug_assert_eq!(self.slot_of.len() as u64, self.next_flow);
         self.reserved_total += reserved;
+        self.demand_bps += rate;
         // A new flow opens idle: the backlogged set — and therefore the
         // allocation — is unchanged, so the rates cache stays valid.
         Ok(id)
@@ -359,9 +376,57 @@ impl SharedLink {
         if self.policy == SharePolicy::Reserved {
             self.reserved_total -= f.rate_bps;
         }
+        self.demand_bps -= f.rate_bps;
         f.queue.clear();
         self.slot_of[flow.0 as usize] = NO_SLOT;
         self.free.push(slot);
+    }
+
+    /// Re-rates an open flow in place (a QoP renegotiation). Under
+    /// [`SharePolicy::Reserved`] the new rate is admission-checked against
+    /// the headroom left once the flow's own reservation is returned; on
+    /// failure the flow is unchanged. Under [`SharePolicy::FairShare`] the
+    /// rate is the new pacing cap (`None` = uncapped). Queued transfers
+    /// stay queued and drain at the re-computed allocation from `now` on.
+    pub fn set_flow_rate(
+        &mut self,
+        now: SimTime,
+        flow: FlowId,
+        rate_bps: Option<u64>,
+    ) -> Result<(), LinkError> {
+        self.advance_to(now);
+        let slot = self.slot(flow).ok_or(LinkError::UnknownFlow(flow))?;
+        let old = self.slots[slot as usize].rate_bps;
+        let rate = match (self.policy, rate_bps) {
+            (SharePolicy::Reserved, Some(rate)) => {
+                let available = self.available_bps() + old;
+                if rate > available {
+                    return Err(LinkError::Saturated { requested: rate, available });
+                }
+                rate
+            }
+            (SharePolicy::FairShare, cap) => cap.unwrap_or(0),
+            (SharePolicy::Reserved, None) => return Err(LinkError::PolicyMismatch),
+        };
+        if rate == old {
+            return Ok(());
+        }
+        // The rate keys the water-filling order, so a backlogged slot must
+        // be re-filed under its new cap and the allocation recomputed.
+        let backlogged = !self.slots[slot as usize].queue.is_empty();
+        if backlogged {
+            self.unmark_backlogged(slot);
+        }
+        self.slots[slot as usize].rate_bps = rate;
+        if backlogged {
+            self.mark_backlogged(slot);
+            self.rates_cache = None;
+        }
+        if self.policy == SharePolicy::Reserved {
+            self.reserved_total = self.reserved_total - old + rate;
+        }
+        self.demand_bps = self.demand_bps - old + rate;
+        Ok(())
     }
 
     /// Queues `bytes` for transmission on `flow`. Fails with
@@ -642,6 +707,38 @@ mod tests {
     }
 
     #[test]
+    fn set_flow_rate_renegotiates_reservation_in_place() {
+        let mut link = SharedLink::reserved(100 * KB);
+        let f = link.open_flow(SimTime::ZERO, Some(80 * KB)).unwrap();
+        // Growing past capacity bounces and leaves the flow unchanged...
+        let err = link.set_flow_rate(SimTime::ZERO, f, Some(120 * KB)).unwrap_err();
+        assert!(matches!(err, LinkError::Saturated { .. }));
+        assert_eq!(link.reserved_bps(), 80 * KB);
+        // ...growing within own share + headroom succeeds...
+        link.set_flow_rate(SimTime::ZERO, f, Some(100 * KB)).unwrap();
+        assert_eq!(link.reserved_bps(), 100 * KB);
+        // ...and shrinking frees headroom for a newcomer.
+        link.set_flow_rate(SimTime::ZERO, f, Some(40 * KB)).unwrap();
+        assert_eq!(link.available_bps(), 60 * KB);
+        link.open_flow(SimTime::ZERO, Some(60 * KB)).unwrap();
+    }
+
+    #[test]
+    fn set_flow_rate_repaces_backlogged_transfer() {
+        let mut link = SharedLink::reserved(100 * KB);
+        let f = link.open_flow(SimTime::ZERO, Some(50 * KB)).unwrap();
+        link.send(SimTime::ZERO, f, 100 * KB).unwrap();
+        // 1 s at 50 KB/s delivers half; the rest at 25 KB/s lands at 3 s.
+        link.advance_to(SimTime::from_secs(1));
+        link.set_flow_rate(SimTime::from_secs(1), f, Some(25 * KB)).unwrap();
+        assert_eq!(link.demand_bps(), 25 * KB);
+        let done = run_until_idle(&mut link, SimTime::from_secs(10));
+        assert_eq!(done.len(), 1);
+        let at = done[0].at.as_micros();
+        assert!((2_990_000..=3_010_000).contains(&at), "{at}");
+    }
+
+    #[test]
     fn reserved_flows_do_not_interfere() {
         let mut link = SharedLink::reserved(3200 * KB);
         let a = link.open_flow(SimTime::ZERO, Some(100 * KB)).unwrap();
@@ -653,6 +750,26 @@ mod tests {
         let t_b = done.iter().find(|d| d.flow == b).unwrap().at.as_secs_f64();
         assert!((t_a - 1.0).abs() < 1e-3);
         assert!((t_b - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn demand_tracks_open_flow_rates() {
+        let mut link = SharedLink::fair_share(300 * KB);
+        assert_eq!(link.demand_bps(), 0);
+        let a = link.open_flow(SimTime::ZERO, Some(200 * KB)).unwrap();
+        let b = link.open_flow(SimTime::ZERO, Some(150 * KB)).unwrap();
+        // Demand exceeds capacity regardless of queued bytes: it is the
+        // offered load, not the backlog.
+        assert_eq!(link.demand_bps(), 350 * KB);
+        assert!(link.demand_bps() > link.capacity_bps());
+        link.close_flow(SimTime::ZERO, a);
+        assert_eq!(link.demand_bps(), 150 * KB);
+        // Uncapped fair-share flows offer no measurable demand.
+        let c = link.open_flow(SimTime::ZERO, None).unwrap();
+        assert_eq!(link.demand_bps(), 150 * KB);
+        link.close_flow(SimTime::ZERO, b);
+        link.close_flow(SimTime::ZERO, c);
+        assert_eq!(link.demand_bps(), 0);
     }
 
     #[test]

@@ -20,6 +20,13 @@ impl ServerId {
     pub fn domains<D>(n: u32, build: impl FnMut(ServerId) -> D) -> Vec<D> {
         Self::first_n(n).map(build).collect()
     }
+
+    /// This server's position in the dense `0..n` id space — the index of
+    /// its domain in a [`Self::domains`]-built vector and of its slot in
+    /// per-server state tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
 }
 
 impl fmt::Display for ServerId {

@@ -118,7 +118,7 @@ proptest! {
         let mut submitted = Vec::new();
         for &(j, w) in &tasks {
             let job = ids[j % jobs];
-            let task = cpu.submit(SimTime::ZERO, job, SimDuration::from_micros(w));
+            let task = cpu.submit(SimTime::ZERO, job, SimDuration::from_micros(w)).unwrap();
             submitted.push((job, task));
             total_work += w;
         }
@@ -175,11 +175,11 @@ proptest! {
         let be = cpu.add_job(SimTime::ZERO);
         let mut n = 0;
         for &w in &reserved_tasks {
-            cpu.submit(SimTime::ZERO, r, SimDuration::from_micros(w));
+            cpu.submit(SimTime::ZERO, r, SimDuration::from_micros(w)).unwrap();
             n += 1;
         }
         for &w in &be_tasks {
-            cpu.submit(SimTime::ZERO, be, SimDuration::from_micros(w));
+            cpu.submit(SimTime::ZERO, be, SimDuration::from_micros(w)).unwrap();
             n += 1;
         }
         let done = drain_cpu(&mut cpu, SimTime::from_secs(3600));

@@ -1,7 +1,8 @@
 //! Concrete CPU model selection for a streaming server node.
 
 use quasaq_sim::cpu::{
-    Completion, CpuScheduler, Dsrt, DsrtConfig, JobId, ReservationError, TaskId, TimeSharing,
+    Completion, CpuError, CpuScheduler, Dsrt, DsrtConfig, JobId, ReservationError, TaskId,
+    TimeSharing,
 };
 use quasaq_sim::{SimDuration, SimTime};
 
@@ -95,7 +96,7 @@ impl CpuScheduler for CpuModel {
         }
     }
 
-    fn submit(&mut self, now: SimTime, job: JobId, work: SimDuration) -> TaskId {
+    fn submit(&mut self, now: SimTime, job: JobId, work: SimDuration) -> Result<TaskId, CpuError> {
         match self {
             CpuModel::TimeSharing(c) => c.submit(now, job, work),
             CpuModel::Dsrt(c) => c.submit(now, job, work),
@@ -176,7 +177,7 @@ mod tests {
         for kind in [CpuKind::vdbms_default(), CpuKind::dsrt_default()] {
             let mut m = CpuModel::new(kind);
             let j = m.add_job(SimTime::ZERO);
-            m.submit(SimTime::ZERO, j, SimDuration::from_millis(3));
+            m.submit(SimTime::ZERO, j, SimDuration::from_millis(3)).unwrap();
             assert_eq!(m.backlog_jobs(), 1);
             let t = m.next_event().unwrap();
             m.advance_to(t);

@@ -13,7 +13,7 @@
 use crate::cpumodel::{CpuKind, CpuModel};
 use crate::report::SessionReport;
 use crate::schedule::FrameSchedule;
-use quasaq_sim::cpu::{CpuScheduler, JobId, ReservationError, TaskId};
+use quasaq_sim::cpu::{CpuError, CpuScheduler, JobId, ReservationError, TaskId};
 use quasaq_sim::link::{LinkError, SharePolicy};
 use quasaq_sim::queue::{EventId, EventQueue};
 use quasaq_sim::{FlowId, LinkDomain, ServerId, SimDuration, SimTime};
@@ -321,8 +321,15 @@ impl StreamEngine {
             None
         };
         let node = self.node_mut(server);
-        let task = node.cpu.submit(now, job, frame.cpu);
-        node.tasks.insert(task, (id, idx));
+        match node.cpu.submit(now, job, frame.cpu) {
+            Ok(task) => {
+                node.tasks.insert(task, (id, idx));
+            }
+            // The job only vanishes through a teardown path that already
+            // closed the session; a frame racing that teardown is dropped
+            // like the rest of the session's future frames.
+            Err(CpuError::UnknownJob(_)) => {}
+        }
         if let Some(due) = next {
             self.queue.schedule(due, Ev::FrameDue(id));
         }
@@ -502,6 +509,39 @@ impl StreamEngine {
         self.reschedule_link(server);
     }
 
+    /// Renegotiates a running session's delivery rate mid-stream (the
+    /// frame-level face of a QoP downshift or restoration): the link
+    /// reservation — or fair-share pacing cap — moves to `new_rate_bps`
+    /// and the report records the instant. The frame schedule keeps its
+    /// due times; what changes is the bandwidth serving it, so frames
+    /// start running late (or catch back up) from here on. Closed
+    /// sessions reject with an unknown-flow error rather than panicking —
+    /// the adaptation loop races session completion by construction.
+    pub fn renegotiate_session(
+        &mut self,
+        at: SimTime,
+        id: SessionId,
+        new_rate_bps: Option<u64>,
+    ) -> Result<(), SessionError> {
+        let now = self.queue.now().max(at);
+        let (server, flow, closed) = {
+            let s = &self.sessions[id.0];
+            (s.server, s.flow, s.closed)
+        };
+        if closed {
+            return Err(SessionError::Link(LinkError::UnknownFlow(flow)));
+        }
+        self.node_mut(server)
+            .domain
+            .link_mut()
+            .set_flow_rate(now, flow, new_rate_bps)
+            .map_err(SessionError::Link)?;
+        // A changed allocation moves in-flight completion times.
+        self.reschedule_link(server);
+        self.sessions[id.0].report.mark_renegotiated(now);
+        Ok(())
+    }
+
     /// Reserved CPU utilization on a server (0 for time-sharing nodes).
     pub fn cpu_utilization(&self, server: ServerId) -> f64 {
         self.node(server).cpu.reserved_utilization()
@@ -571,6 +611,42 @@ mod tests {
         );
         let stats = report.frame_delay_stats();
         assert!((stats.mean() - 41.72).abs() < 2.0, "mean {}", stats.mean());
+    }
+
+    #[test]
+    fn renegotiated_session_is_repaced_and_recorded() {
+        let mut eng = one_server(NodeConfig::qos(3_200_000));
+        let sched = schedule(30, 193_000.0, 3);
+        let id = eng
+            .add_session(
+                SimTime::ZERO,
+                SessionConfig {
+                    server: ServerId(0),
+                    schedule: sched,
+                    cpu: CpuPolicy::BestEffort,
+                    link_rate_bps: Some(250_000),
+                },
+            )
+            .unwrap();
+        eng.run_until(SimTime::from_secs(10));
+        // Starve the stream: an eighth of the source bitrate from t = 10 s.
+        eng.renegotiate_session(SimTime::from_secs(10), id, Some(25_000)).unwrap();
+        assert_eq!(eng.link_reserved_bps(ServerId(0)), 25_000);
+        assert!(eng.run_to_completion(SimTime::from_secs(600)));
+        let r = eng.report(id);
+        assert_eq!(r.renegotiations(), &[SimTime::from_secs(10)]);
+        assert!(r.is_complete());
+        // Processing is CPU-side and unaffected; it is *delivery* that the
+        // starved link stretches far past the 30 s playback window.
+        let last_delivered =
+            r.frames().iter().filter_map(|f| f.delivered).max().expect("complete session");
+        assert!(
+            last_delivered > SimTime::from_secs(60),
+            "starved tail must deliver late: {last_delivered}"
+        );
+        // A finished session has no flow left to re-rate.
+        let now = eng.now();
+        assert!(eng.renegotiate_session(now, id, Some(50_000)).is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use quasaq_sim::link::{LinkError, SharePolicy, SharedLink, XferDone};
 use quasaq_sim::{
-    step_domains, DomainStepper, FlowId, LinkDomain, SerialStepper, ServerId, SimTime,
+    step_domains, DomainStepper, FlowId, LinkDomain, SerialStepper, ServerId, SimDuration, SimTime,
 };
 
 /// Identifies a fluid session.
@@ -51,6 +51,65 @@ struct FluidSession {
     done: bool,
 }
 
+/// Watermarks for per-link congestion detection, applied to the offered
+/// load ratio `demand_bps / capacity_bps` with hysteresis in both level
+/// (distinct high/low thresholds) and time (a sustain dwell before either
+/// edge fires), so transient blips emit nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionConfig {
+    /// Ratio at or above which the link starts ramping toward congested.
+    pub high_ratio: f64,
+    /// Ratio at or below which a congested link starts ramping toward
+    /// clear. Must be below `high_ratio`.
+    pub low_ratio: f64,
+    /// How long a crossing must be sustained before the edge fires.
+    pub dwell: SimDuration,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        CongestionConfig { high_ratio: 1.1, low_ratio: 0.9, dwell: SimDuration::from_secs(5) }
+    }
+}
+
+/// Which way a link crossed the congestion watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongestionEdge {
+    /// Offered load held at or above the high watermark for the dwell.
+    Onset,
+    /// Offered load held at or below the low watermark for the dwell.
+    Cleared,
+}
+
+/// A sustained watermark crossing on one server's outbound link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionEvent {
+    /// The server whose link crossed.
+    pub server: ServerId,
+    /// Which way.
+    pub edge: CongestionEdge,
+    /// When the dwell elapsed (the feedback instant).
+    pub at: SimTime,
+}
+
+/// Per-link hysteresis state. `Congested` and `RampDown` both count as
+/// congested — the link stays flagged until `Cleared` actually fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CongState {
+    Clear,
+    RampUp { since: SimTime },
+    Congested,
+    RampDown { since: SimTime },
+}
+
+struct CongestionWatch {
+    cfg: CongestionConfig,
+    /// Parallel to `FluidEngine::domains`.
+    states: Vec<CongState>,
+    /// Servers currently flagged congested (`Congested` or `RampDown`).
+    congested: usize,
+}
+
 /// Sentinel in the dense server index for servers this engine doesn't own.
 const NO_DOMAIN: u32 = u32::MAX;
 
@@ -67,6 +126,8 @@ pub struct FluidEngine {
     /// Reused buffer for the phase-B merge (keeps the per-advance merge
     /// allocation-free).
     merge_scratch: Vec<XferDone>,
+    /// Per-link congestion detection, off unless enabled.
+    congestion: Option<CongestionWatch>,
 }
 
 impl FluidEngine {
@@ -90,6 +151,7 @@ impl FluidEngine {
             active: 0,
             completions: Vec::new(),
             merge_scratch: Vec::new(),
+            congestion: None,
         }
     }
 
@@ -148,6 +210,20 @@ impl FluidEngine {
         self.active -= 1;
         let (server, flow) = (session.server, session.flow);
         self.domain_mut(server).link_mut().close_flow(now, flow);
+    }
+
+    /// Drops a finished or cancelled session's transfer registration so
+    /// `active_on` stops counting it. [`cancel_session`]
+    /// (`FluidEngine::cancel_session`) deliberately leaves the
+    /// registration for the historical availability accounting; the
+    /// renegotiation path must *not* inherit that — it replaces the
+    /// victim with a new session at once, and counting both would charge
+    /// the server a ghost stream forever.
+    pub fn forget_session(&mut self, id: FluidSessionId) {
+        let server = self.sessions[id.0].server;
+        if let Some(i) = self.domain_index(server) {
+            self.domains[i].retain(|&tag| tag != id);
+        }
     }
 
     /// Earliest future completion across all links.
@@ -229,6 +305,139 @@ impl FluidEngine {
     /// link (degradation when below nominal, recovery when restored).
     pub fn set_link_capacity(&mut self, now: SimTime, server: ServerId, capacity_bps: u64) {
         self.domain_mut(server).set_capacity(now, capacity_bps);
+    }
+
+    /// The serving node of a session (valid for done sessions too).
+    pub fn session_server(&self, id: FluidSessionId) -> ServerId {
+        self.sessions[id.0].server
+    }
+
+    /// Bytes a session still has queued (0 once done). This is what a
+    /// renegotiation path needs to scale the remainder to a new bitrate.
+    pub fn session_backlog(&self, id: FluidSessionId) -> f64 {
+        let s = &self.sessions[id.0];
+        if s.done {
+            return 0.0;
+        }
+        self.domain(s.server).link().flow_backlog_bytes(s.flow)
+    }
+
+    /// The sessions still streaming from one server, in ascending session
+    /// id — the deterministic iteration order for an adaptation loop
+    /// picking downshift victims.
+    pub fn sessions_on(&self, server: ServerId) -> Vec<FluidSessionId> {
+        let Some(i) = self.domain_index(server) else { return Vec::new() };
+        let mut ids: Vec<FluidSessionId> =
+            self.domains[i].tags().copied().filter(|id| !self.sessions[id.0].done).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Turns on per-link congestion detection with the given watermarks.
+    /// Every link starts clear.
+    pub fn enable_congestion(&mut self, cfg: CongestionConfig) {
+        assert!(cfg.low_ratio < cfg.high_ratio, "hysteresis band must be non-empty");
+        self.congestion = Some(CongestionWatch {
+            cfg,
+            states: vec![CongState::Clear; self.domains.len()],
+            congested: 0,
+        });
+    }
+
+    /// Offered load ratio of one server's link (`demand / capacity`).
+    pub fn demand_ratio(&self, server: ServerId) -> f64 {
+        let link = self.domain(server).link();
+        link.demand_bps() as f64 / link.capacity_bps() as f64
+    }
+
+    /// True when the server's link is currently flagged congested (between
+    /// an `Onset` and the matching `Cleared`).
+    pub fn is_congested(&self, server: ServerId) -> bool {
+        let Some(watch) = &self.congestion else { return false };
+        let Some(i) = self.domain_index(server) else { return false };
+        matches!(watch.states[i], CongState::Congested | CongState::RampDown { .. })
+    }
+
+    /// Number of servers currently flagged congested. O(1).
+    pub fn congested_servers(&self) -> usize {
+        self.congestion.as_ref().map_or(0, |w| w.congested)
+    }
+
+    /// Earliest pending congestion dwell deadline — a time source for the
+    /// driver's event loop. `None` when detection is off or no link is
+    /// mid-ramp.
+    pub fn congestion_next_at(&self) -> Option<SimTime> {
+        let watch = self.congestion.as_ref()?;
+        watch
+            .states
+            .iter()
+            .filter_map(|s| match *s {
+                CongState::RampUp { since } | CongState::RampDown { since } => {
+                    Some(since + watch.cfg.dwell)
+                }
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Re-evaluates every link's watermark state at `now`, returning the
+    /// edges that fired, in `ServerId` order. Call after any instant that
+    /// can move demand or capacity (admission, completion, cancel, re-rate)
+    /// and at each [`congestion_next_at`](Self::congestion_next_at)
+    /// deadline; between such instants the ratio cannot change, so
+    /// event-driven sampling is exact.
+    pub fn poll_congestion(&mut self, now: SimTime) -> Vec<CongestionEvent> {
+        let Some(watch) = &mut self.congestion else { return Vec::new() };
+        let cfg = watch.cfg;
+        let mut events = Vec::new();
+        for (i, domain) in self.domains.iter().enumerate() {
+            let link = domain.link();
+            let ratio = link.demand_bps() as f64 / link.capacity_bps() as f64;
+            // Iterate to a fixpoint so chained transitions (level crossing
+            // followed by an already-elapsed dwell, e.g. dwell zero) settle
+            // within one poll. The chain is at most two steps long: the
+            // guards are mutually exclusive for a fixed ratio.
+            loop {
+                let next = match watch.states[i] {
+                    CongState::Clear if ratio >= cfg.high_ratio => {
+                        Some(CongState::RampUp { since: now })
+                    }
+                    // Level crossings resolve before dwell expiry, so a
+                    // ratio that dropped back by the deadline fires nothing.
+                    CongState::RampUp { .. } if ratio < cfg.high_ratio => Some(CongState::Clear),
+                    CongState::RampUp { since } if now >= since + cfg.dwell => {
+                        watch.congested += 1;
+                        events.push(CongestionEvent {
+                            server: domain.server(),
+                            edge: CongestionEdge::Onset,
+                            at: now,
+                        });
+                        Some(CongState::Congested)
+                    }
+                    CongState::Congested if ratio <= cfg.low_ratio => {
+                        Some(CongState::RampDown { since: now })
+                    }
+                    CongState::RampDown { .. } if ratio > cfg.low_ratio => {
+                        Some(CongState::Congested)
+                    }
+                    CongState::RampDown { since } if now >= since + cfg.dwell => {
+                        watch.congested -= 1;
+                        events.push(CongestionEvent {
+                            server: domain.server(),
+                            edge: CongestionEdge::Cleared,
+                            at: now,
+                        });
+                        Some(CongState::Clear)
+                    }
+                    _ => None,
+                };
+                match next {
+                    Some(s) => watch.states[i] = s,
+                    None => break,
+                }
+            }
+        }
+        events
     }
 }
 
@@ -315,6 +524,20 @@ mod tests {
     }
 
     #[test]
+    fn forget_clears_transfer_registration_cancel_leaves() {
+        let mut eng = FluidEngine::new([ServerId(0)], SharePolicy::FairShare, 100_000);
+        let a = eng.add_session(SimTime::ZERO, ServerId(0), 1 << 30, 100_000).unwrap();
+        let b = eng.add_session(SimTime::ZERO, ServerId(0), 1 << 30, 100_000).unwrap();
+        eng.cancel_session(SimTime::from_secs(1), a);
+        // Historical semantics: a cancelled transfer still registers on the
+        // server for availability accounting.
+        assert_eq!(eng.active_on(ServerId(0)), 2);
+        eng.forget_session(a);
+        assert_eq!(eng.active_on(ServerId(0)), 1);
+        assert_eq!(eng.sessions_on(ServerId(0)), vec![b]);
+    }
+
+    #[test]
     fn fail_server_displaces_active_sessions_with_remaining_bytes() {
         let mut eng = FluidEngine::new(ServerId::first_n(2), SharePolicy::Reserved, 200_000);
         // 100 KB at 100 KB/s: half delivered after 0.5 s.
@@ -372,6 +595,108 @@ mod tests {
         let done = drain_all(&mut eng, SimTime::from_secs(10));
         assert_eq!(done.len(), 2);
         let _ = SimDuration::ZERO;
+    }
+
+    fn cong_cfg(dwell_secs: u64) -> CongestionConfig {
+        CongestionConfig {
+            high_ratio: 1.1,
+            low_ratio: 0.9,
+            dwell: SimDuration::from_secs(dwell_secs),
+        }
+    }
+
+    #[test]
+    fn congestion_onset_requires_sustained_overload() {
+        let mut eng = FluidEngine::new([ServerId(0)], SharePolicy::FairShare, 100_000);
+        eng.enable_congestion(cong_cfg(5));
+        // Offered load 1.5x capacity: three 50 KB/s sessions on 100 KB/s.
+        for _ in 0..3 {
+            eng.add_session(SimTime::ZERO, ServerId(0), 1 << 24, 50_000).unwrap();
+        }
+        assert!(eng.demand_ratio(ServerId(0)) > 1.1);
+        // Crossing alone fires nothing; the dwell must elapse.
+        assert!(eng.poll_congestion(SimTime::ZERO).is_empty());
+        assert!(!eng.is_congested(ServerId(0)));
+        assert_eq!(eng.congestion_next_at(), Some(SimTime::from_secs(5)));
+        assert!(eng.poll_congestion(SimTime::from_secs(4)).is_empty());
+        let events = eng.poll_congestion(SimTime::from_secs(5));
+        assert_eq!(
+            events,
+            vec![CongestionEvent {
+                server: ServerId(0),
+                edge: CongestionEdge::Onset,
+                at: SimTime::from_secs(5),
+            }]
+        );
+        assert!(eng.is_congested(ServerId(0)));
+        assert_eq!(eng.congested_servers(), 1);
+    }
+
+    #[test]
+    fn transient_blip_fires_nothing() {
+        let mut eng = FluidEngine::new([ServerId(0)], SharePolicy::FairShare, 100_000);
+        eng.enable_congestion(cong_cfg(5));
+        let a = eng.add_session(SimTime::ZERO, ServerId(0), 1 << 24, 80_000).unwrap();
+        let b = eng.add_session(SimTime::ZERO, ServerId(0), 1 << 24, 80_000).unwrap();
+        assert!(eng.poll_congestion(SimTime::ZERO).is_empty());
+        // Load drops back below the high watermark before the dwell ends.
+        eng.cancel_session(SimTime::from_secs(2), b);
+        assert!(eng.poll_congestion(SimTime::from_secs(2)).is_empty());
+        assert_eq!(eng.congestion_next_at(), None, "ramp abandoned");
+        assert!(eng.poll_congestion(SimTime::from_secs(60)).is_empty());
+        assert!(!eng.is_congested(ServerId(0)));
+        let _ = a;
+    }
+
+    #[test]
+    fn congestion_clears_with_hysteresis_after_load_drops() {
+        let mut eng = FluidEngine::new(ServerId::first_n(2), SharePolicy::FairShare, 100_000);
+        eng.enable_congestion(cong_cfg(5));
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            ids.push(eng.add_session(SimTime::ZERO, ServerId(0), 1 << 24, 50_000).unwrap());
+        }
+        eng.poll_congestion(SimTime::ZERO);
+        assert_eq!(eng.poll_congestion(SimTime::from_secs(5)).len(), 1);
+        // Dropping to 2 sessions (ratio 1.0) sits inside the hysteresis
+        // band: still congested, no ramp-down.
+        eng.cancel_session(SimTime::from_secs(10), ids[0]);
+        assert!(eng.poll_congestion(SimTime::from_secs(10)).is_empty());
+        assert!(eng.is_congested(ServerId(0)));
+        assert_eq!(eng.congestion_next_at(), None);
+        // Dropping to 1 session (ratio 0.5) starts the ramp-down dwell.
+        eng.cancel_session(SimTime::from_secs(20), ids[1]);
+        assert!(eng.poll_congestion(SimTime::from_secs(20)).is_empty());
+        assert!(eng.is_congested(ServerId(0)), "flagged until Cleared fires");
+        assert_eq!(eng.congestion_next_at(), Some(SimTime::from_secs(25)));
+        let events = eng.poll_congestion(SimTime::from_secs(25));
+        assert_eq!(
+            events,
+            vec![CongestionEvent {
+                server: ServerId(0),
+                edge: CongestionEdge::Cleared,
+                at: SimTime::from_secs(25),
+            }]
+        );
+        assert!(!eng.is_congested(ServerId(0)));
+        assert_eq!(eng.congested_servers(), 0);
+    }
+
+    #[test]
+    fn sessions_on_and_backlog_expose_victims_in_sid_order() {
+        let mut eng = FluidEngine::new(ServerId::first_n(2), SharePolicy::FairShare, 100_000);
+        let a = eng.add_session(SimTime::ZERO, ServerId(1), 100_000, 50_000).unwrap();
+        let b = eng.add_session(SimTime::ZERO, ServerId(0), 100_000, 50_000).unwrap();
+        let c = eng.add_session(SimTime::ZERO, ServerId(1), 100_000, 50_000).unwrap();
+        assert_eq!(eng.sessions_on(ServerId(1)), vec![a, c]);
+        assert_eq!(eng.sessions_on(ServerId(0)), vec![b]);
+        assert_eq!(eng.session_server(a), ServerId(1));
+        assert!((eng.session_backlog(a) - 100_000.0).abs() < 1e-6);
+        eng.advance_to(SimTime::from_secs(1));
+        assert!((eng.session_backlog(a) - 50_000.0).abs() < 1.0);
+        eng.cancel_session(SimTime::from_secs(1), c);
+        assert_eq!(eng.sessions_on(ServerId(1)), vec![a]);
+        assert_eq!(eng.session_backlog(c), 0.0);
     }
 
     #[test]

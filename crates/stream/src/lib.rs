@@ -24,7 +24,9 @@ pub mod transforms;
 
 pub use cpumodel::{CpuKind, CpuModel};
 pub use engine::{CpuPolicy, NodeConfig, SessionConfig, SessionError, SessionId, StreamEngine};
-pub use fluid::{FluidDone, FluidEngine, FluidSessionId};
+pub use fluid::{
+    CongestionConfig, CongestionEdge, CongestionEvent, FluidDone, FluidEngine, FluidSessionId,
+};
 pub use report::{FrameRecord, SessionReport};
 pub use schedule::{DispatchConfig, FrameSchedule, ScheduledFrame};
 pub use transforms::Transforms;

@@ -34,12 +34,20 @@ pub struct SessionReport {
     playback: SimDuration,
     finish: Option<SimTime>,
     interrupted: Option<SimTime>,
+    renegotiations: Vec<SimTime>,
 }
 
 impl SessionReport {
     /// Creates a report for a session of `n` scheduled frames.
     pub(crate) fn new(start: SimTime, playback: SimDuration) -> Self {
-        SessionReport { frames: Vec::new(), start, playback, finish: None, interrupted: None }
+        SessionReport {
+            frames: Vec::new(),
+            start,
+            playback,
+            finish: None,
+            interrupted: None,
+            renegotiations: Vec::new(),
+        }
     }
 
     pub(crate) fn push_frame(&mut self, display_index: u64, gop: u64, due: SimTime) -> usize {
@@ -61,6 +69,10 @@ impl SessionReport {
 
     pub(crate) fn mark_interrupted(&mut self, at: SimTime) {
         self.interrupted = Some(at);
+    }
+
+    pub(crate) fn mark_renegotiated(&mut self, at: SimTime) {
+        self.renegotiations.push(at);
     }
 
     /// Session start time.
@@ -89,6 +101,13 @@ impl SessionReport {
     /// measurements.
     pub fn interrupted_at(&self) -> Option<SimTime> {
         self.interrupted
+    }
+
+    /// Instants at which the session's delivery rate was renegotiated
+    /// (QoP downshifts and restorations), in order. Empty for sessions
+    /// the adaptation loop never touched.
+    pub fn renegotiations(&self) -> &[SimTime] {
+        &self.renegotiations
     }
 
     /// Per-frame records in schedule order.

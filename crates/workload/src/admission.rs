@@ -131,6 +131,31 @@ impl Disposition {
     }
 }
 
+/// What brownout admission does with an arrival of a given service
+/// class while the system is shedding load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrownoutAction {
+    /// Admit the request one degradation-ladder step below what it asked
+    /// for; reject it only if even the degraded form is infeasible.
+    DegradeThenReject,
+    /// Turn the request away immediately — its class is below the
+    /// brownout floor.
+    Reject,
+}
+
+/// The brownout shedding policy: Economy-class requests are refused
+/// outright (they contribute the least utility per byte and their users
+/// have the least invested), while Standard and Premium requests are
+/// offered a degraded session before being turned away.
+pub fn brownout_action(class: crate::traffic::QopClass) -> BrownoutAction {
+    match class {
+        crate::traffic::QopClass::Economy => BrownoutAction::Reject,
+        crate::traffic::QopClass::Standard | crate::traffic::QopClass::Premium => {
+            BrownoutAction::DegradeThenReject
+        }
+    }
+}
+
 /// The bounded retry queue. All state lives in a `BTreeMap` keyed by
 /// `(ready_at, seq)`: iteration order — and therefore every retry and
 /// abandonment decision — is deterministic.
@@ -511,6 +536,14 @@ mod tests {
         q.admit_failure(t, displaced(t), &Rejection::AdmissionFailed);
         assert_eq!(q.finish(), (1, 2));
         assert_eq!(q.into_metrics().pending_at_horizon, 1);
+    }
+
+    #[test]
+    fn brownout_sheds_by_class() {
+        use crate::traffic::QopClass;
+        assert_eq!(brownout_action(QopClass::Economy), BrownoutAction::Reject);
+        assert_eq!(brownout_action(QopClass::Standard), BrownoutAction::DegradeThenReject);
+        assert_eq!(brownout_action(QopClass::Premium), BrownoutAction::DegradeThenReject);
     }
 
     #[test]

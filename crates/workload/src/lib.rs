@@ -25,13 +25,18 @@ pub mod testbed;
 pub mod throughput;
 pub mod traffic;
 
-pub use admission::{AdmissionConfig, AdmissionQueue, Disposition, QueueMetrics, Waiting};
+pub use admission::{
+    brownout_action, AdmissionConfig, AdmissionQueue, BrownoutAction, Disposition, QueueMetrics,
+    Waiting,
+};
 pub use fig5::{run_fig5, Contention, Fig5Config, Fig5System};
 pub use parallel::{parallel_map, run_throughput_scenarios, worker_count, DomainPool};
 pub use testbed::{CostKind, Testbed, TestbedConfig};
 pub use throughput::{
-    run_throughput, run_throughput_on, FaultMetrics, SystemKind, ThroughputConfig, ThroughputResult,
+    run_throughput, run_throughput_on, AdaptationConfig, DegradationMetrics, FaultMetrics,
+    SystemKind, ThroughputConfig, ThroughputResult,
 };
 pub use traffic::{
-    generate_queries, random_qop, random_qop_with, GeneratedQuery, QopMix, TrafficConfig,
+    generate_queries, qop_class, random_qop, random_qop_with, GeneratedQuery, QopClass, QopMix,
+    TrafficConfig,
 };

@@ -375,6 +375,8 @@ mod tests {
             arrival_burst: 1,
             plan_cache: false,
             domain_workers: 0,
+            links: None,
+            adaptation: None,
         };
         let scenarios: Vec<(SystemKind, ThroughputConfig)> = vec![
             (SystemKind::Vdbms, cfg.clone()),
@@ -408,6 +410,8 @@ mod tests {
             arrival_burst: 1,
             plan_cache: false,
             domain_workers: 0,
+            links: None,
+            adaptation: None,
         };
         let scenarios: Vec<(SystemKind, ThroughputConfig)> = vec![
             (SystemKind::Vdbms, cfg.clone()),

@@ -7,22 +7,25 @@
 //! accomplished jobs per minute (Fig 6b), and cumulative rejects
 //! (Fig 7b).
 
-use crate::admission::{AdmissionConfig, AdmissionQueue, QueueMetrics, Waiting};
+use crate::admission::{
+    brownout_action, AdmissionConfig, AdmissionQueue, BrownoutAction, QueueMetrics, Waiting,
+};
 use crate::parallel::DomainPool;
 use crate::testbed::{CostKind, Testbed, TestbedConfig};
-use crate::traffic::{generate_queries, QopMix, TrafficConfig};
+use crate::traffic::{generate_queries, qop_class, QopMix, TrafficConfig};
 use quasaq_core::{
-    PlanExecutor, PlanRequest, QopSecurity, QosWeights, QualityManager, Rejection, UserProfile,
-    UtilityGain,
+    AdmittedPlan, PlanExecutor, PlanRequest, QopSecurity, QosWeights, QualityManager, Rejection,
+    UserProfile, UtilityGain,
 };
+use quasaq_media::QosRange;
 use quasaq_qosapi::{CompositeQosApi, ReservationId, ResourceKey, ResourceKind, ResourceVector};
 use quasaq_sim::link::SharePolicy;
 use quasaq_sim::{
-    FaultEvent, FaultInjector, FaultKind, FaultPlan, LevelTracker, OnlineStats, RateCounter, Rng,
-    Series, ServerId, SimDuration, SimTime,
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, LevelTracker, LinkInjector, LinkPlan,
+    OnlineStats, RateCounter, Rng, Series, ServerId, SimDuration, SimTime,
 };
 use quasaq_store::AccessStats;
-use quasaq_stream::{FluidEngine, FluidSessionId};
+use quasaq_stream::{CongestionConfig, CongestionEdge, FluidEngine, FluidSessionId};
 use quasaq_vdbms::{BaselineKind, BaselinePlanner, QueuedQuery};
 use std::collections::{BTreeSet, HashMap};
 
@@ -99,6 +102,76 @@ pub struct ThroughputConfig {
     /// cross-domain merge is serial either way, so results are
     /// bit-identical at every setting.
     pub domain_workers: usize,
+    /// Stochastic link dynamics: a per-server capacity set-point timeline
+    /// (sampled Markov/fading/diurnal trajectories or explicit
+    /// set-points). Unlike `faults`, set-points also re-rate the
+    /// admission view, so reservation-based systems plan against the
+    /// capacity the network actually has. `None` disables the injector
+    /// entirely (bit-identical to runs before link dynamics existed).
+    pub links: Option<LinkPlan>,
+    /// Congestion-driven graceful degradation: watch per-server offered
+    /// load, renegotiate QuaSAQ sessions down the QoP ladder on sustained
+    /// congestion (and back up on recovery, rate-bounded), and shed
+    /// arrivals by service class while the cluster is browned out. `None`
+    /// keeps every session at its admitted quality (legacy behaviour).
+    pub adaptation: Option<AdaptationConfig>,
+}
+
+/// Parameters of the congestion-adaptation loop.
+#[derive(Debug, Clone)]
+pub struct AdaptationConfig {
+    /// Congestion watermarks and dwell (hysteresis in level and time).
+    pub congestion: CongestionConfig,
+    /// Minimum spacing between upshifts on one server. Downshifts are
+    /// never delayed; this one-sided bound is what keeps the loop from
+    /// oscillating (a session upgraded at `t` cannot be re-upgraded
+    /// before `t + upgrade_period`, and a downshift inside that window is
+    /// counted as an oscillation).
+    pub upgrade_period: SimDuration,
+    /// Cap on sessions renegotiated per congestion-onset event.
+    pub max_downshifts_per_event: usize,
+    /// Brownout threshold: admission starts shedding by service class
+    /// once at least this fraction of servers is congested.
+    pub brownout_ratio: f64,
+}
+
+impl Default for AdaptationConfig {
+    fn default() -> Self {
+        AdaptationConfig {
+            congestion: CongestionConfig::default(),
+            upgrade_period: SimDuration::from_secs(30),
+            max_downshifts_per_event: 4,
+            brownout_ratio: 0.25,
+        }
+    }
+}
+
+/// What the adaptation loop did over one run. `PartialEq` compares floats
+/// bit-for-bit for the serial-vs-parallel determinism checks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationMetrics {
+    /// Congestion-onset events (a server crossing the high watermark and
+    /// dwelling there).
+    pub congestion_events: u64,
+    /// Server-seconds spent in the congested state.
+    pub congested_secs: f64,
+    /// Sessions renegotiated down the QoP ladder by the adaptation loop.
+    pub downshifts: u64,
+    /// Sessions renegotiated back toward their original request after a
+    /// server cleared.
+    pub upshifts: u64,
+    /// Downshifts that undid an upshift within one `upgrade_period` —
+    /// the loop hunting instead of settling.
+    pub oscillations: u64,
+    /// Estimated QoS-violation exposure avoided by downshifts: the bytes
+    /// each renegotiation took off the wire, over the victim server's
+    /// effective capacity at that instant.
+    pub violation_secs_avoided: f64,
+    /// Brownout admissions served one ladder step below their request.
+    pub brownout_degraded: u64,
+    /// Arrivals turned away by brownout shedding (Economy class, plus
+    /// degrade-then-reject failures).
+    pub brownout_rejected: u64,
 }
 
 impl ThroughputConfig {
@@ -118,6 +191,8 @@ impl ThroughputConfig {
             arrival_burst: 1,
             plan_cache: false,
             domain_workers: 0,
+            links: None,
+            adaptation: None,
         }
     }
 
@@ -144,6 +219,32 @@ impl ThroughputConfig {
                 SimTime::from_secs(2000),
             )),
             ..Self::queued()
+        }
+    }
+
+    /// The degradation-under-congestion configuration: Fig 6 load while
+    /// every server's link follows a sampled Markov good/degraded/bad
+    /// trajectory, with the adaptation loop renegotiating sessions and
+    /// browning out admission under sustained overload.
+    pub fn stochastic() -> Self {
+        let base = Self::fig6();
+        let servers = ServerId::first_n(base.testbed.servers);
+        ThroughputConfig {
+            links: Some(LinkPlan::sample(
+                base.seed,
+                servers,
+                base.horizon,
+                quasaq_sim::LinkModel::Markov {
+                    factors: [1.0, 0.5, 0.2],
+                    dwell: [
+                        SimDuration::from_secs(120),
+                        SimDuration::from_secs(60),
+                        SimDuration::from_secs(30),
+                    ],
+                },
+            )),
+            adaptation: Some(AdaptationConfig::default()),
+            ..base
         }
     }
 }
@@ -209,8 +310,11 @@ pub struct ThroughputResult {
     pub mean_utility: Option<f64>,
     /// Queue metrics when the admission front end was enabled.
     pub queue: Option<QueueMetrics>,
-    /// Robustness metrics when fault injection was enabled.
+    /// Robustness metrics when fault injection or link dynamics were
+    /// enabled.
     pub faults: Option<FaultMetrics>,
+    /// Adaptation metrics when the congestion loop was enabled.
+    pub degradation: Option<DegradationMetrics>,
 }
 
 impl ThroughputResult {
@@ -252,6 +356,14 @@ impl<T> PerSession<T> {
 
     fn remove(&mut self, id: FluidSessionId) -> Option<T> {
         self.0.get_mut(id.0).and_then(Option::take)
+    }
+
+    fn get(&self, id: FluidSessionId) -> Option<&T> {
+        self.0.get(id.0).and_then(Option::as_ref)
+    }
+
+    fn get_mut(&mut self, id: FluidSessionId) -> Option<&mut T> {
+        self.0.get_mut(id.0).and_then(Option::as_mut)
     }
 }
 
@@ -363,6 +475,32 @@ pub fn run_throughput_on(
     let mut impaired: BTreeSet<ServerId> = BTreeSet::new();
     let mut violation_t = SimTime::ZERO;
 
+    // Stochastic link dynamics: a (time, seq)-ordered set-point timeline,
+    // one dynamic factor per server composed into the same effective
+    // capacity the fault windows feed. Empty when `cfg.links` is `None`,
+    // so the legacy event sequence is untouched.
+    let link_plan = cfg.links.clone().unwrap_or_default();
+    let mut link_injector = LinkInjector::new(&link_plan);
+    let links_on = cfg.links.is_some();
+    let mut dyn_factors: HashMap<ServerId, f64> = HashMap::new();
+    // QoS-violation exposure is accounted whenever anything can degrade
+    // capacity mid-run.
+    let watch_capacity = faults_on || links_on;
+
+    // The congestion-adaptation loop.
+    let adapt = cfg.adaptation.clone();
+    let adapt_on = adapt.is_some();
+    if let Some(a) = &adapt {
+        fluid.enable_congestion(a.congestion);
+    }
+    let mut dm = DegradationMetrics::default();
+    let mut last_upshift: HashMap<ServerId, SimTime> = HashMap::new();
+    let mut congested_t = SimTime::ZERO;
+    // Session contexts are needed by both the crash-failover path and the
+    // adaptation loop.
+    let track_ctx = faults_on || adapt_on;
+    let num_servers = cfg.testbed.servers as usize;
+
     let mut reservations: PerSession<ReservationId> = PerSession::new();
     let mut outstanding = LevelTracker::new();
     let mut completions = RateCounter::new(SimDuration::from_secs(60));
@@ -381,18 +519,27 @@ pub fn run_throughput_on(
         let tr = queue.as_ref().and_then(|q| q.next_ready()).filter(|&t| t <= cfg.horizon);
         let ta = deadlines.iter().next().map(|&(t, _)| t).filter(|&t| t <= cfg.horizon);
         let tx = injector.next_at().filter(|&t| t <= cfg.horizon);
-        let Some(t) = [tq, tf, tr, ta, tx].into_iter().flatten().min() else { break };
+        let tl = link_injector.next_at().filter(|&t| t <= cfg.horizon);
+        let tc = fluid.congestion_next_at().filter(|&t| t <= cfg.horizon);
+        let Some(t) = [tq, tf, tr, ta, tx, tl, tc].into_iter().flatten().min() else { break };
         if t > cfg.horizon {
             break;
         }
         // The active set only changes at processed instants, so the
         // violation exposure over [violation_t, t] is exact.
-        if faults_on && t > violation_t {
+        if watch_capacity && t > violation_t {
             for &s in &impaired {
                 fm.qos_violation_secs +=
                     fluid.active_on(s) as f64 * (t - violation_t).as_secs_f64();
             }
             violation_t = t;
+        }
+        // Same argument for congestion exposure: the congested set only
+        // flips inside `poll_congestion`, which runs at processed
+        // instants.
+        if adapt_on && t > congested_t {
+            dm.congested_secs += fluid.congested_servers() as f64 * (t - congested_t).as_secs_f64();
+            congested_t = t;
         }
         advance_fluid!(t);
         handle_done(
@@ -514,7 +661,7 @@ pub fn run_throughput_on(
                                     }
                                     ctxs.insert(
                                         sess.sid,
-                                        SessionCtx { query: request, total_bytes: sess.bytes },
+                                        SessionCtx::new(request, sess.bytes, sess.plan),
                                     );
                                 }
                                 None => match queue.as_mut() {
@@ -543,6 +690,7 @@ pub fn run_throughput_on(
                             &mut impaired,
                             &link_factors,
                             &disk_factors,
+                            &dyn_factors,
                             &cfg.testbed,
                             t,
                             spec.server,
@@ -555,6 +703,7 @@ pub fn run_throughput_on(
                             &mut impaired,
                             &link_factors,
                             &disk_factors,
+                            &dyn_factors,
                             &cfg.testbed,
                             t,
                             spec.server,
@@ -577,6 +726,7 @@ pub fn run_throughput_on(
                             &mut impaired,
                             &link_factors,
                             &disk_factors,
+                            &dyn_factors,
                             &cfg.testbed,
                             t,
                             spec.server,
@@ -589,12 +739,42 @@ pub fn run_throughput_on(
                             &mut impaired,
                             &link_factors,
                             &disk_factors,
+                            &dyn_factors,
                             &cfg.testbed,
                             t,
                             spec.server,
                         );
                     }
                 },
+            }
+        }
+        // Link set-points due now land after fault edges (a set-point and
+        // a fault window at one instant compose in plan order) and before
+        // retries and arrivals, which must see the re-rated world. Unlike
+        // fault windows, set-points also move the admission view: the
+        // reservation systems should plan against the capacity the
+        // network actually has.
+        while let Some(spec) = link_injector.pop_due(t) {
+            dyn_factors.insert(spec.server, spec.factor);
+            let net = apply_capacity(
+                &mut fluid,
+                &mut impaired,
+                &link_factors,
+                &disk_factors,
+                &dyn_factors,
+                &cfg.testbed,
+                t,
+                spec.server,
+            );
+            let key = ResourceKey::new(spec.server, ResourceKind::NetBandwidth);
+            match &mut state {
+                SystemState::QosApi { api, .. } => {
+                    api.set_capacity(key, net);
+                }
+                SystemState::Quasaq { manager, .. } => {
+                    manager.set_capacity(key, net);
+                }
+                SystemState::Plain { .. } => {}
             }
         }
         // Retries due now run before the new arrival: they have waited
@@ -630,11 +810,8 @@ pub fn run_throughput_on(
                             deadlines.insert((dl, sess.sid));
                             deadline_of.insert(sess.sid, dl);
                         }
-                        if faults_on {
-                            ctxs.insert(
-                                sess.sid,
-                                SessionCtx { query: w.query, total_bytes: sess.bytes },
-                            );
+                        if track_ctx {
+                            ctxs.insert(sess.sid, SessionCtx::new(w.query, sess.bytes, sess.plan));
                         }
                     }
                     Err(why) => {
@@ -676,12 +853,46 @@ pub fn run_throughput_on(
                     }
                 }
             }
+            // Brownout: once enough of the cluster sits congested, the
+            // front door sheds by service class — Economy requests are
+            // refused outright, richer requests are admitted one ladder
+            // step down or refused, and nothing queues (a browned-out
+            // system must shed load now, not promise it later). The
+            // congested set is frozen for the whole instant (it only
+            // moves in the end-of-instant poll), so every query in a
+            // burst sees the same policy.
+            let brownout_now = adapt.as_ref().is_some_and(|a| {
+                let congested = fluid.congested_servers();
+                congested > 0 && congested as f64 >= a.brownout_ratio * num_servers as f64
+            });
             while qi < batch_end {
                 let q = &queries[qi];
                 qi += 1;
-                let request = QueuedQuery { video: q.video, qos: q.qos.clone() };
+                let mut request = QueuedQuery { video: q.video, qos: q.qos.clone() };
+                let mut via_brownout = false;
+                if brownout_now {
+                    match brownout_action(qop_class(&q.qop)) {
+                        BrownoutAction::Reject => {
+                            dm.brownout_rejected += 1;
+                            rejected += 1;
+                            rejects.push(t, rejected as f64);
+                            continue;
+                        }
+                        BrownoutAction::DegradeThenReject => {
+                            if let Some(next) =
+                                failover_profile.degrade_options(&request.qos).into_iter().next()
+                            {
+                                request.qos = next;
+                            }
+                            via_brownout = true;
+                        }
+                    }
+                }
                 match admit(&mut state, testbed, &request, &mut fluid, &mut rng, t, None, &down) {
                     Ok(sess) => {
+                        if via_brownout {
+                            dm.brownout_degraded += 1;
+                        }
                         admitted += 1;
                         outstanding.adjust(t, 1);
                         access.record(q.video, sess.server);
@@ -700,40 +911,80 @@ pub fn run_throughput_on(
                             deadlines.insert((dl, sess.sid));
                             deadline_of.insert(sess.sid, dl);
                         }
-                        if faults_on {
-                            ctxs.insert(
-                                sess.sid,
-                                SessionCtx { query: request, total_bytes: sess.bytes },
-                            );
+                        if track_ctx {
+                            ctxs.insert(sess.sid, SessionCtx::new(request, sess.bytes, sess.plan));
                         }
                     }
-                    Err(why) => match queue.as_mut() {
-                        Some(qu) => {
-                            let w = Waiting {
-                                query: request,
-                                arrival: t,
-                                attempts: 1,
-                                interrupted: None,
-                            };
-                            if qu.admit_failure(t, w, &why).is_rejection() {
+                    Err(why) => {
+                        if via_brownout {
+                            // Degrade-then-reject: even the degraded form
+                            // was infeasible, and a browned-out system
+                            // does not queue.
+                            dm.brownout_rejected += 1;
+                            rejected += 1;
+                            rejects.push(t, rejected as f64);
+                            continue;
+                        }
+                        match queue.as_mut() {
+                            Some(qu) => {
+                                let w = Waiting {
+                                    query: request,
+                                    arrival: t,
+                                    attempts: 1,
+                                    interrupted: None,
+                                };
+                                if qu.admit_failure(t, w, &why).is_rejection() {
+                                    rejected += 1;
+                                    rejects.push(t, rejected as f64);
+                                }
+                            }
+                            None => {
                                 rejected += 1;
                                 rejects.push(t, rejected as f64);
                             }
                         }
-                        None => {
-                            rejected += 1;
-                            rejects.push(t, rejected as f64);
-                        }
-                    },
+                    }
                 }
             }
         }
+        // End-of-instant congestion poll: demand ratios only move at
+        // processed instants (session adds, completions, cancellations,
+        // re-rates all happen above), so polling here sees every edge
+        // exactly when it happens; the `tc` time source wakes the loop
+        // for pure dwell expiries. Runs after the arrivals so a burst
+        // that congests a server starts its dwell clock at this instant.
+        if let Some(a) = &adapt {
+            run_adaptation(
+                t,
+                a,
+                &mut state,
+                testbed,
+                &mut fluid,
+                &mut rng,
+                &mut ctxs,
+                &mut reservations,
+                &mut deadlines,
+                &mut deadline_of,
+                patience,
+                &mut access,
+                &mut dm,
+                &mut last_upshift,
+                &failover_profile,
+                &link_factors,
+                &disk_factors,
+                &dyn_factors,
+            );
+        }
     }
-    if faults_on && cfg.horizon > violation_t {
+    if watch_capacity && cfg.horizon > violation_t {
         for &s in &impaired {
             fm.qos_violation_secs +=
                 fluid.active_on(s) as f64 * (cfg.horizon - violation_t).as_secs_f64();
         }
+    }
+    if adapt_on && cfg.horizon > congested_t {
+        dm.congested_secs +=
+            fluid.congested_servers() as f64 * (cfg.horizon - congested_t).as_secs_f64();
     }
     advance_fluid!(cfg.horizon);
     handle_done(
@@ -780,15 +1031,32 @@ pub fn run_throughput_on(
         access,
         mean_utility: (utility_n > 0).then(|| utility_sum / utility_n as f64),
         queue: queue.map(AdmissionQueue::into_metrics),
-        faults: faults_on.then_some(fm),
+        faults: watch_capacity.then_some(fm),
+        degradation: adapt_on.then_some(dm),
     }
 }
 
 /// What the driver must remember about a live session to fail it over
-/// after a crash (tracked only under fault injection).
+/// after a crash or renegotiate it under congestion (tracked only when
+/// fault injection or adaptation is on).
 struct SessionCtx {
     query: QueuedQuery,
     total_bytes: u64,
+    /// The admitted plan (QuaSAQ systems only): what a mid-stream
+    /// renegotiation swaps out. Baselines have no plan machinery, so
+    /// their sessions never re-rate.
+    plan: Option<AdmittedPlan>,
+    /// The QoS the client originally asked for — the upshift ceiling.
+    orig_qos: QosRange,
+    /// Last upshift instant (oscillation detection).
+    upshifted_at: Option<SimTime>,
+}
+
+impl SessionCtx {
+    fn new(query: QueuedQuery, total_bytes: u64, plan: Option<AdmittedPlan>) -> Self {
+        let orig_qos = query.qos.clone();
+        SessionCtx { query, total_bytes, plan, orig_qos, upshifted_at: None }
+    }
 }
 
 fn fail_site(state: &mut SystemState, server: ServerId) {
@@ -815,30 +1083,54 @@ fn restore_site(state: &mut SystemState, server: ServerId) {
     }
 }
 
-/// Re-applies a server's effective capacity after its fault factors
-/// changed: the link carries `min(link, disk)` of the degraded rates (a
-/// slow disk starves the link), never less than 1 byte/s so in-flight
-/// transfers keep draining.
+/// A server's composed capacity right now: the fault windows' factors
+/// multiplied with the link plan's dynamic set-point. Returns
+/// `(net, effective)` — the network side alone (what the admission view
+/// tracks on the links path) and `min(net, disk)` (what the fluid link
+/// carries; a slow disk starves the link). Both floored at 1 byte/s so
+/// in-flight transfers keep draining. The dynamic factor multiplies last
+/// (and defaults to exactly 1.0), so fault-only runs compute the same
+/// float product they always did.
+fn effective_capacity(
+    link_factors: &HashMap<ServerId, Vec<f64>>,
+    disk_factors: &HashMap<ServerId, Vec<f64>>,
+    dyn_factors: &HashMap<ServerId, f64>,
+    testbed: &TestbedConfig,
+    server: ServerId,
+) -> (f64, u64) {
+    let product =
+        |m: &HashMap<ServerId, Vec<f64>>| m.get(&server).map_or(1.0, |v| v.iter().product::<f64>());
+    let net = testbed.link_capacity_bps as f64
+        * product(link_factors)
+        * dyn_factors.get(&server).copied().unwrap_or(1.0);
+    let disk = testbed.disk_bps * product(disk_factors);
+    (net.max(1.0), (net.min(disk).max(1.0)) as u64)
+}
+
+/// Re-applies a server's effective capacity after its fault factors or
+/// dynamic set-point changed, and tracks QoS-violation exposure via the
+/// impaired set. Returns the network-side capacity for the admission
+/// view.
+#[allow(clippy::too_many_arguments)]
 fn apply_capacity(
     fluid: &mut FluidEngine,
     impaired: &mut BTreeSet<ServerId>,
     link_factors: &HashMap<ServerId, Vec<f64>>,
     disk_factors: &HashMap<ServerId, Vec<f64>>,
+    dyn_factors: &HashMap<ServerId, f64>,
     testbed: &TestbedConfig,
     now: SimTime,
     server: ServerId,
-) {
-    let product =
-        |m: &HashMap<ServerId, Vec<f64>>| m.get(&server).map_or(1.0, |v| v.iter().product());
-    let link = testbed.link_capacity_bps as f64 * product(link_factors);
-    let disk = testbed.disk_bps * product(disk_factors);
-    let effective = (link.min(disk).max(1.0)) as u64;
+) -> f64 {
+    let (net, effective) =
+        effective_capacity(link_factors, disk_factors, dyn_factors, testbed, server);
     fluid.set_link_capacity(now, server, effective);
     if effective < testbed.link_capacity_bps {
         impaired.insert(server);
     } else {
         impaired.remove(&server);
     }
+    net
 }
 
 /// Drops one ended fault window's factor (the first matching entry, so
@@ -883,6 +1175,203 @@ fn handle_done(
     }
 }
 
+/// One end-of-instant adaptation pass: poll the congestion watch and act
+/// on every edge it reports. Onsets renegotiate up to
+/// `max_downshifts_per_event` sessions on the congested server one QoP
+/// ladder step down; Cleared edges renegotiate at most one previously
+/// degraded session back toward its original request, rate-bounded per
+/// server by `upgrade_period`. Adaptation itself moves demand, so the
+/// poll loops until a quiet round — bounded, because upshifts are
+/// rate-limited and downshifts stop at the ladder floor.
+#[allow(clippy::too_many_arguments)]
+fn run_adaptation(
+    now: SimTime,
+    adapt: &AdaptationConfig,
+    state: &mut SystemState,
+    testbed: &Testbed,
+    fluid: &mut FluidEngine,
+    rng: &mut Rng,
+    ctxs: &mut PerSession<SessionCtx>,
+    reservations: &mut PerSession<ReservationId>,
+    deadlines: &mut BTreeSet<(SimTime, FluidSessionId)>,
+    deadline_of: &mut PerSession<SimTime>,
+    patience: Option<SimDuration>,
+    access: &mut AccessStats,
+    dm: &mut DegradationMetrics,
+    last_upshift: &mut HashMap<ServerId, SimTime>,
+    profile: &UserProfile,
+    link_factors: &HashMap<ServerId, Vec<f64>>,
+    disk_factors: &HashMap<ServerId, Vec<f64>>,
+    dyn_factors: &HashMap<ServerId, f64>,
+) {
+    for _ in 0..4 {
+        let events = fluid.poll_congestion(now);
+        if events.is_empty() {
+            break;
+        }
+        for ev in events {
+            match ev.edge {
+                CongestionEdge::Onset => {
+                    dm.congestion_events += 1;
+                    let (_, effective) = effective_capacity(
+                        link_factors,
+                        disk_factors,
+                        dyn_factors,
+                        &testbed.config,
+                        ev.server,
+                    );
+                    let mut shed = 0usize;
+                    for sid in fluid.sessions_on(ev.server) {
+                        if shed >= adapt.max_downshifts_per_event {
+                            break;
+                        }
+                        // Only QuaSAQ sessions carry a renegotiable plan,
+                        // and the floor of the ladder stays put.
+                        let Some(ctx) = ctxs.get(sid) else { continue };
+                        if ctx.plan.is_none() {
+                            continue;
+                        }
+                        let Some(next) = profile.degrade_options(&ctx.query.qos).into_iter().next()
+                        else {
+                            continue;
+                        };
+                        let hunting =
+                            ctx.upshifted_at.is_some_and(|ts| now < ts + adapt.upgrade_period);
+                        if let Some(moved) = renegotiate_session(
+                            now,
+                            state,
+                            testbed,
+                            fluid,
+                            rng,
+                            sid,
+                            next,
+                            ctxs,
+                            reservations,
+                            deadlines,
+                            deadline_of,
+                            patience,
+                            access,
+                        ) {
+                            shed += 1;
+                            dm.downshifts += 1;
+                            if hunting {
+                                dm.oscillations += 1;
+                            }
+                            dm.violation_secs_avoided +=
+                                moved.bytes_saved.max(0.0) / effective.max(1) as f64;
+                        }
+                    }
+                }
+                CongestionEdge::Cleared => {
+                    let allowed = last_upshift
+                        .get(&ev.server)
+                        .is_none_or(|&ts| now >= ts + adapt.upgrade_period);
+                    if !allowed {
+                        continue;
+                    }
+                    for sid in fluid.sessions_on(ev.server) {
+                        let Some(ctx) = ctxs.get(sid) else { continue };
+                        if ctx.plan.is_none() || ctx.query.qos == ctx.orig_qos {
+                            continue;
+                        }
+                        let target = ctx.orig_qos.clone();
+                        if let Some(moved) = renegotiate_session(
+                            now,
+                            state,
+                            testbed,
+                            fluid,
+                            rng,
+                            sid,
+                            target,
+                            ctxs,
+                            reservations,
+                            deadlines,
+                            deadline_of,
+                            patience,
+                            access,
+                        ) {
+                            dm.upshifts += 1;
+                            last_upshift.insert(ev.server, now);
+                            if let Some(c) = ctxs.get_mut(moved.sid) {
+                                c.upshifted_at = Some(now);
+                            }
+                            // One upgrade per Cleared edge: recovery is
+                            // deliberately slower than degradation.
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one successful mid-stream renegotiation.
+struct Renegotiated {
+    /// The session's new fluid id (cancel + re-add allocates fresh).
+    sid: FluidSessionId,
+    /// Bytes the re-rate took off the wire (negative for an upshift).
+    bytes_saved: f64,
+}
+
+/// Renegotiates one live QuaSAQ session to `new_qos`: swaps the
+/// reservation through [`QualityManager::renegotiate`] (which keeps the
+/// old one on failure), then replaces the fluid session with the
+/// remaining fraction of the stream at the new plan's bitrate and
+/// rebinds every per-session table to the new id. Returns `None` — with
+/// the session untouched — when the manager finds no feasible plan.
+#[allow(clippy::too_many_arguments)]
+fn renegotiate_session(
+    now: SimTime,
+    state: &mut SystemState,
+    testbed: &Testbed,
+    fluid: &mut FluidEngine,
+    rng: &mut Rng,
+    sid: FluidSessionId,
+    new_qos: QosRange,
+    ctxs: &mut PerSession<SessionCtx>,
+    reservations: &mut PerSession<ReservationId>,
+    deadlines: &mut BTreeSet<(SimTime, FluidSessionId)>,
+    deadline_of: &mut PerSession<SimTime>,
+    patience: Option<SimDuration>,
+    access: &mut AccessStats,
+) -> Option<Renegotiated> {
+    let SystemState::Quasaq { manager, executor } = state else { return None };
+    let ctx = ctxs.get(sid)?;
+    let plan = ctx.plan.as_ref()?;
+    let request =
+        PlanRequest { video: ctx.query.video, qos: new_qos.clone(), security: QopSecurity::Open };
+    let swapped = manager.renegotiate(&testbed.engine, plan, &request, rng).ok()?;
+    let meta = testbed.engine.video(ctx.query.video).expect("known video");
+    let (full_bytes, rate) = executor.fluid_params(&swapped.plan, meta);
+    let remaining = fluid.session_backlog(sid);
+    let frac = (remaining / ctx.total_bytes.max(1) as f64).clamp(0.0, 1.0);
+    let bytes = resume_bytes(full_bytes, Some(frac));
+    let server = swapped.plan.target_server;
+    fluid.cancel_session(now, sid);
+    fluid.forget_session(sid);
+    let new_sid = fluid.add_session(now, server, bytes, rate).expect("fair-share admits");
+    let mut ctx = ctxs.remove(sid).expect("context just read");
+    // The old reservation id was consumed by the renegotiation swap —
+    // drop it without releasing.
+    reservations.remove(sid);
+    reservations.insert(new_sid, swapped.reservation);
+    if let Some(dl) = deadline_of.remove(sid) {
+        deadlines.remove(&(dl, sid));
+    }
+    if let Some(p) = patience {
+        let dl = now + nominal_duration(bytes, rate) + p;
+        deadlines.insert((dl, new_sid));
+        deadline_of.insert(new_sid, dl);
+    }
+    access.record(ctx.query.video, server);
+    ctx.query.qos = new_qos;
+    ctx.total_bytes = bytes;
+    ctx.plan = Some(swapped);
+    ctxs.insert(new_sid, ctx);
+    Some(Renegotiated { sid: new_sid, bytes_saved: remaining - bytes as f64 })
+}
+
 /// One admitted session, whichever system admitted it.
 struct AdmittedSession {
     sid: FluidSessionId,
@@ -894,6 +1383,9 @@ struct AdmittedSession {
     nominal: SimDuration,
     /// Bytes actually streamed (scaled down on a mid-stream failover).
     bytes: u64,
+    /// The admitted plan (QuaSAQ only), handed to the session context so
+    /// the adaptation loop can renegotiate it later.
+    plan: Option<AdmittedPlan>,
 }
 
 /// Scales a replica's size by the fraction still owed after a failover.
@@ -935,6 +1427,7 @@ fn admit(
                 utility: None,
                 nominal: nominal_duration(bytes, rate),
                 bytes,
+                plan: None,
             })
         }
         SystemState::QosApi { planner, api, headroom } => {
@@ -973,6 +1466,7 @@ fn admit(
                         utility: None,
                         nominal: nominal_duration(bytes, rate),
                         bytes,
+                        plan: None,
                     });
                 }
             }
@@ -995,6 +1489,7 @@ fn admit(
                 utility: Some(utility),
                 nominal: nominal_duration(bytes, rate),
                 bytes,
+                plan: Some(admitted),
             })
         }
     }
@@ -1023,6 +1518,8 @@ mod tests {
             arrival_burst: 1,
             plan_cache: false,
             domain_workers: 0,
+            links: None,
+            adaptation: None,
         }
     }
 
@@ -1102,6 +1599,7 @@ mod tests {
             mean_utility: None,
             queue: None,
             faults: None,
+            degradation: None,
         };
         let horizon = SimTime::from_micros(7);
         assert_eq!(horizon.halved(), SimTime::from_micros(3));
@@ -1327,6 +1825,8 @@ mod tests {
             arrival_burst: 1,
             plan_cache: false,
             domain_workers: 0,
+            links: None,
+            adaptation: None,
         };
         let queued = ThroughputConfig {
             admission: Some(AdmissionConfig {
@@ -1379,5 +1879,134 @@ mod tests {
         let lone = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &short_cfg());
         let burst = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &base);
         assert!(burst.queries > lone.queries * 6, "{} vs {}", burst.queries, lone.queries);
+    }
+
+    use quasaq_sim::LinkSpec;
+
+    /// A window where one server's link collapses and later recovers.
+    fn crush_server(server: ServerId, factor: f64) -> LinkPlan {
+        LinkPlan {
+            changes: vec![
+                LinkSpec { server, at: SimTime::from_secs(60), factor },
+                LinkSpec { server, at: SimTime::from_secs(180), factor: 1.0 },
+            ],
+        }
+    }
+
+    /// An empty link plan plus an idle adaptation loop must be inert:
+    /// identical decisions, identical series, zeroed metrics. This pins
+    /// the baseline before the degradation tests trust the machinery.
+    #[test]
+    fn idle_link_plan_and_adaptation_are_inert() {
+        let legacy = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &short_cfg());
+        let cfg = ThroughputConfig {
+            links: Some(LinkPlan::none()),
+            adaptation: Some(AdaptationConfig::default()),
+            ..short_cfg()
+        };
+        let mut idle = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
+        assert_eq!(idle.faults.take(), Some(FaultMetrics::default()));
+        assert_eq!(idle.degradation.take(), Some(DegradationMetrics::default()));
+        assert_eq!(idle, legacy);
+    }
+
+    /// Link set-points actually move capacity: a crushed server stretches
+    /// its fair-share sessions into QoS violation, and the recovery
+    /// set-point ends the exposure. Replay and sharded runs agree bit for
+    /// bit on the stochastic timeline.
+    #[test]
+    fn link_set_points_degrade_and_recover_capacity() {
+        let cfg = ThroughputConfig { links: Some(crush_server(ServerId(0), 0.3)), ..short_cfg() };
+        let r = run_throughput(SystemKind::Vdbms, &cfg);
+        let f = r.faults.as_ref().expect("link dynamics enable violation tracking");
+        assert_eq!(f.interrupted, 0, "set-points are not crashes");
+        assert!(f.qos_violation_secs > 0.0, "a 70% collapse must stretch sessions");
+        assert_eq!(r, run_throughput(SystemKind::Vdbms, &cfg), "replay");
+        let sharded = ThroughputConfig { domain_workers: 4, ..cfg.clone() };
+        assert_eq!(r, run_throughput(SystemKind::Vdbms, &sharded), "sharded");
+    }
+
+    /// The tentpole end-to-end claim: under a congesting link window the
+    /// adaptation loop renegotiates sessions down the ladder, sheds load
+    /// off the hot server, and ends the run with strictly less violation
+    /// exposure than the frozen system — without oscillating.
+    #[test]
+    fn adaptation_sheds_load_and_reduces_violation_exposure() {
+        let frozen_cfg =
+            ThroughputConfig { links: Some(crush_server(ServerId(0), 0.3)), ..short_cfg() };
+        let adaptive_cfg = ThroughputConfig {
+            adaptation: Some(AdaptationConfig::default()),
+            ..frozen_cfg.clone()
+        };
+        let frozen = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &frozen_cfg);
+        let adapted = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &adaptive_cfg);
+        let dm = adapted.degradation.as_ref().expect("adaptation enabled");
+        assert!(dm.congestion_events > 0, "the crush must trip the watermark: {dm:?}");
+        assert!(dm.downshifts > 0, "sustained congestion must renegotiate: {dm:?}");
+        assert!(dm.congested_secs > 0.0, "{dm:?}");
+        assert!(dm.violation_secs_avoided > 0.0, "{dm:?}");
+        // One crush window, 30 s upgrade period: recovery must not hunt.
+        assert_eq!(dm.oscillations, 0, "{dm:?}");
+        assert!(dm.upshifts <= dm.downshifts, "{dm:?}");
+        let fv = frozen.faults.as_ref().unwrap().qos_violation_secs;
+        let av = adapted.faults.as_ref().unwrap().qos_violation_secs;
+        assert!(av < fv, "adaptation must shrink exposure: {av} vs frozen {fv}");
+        assert_eq!(adapted.admitted + adapted.rejected, adapted.queries);
+    }
+
+    /// Brownout at the front door: once enough servers congest, Economy
+    /// arrivals are turned away outright and Standard/Premium arrivals
+    /// are degraded one step before admission. The plain VDBMS overloads
+    /// naturally, so its congestion is organic rather than injected.
+    #[test]
+    fn brownout_sheds_arrivals_by_service_class() {
+        let cfg = ThroughputConfig {
+            links: Some(LinkPlan::none()),
+            adaptation: Some(AdaptationConfig::default()),
+            ..short_cfg()
+        };
+        let r = run_throughput(SystemKind::Vdbms, &cfg);
+        let dm = r.degradation.as_ref().expect("adaptation enabled");
+        assert!(dm.congestion_events > 0, "1 q/s of full-rate demand must congest: {dm:?}");
+        assert!(dm.brownout_rejected > 0, "Economy arrivals must be shed: {dm:?}");
+        assert!(dm.brownout_degraded > 0, "Standard/Premium must degrade: {dm:?}");
+        assert!(r.rejected >= dm.brownout_rejected);
+        assert_eq!(r.admitted + r.rejected, r.queries);
+        // The plain system admits everything brownout lets through.
+        assert_eq!(r.rejected, dm.brownout_rejected);
+    }
+
+    /// The full stochastic stack — sampled Markov link process, adaptation,
+    /// brownout, admission queue — replays bit-identically and shards
+    /// bit-identically, which is what makes every degradation number in
+    /// the bench suite trustworthy.
+    #[test]
+    fn stochastic_runs_are_bit_identical_serial_vs_sharded() {
+        let sampled = LinkPlan::sample(
+            17,
+            ServerId::first_n(3),
+            SimTime::from_secs(300),
+            quasaq_sim::LinkModel::Markov {
+                factors: [1.0, 0.45, 0.2],
+                dwell: [
+                    SimDuration::from_secs(60),
+                    SimDuration::from_secs(40),
+                    SimDuration::from_secs(20),
+                ],
+            },
+        );
+        assert!(!sampled.is_empty(), "a 300 s horizon must sample transitions");
+        let serial = ThroughputConfig {
+            links: Some(sampled),
+            adaptation: Some(AdaptationConfig::default()),
+            admission: Some(AdmissionConfig::default()),
+            ..short_cfg()
+        };
+        let sharded = ThroughputConfig { domain_workers: 4, ..serial.clone() };
+        for system in [SystemKind::Vdbms, SystemKind::Quasaq(CostKind::Lrb)] {
+            let a = run_throughput(system, &serial);
+            assert_eq!(a, run_throughput(system, &serial), "{} replay", system.label());
+            assert_eq!(a, run_throughput(system, &sharded), "{} sharded", system.label());
+        }
     }
 }

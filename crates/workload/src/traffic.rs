@@ -65,6 +65,31 @@ impl TrafficConfig {
     }
 }
 
+/// Coarse service class of a request, derived from its requested
+/// resolution. Brownout admission sheds load class by class: Economy
+/// requests are rejected outright, Standard requests are degraded a
+/// ladder step before admission, Premium requests degrade too but are the
+/// last to be turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QopClass {
+    /// Preview-resolution requests: the cheapest to serve and the first
+    /// shed under brownout.
+    Economy,
+    /// VCD/TV-grade requests.
+    Standard,
+    /// DVD-grade requests.
+    Premium,
+}
+
+/// Classifies a request for brownout shedding.
+pub fn qop_class(qop: &QopRequest) -> QopClass {
+    match qop.resolution {
+        QopResolution::Preview => QopClass::Economy,
+        QopResolution::VcdLike | QopResolution::TvLike => QopClass::Standard,
+        QopResolution::DvdLike => QopClass::Premium,
+    }
+}
+
 /// One generated request.
 #[derive(Debug, Clone)]
 pub struct GeneratedQuery {
@@ -266,6 +291,22 @@ mod tests {
         // Different RNG consumption shifts later gaps, but the first
         // instant (drawn before any per-query randomness) must agree.
         assert_eq!(qs[0].at, lone[0].at);
+    }
+
+    #[test]
+    fn qop_class_follows_resolution() {
+        let mut rng = Rng::new(13);
+        for _ in 0..64 {
+            let q = random_qop(&mut rng);
+            let expect = match q.resolution {
+                QopResolution::Preview => QopClass::Economy,
+                QopResolution::VcdLike | QopResolution::TvLike => QopClass::Standard,
+                QopResolution::DvdLike => QopClass::Premium,
+            };
+            assert_eq!(qop_class(&q), expect);
+        }
+        assert!(QopClass::Economy < QopClass::Standard);
+        assert!(QopClass::Standard < QopClass::Premium);
     }
 
     #[test]

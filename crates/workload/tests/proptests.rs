@@ -5,11 +5,13 @@
 //! serial results bit for bit — fault metrics included.
 
 use proptest::prelude::*;
-use quasaq_sim::{FaultKind, FaultPlan, FaultSpec, ServerId, SimDuration, SimTime};
+use quasaq_sim::{
+    FaultKind, FaultPlan, FaultSpec, LinkModel, LinkPlan, ServerId, SimDuration, SimTime,
+};
 use quasaq_store::Placement;
 use quasaq_workload::{
-    run_throughput, run_throughput_scenarios, AdmissionConfig, CostKind, SystemKind, TestbedConfig,
-    ThroughputConfig,
+    run_throughput, run_throughput_scenarios, AdaptationConfig, AdmissionConfig, CostKind,
+    SystemKind, TestbedConfig, ThroughputConfig,
 };
 
 fn faulted_cfg(seed: u64, plan: FaultPlan) -> ThroughputConfig {
@@ -171,5 +173,116 @@ proptest! {
         prop_assert_eq!(&uncached_sharded, &cached_sharded);
         prop_assert_eq!(&uncached, &uncached_sharded);
         prop_assert_eq!(uncached.admitted + uncached.rejected, uncached.queries);
+    }
+
+    /// The stochastic-link tentpole's contract: a sampled `LinkPlan` (any
+    /// of the three capacity processes, random parameters) plus the
+    /// adaptation loop is fully determined by its seed — stepping the same
+    /// run on 0, 2, or 4 domain workers reproduces every series, float,
+    /// and degradation counter bit for bit.
+    #[test]
+    fn stochastic_link_runs_are_bit_identical_across_worker_counts(
+        seed in 0u64..1_000,
+        link_seed in 0u64..1_000,
+        servers in 2u32..6,
+        model_pick in 0usize..3,
+        degraded in 0.2f64..0.8,
+        bad in 0.05f64..0.3,
+        dwell in 20u64..90,
+        queued in any::<bool>(),
+    ) {
+        let model = match model_pick {
+            0 => LinkModel::Markov {
+                factors: [1.0, degraded, bad],
+                dwell: [
+                    SimDuration::from_secs(dwell * 2),
+                    SimDuration::from_secs(dwell),
+                    SimDuration::from_secs(dwell / 2 + 1),
+                ],
+            },
+            1 => LinkModel::Fading {
+                mean: degraded,
+                spread: bad,
+                coherence: SimDuration::from_secs(dwell),
+            },
+            _ => LinkModel::Diurnal {
+                trough: bad,
+                period: SimDuration::from_secs(dwell * 4),
+                step: SimDuration::from_secs(dwell / 2 + 1),
+            },
+        };
+        let horizon = SimTime::from_secs(150);
+        let serial_cfg = ThroughputConfig {
+            testbed: TestbedConfig { servers, ..TestbedConfig::default() },
+            horizon,
+            seed,
+            admission: queued.then(AdmissionConfig::default),
+            links: Some(LinkPlan::sample(link_seed, ServerId::first_n(servers), horizon, model)),
+            adaptation: Some(AdaptationConfig::default()),
+            ..ThroughputConfig::fig6()
+        };
+        for system in [SystemKind::Vdbms, SystemKind::Quasaq(CostKind::Lrb)] {
+            let serial = run_throughput(system, &serial_cfg);
+            for workers in [2usize, 4] {
+                let sharded_cfg =
+                    ThroughputConfig { domain_workers: workers, ..serial_cfg.clone() };
+                prop_assert_eq!(&serial, &run_throughput(system, &sharded_cfg));
+            }
+            prop_assert_eq!(serial.admitted + serial.rejected, serial.queries);
+            let dm = serial.degradation.as_ref().expect("adaptation enabled");
+            prop_assert!(dm.upshifts <= dm.downshifts);
+        }
+    }
+
+    /// The plan cache under mid-run re-rates: every link set-point
+    /// invalidates the memoized plans, so a cached run over a stochastic
+    /// capacity process must still make exactly the decisions of full
+    /// enumeration — serial and sharded.
+    #[test]
+    fn plan_cache_is_bit_identical_under_link_rerates(
+        seed in 0u64..1_000,
+        link_seed in 0u64..1_000,
+        servers in 2u32..6,
+        degraded in 0.2f64..0.8,
+        dwell in 20u64..60,
+        burst in 1usize..4,
+        random_model in any::<bool>(),
+    ) {
+        let horizon = SimTime::from_secs(150);
+        let uncached_cfg = ThroughputConfig {
+            testbed: TestbedConfig { servers, ..TestbedConfig::default() },
+            horizon,
+            seed,
+            arrival_burst: burst,
+            links: Some(LinkPlan::sample(
+                link_seed,
+                ServerId::first_n(servers),
+                horizon,
+                LinkModel::Markov {
+                    factors: [1.0, degraded, degraded / 2.0],
+                    dwell: [
+                        SimDuration::from_secs(dwell * 2),
+                        SimDuration::from_secs(dwell),
+                        SimDuration::from_secs(dwell / 2),
+                    ],
+                },
+            )),
+            adaptation: Some(AdaptationConfig::default()),
+            ..ThroughputConfig::fig6()
+        };
+        let cached_cfg = ThroughputConfig { plan_cache: true, ..uncached_cfg.clone() };
+        let kind = if random_model {
+            SystemKind::Quasaq(CostKind::Random)
+        } else {
+            SystemKind::Quasaq(CostKind::Lrb)
+        };
+        let uncached = run_throughput(kind, &uncached_cfg);
+        let cached = run_throughput(kind, &cached_cfg);
+        prop_assert_eq!(&uncached, &cached);
+        let cached_sharded = run_throughput(
+            kind,
+            &ThroughputConfig { domain_workers: 3, ..cached_cfg },
+        );
+        prop_assert_eq!(&uncached, &cached_sharded);
     }
 }

@@ -23,7 +23,7 @@ cargo test --workspace -q
 echo "==> determinism + timing artifact (quick mode; fig6/fig7/queued/availability suites)"
 cargo run --release -p quasaq-bench --bin bench -- --quick
 
-echo "==> sharded-scale + cached-admission smoke (3 servers; asserts bit_identical: true for both)"
+echo "==> sharded-scale + cached-admission + stochastic-link brownout smoke (3 servers; asserts bit-identity and nonzero brownout shedding)"
 cargo run --release -p quasaq-bench --bin bench -- --smoke
 
 echo "CI green."

@@ -149,6 +149,8 @@ fn throughput_ordering_matches_fig6_and_fig7() {
         qop_mix: QopMix::Uniform,
         arrival_burst: 1,
         plan_cache: false,
+        links: None,
+        adaptation: None,
     };
     let h = cfg.horizon;
     // Four independent runs: fan them across cores via the scenario runner
@@ -281,6 +283,8 @@ fn migration_extension_improves_skewed_throughput() {
         qop_mix: QopMix::Uniform,
         arrival_burst: 1,
         plan_cache: false,
+        links: None,
+        adaptation: None,
     };
     let mut tb = Testbed::build(cfg.testbed.clone());
     let before = run_throughput_on(&tb, SystemKind::Quasaq(CostKind::Lrb), &cfg);
@@ -328,6 +332,8 @@ fn utility_optimizer_trades_throughput_for_quality() {
         qop_mix: QopMix::Uniform,
         arrival_burst: 1,
         plan_cache: false,
+        links: None,
+        adaptation: None,
     };
     let scenarios = vec![
         (SystemKind::Quasaq(CostKind::Lrb), cfg.clone()),
@@ -360,6 +366,8 @@ fn whole_pipeline_is_deterministic() {
             qop_mix: QopMix::Uniform,
             arrival_burst: 1,
             plan_cache: false,
+            links: None,
+            adaptation: None,
         };
         let r = run_throughput(SystemKind::Quasaq(CostKind::Lrb), &cfg);
         (r.admitted, r.rejected, r.completed, r.outstanding.values().collect::<Vec<_>>())
