@@ -12,7 +12,13 @@
 //!
 //! `--quick` shrinks the horizons so the determinism check stays cheap
 //! enough for CI, and skips the JSON write so CI runs never clobber the
-//! committed full-mode artifact. Speedup is bounded by the machine: on a single core the
+//! committed full-mode artifact.
+//!
+//! Two further modes drive the declarative scenario DSL (`quasaq-scenario`):
+//! `--scenario <file> [--shards N]` executes one TOML scenario serially and
+//! sharded, asserts byte-identical reports, and prints harness-shaped JSON
+//! rows; `--gallery [--shards N]` runs every `scenarios/*.toml` against its
+//! committed golden (the CI regression gate). Speedup is bounded by the machine: on a single core the
 //! runner degrades to the serial loop (speedup ~1.0), which the artifact
 //! records via the `cores` field rather than pretending otherwise.
 
@@ -366,10 +372,109 @@ fn run_suite(suite: &Suite) -> Timing {
     }
 }
 
+/// `--scenario <file>` mode: execute one TOML scenario serially and
+/// sharded, assert the rendered reports are byte-identical, and print
+/// rows in the harness JSON shape (one per run stage) so scenario
+/// timings graft onto the `BENCH_throughput.json` schema.
+fn run_scenario_mode(file: &str, shards: usize) {
+    use quasaq_scenario::{run_file, ExecMode};
+    let path = std::path::Path::new(file);
+    let t0 = Instant::now();
+    let serial = run_file(path, ExecMode::Serial).unwrap_or_else(|e| panic!("{file}: {e}"));
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let sharded =
+        run_file(path, ExecMode::Sharded(shards)).unwrap_or_else(|e| panic!("{file}: {e}"));
+    let sharded_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let identical = serial.render() == sharded.render();
+    print!("{}", serial.render());
+    println!("  \"harnesses\": [");
+    let rows = serial.runs.len();
+    for (i, run) in serial.runs.iter().enumerate() {
+        println!(
+            "    {{\"name\": \"{}/{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"bit_identical\": {}}}{}",
+            serial.name,
+            run.stage,
+            serial_ms,
+            sharded_ms,
+            serial_ms / sharded_ms.max(1e-9),
+            identical,
+            if i + 1 < rows { "," } else { "" }
+        );
+    }
+    println!("  ],");
+    println!("  \"fingerprint\": \"{:016x}\"", serial.fingerprint());
+    assert!(identical, "{file}: sharded({shards}) report diverged from serial");
+}
+
+/// `--gallery` mode: the CI smoke gate over every committed scenario.
+/// Each gallery entry runs serially and sharded(2); both renderings must
+/// be byte-identical to each other and to the committed golden.
+fn run_gallery_mode(shards: usize) {
+    use quasaq_scenario::{run_file, ExecMode};
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let dir = root.join("scenarios");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 6, "gallery shrank below 6 scenarios: {}", files.len());
+    for path in &files {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let t0 = Instant::now();
+        let serial = run_file(path, ExecMode::Serial).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let sharded =
+            run_file(path, ExecMode::Sharded(shards)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let sharded_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let rendered = serial.render();
+        assert!(
+            rendered == sharded.render(),
+            "{name}: sharded({shards}) report diverged from serial"
+        );
+        let golden = dir.join("golden").join(&name).with_extension("golden");
+        let expected = std::fs::read_to_string(&golden)
+            .unwrap_or_else(|e| panic!("{name}: missing golden {}: {e}", golden.display()));
+        assert!(
+            rendered == expected,
+            "{name}: report drifted from {} — rebless via QUASAQ_BLESS=1 cargo test \
+             --test scenario_gallery if intentional",
+            golden.display()
+        );
+        println!(
+            "  {name}: serial {serial_ms:>8.1} ms | sharded({shards}) {sharded_ms:>8.1} ms | \
+             fp {:016x} | golden OK",
+            serial.fingerprint()
+        );
+    }
+    println!("gallery OK: {} scenarios bit-identical serial vs sharded({shards})", files.len());
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--shards takes a lane count"))
+        .unwrap_or(2);
+    if let Some(i) = args.iter().position(|a| a == "--scenario") {
+        let file = args.get(i + 1).expect("--scenario takes a TOML file path");
+        run_scenario_mode(file, shards);
+        return;
+    }
+    if args.iter().any(|a| a == "--gallery") {
+        println!("gallery mode: scenario DSL golden suite ({cores} core(s))");
+        run_gallery_mode(shards);
+        return;
+    }
 
     if smoke {
         // CI determinism smoke: the 3-server quick scale case, serial vs

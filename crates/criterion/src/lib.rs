@@ -7,9 +7,12 @@
 //! `final_summary` — with a plain wall-clock measurement loop: a short
 //! warm-up, then individually timed iterations until a fixed budget
 //! elapses, then a printed `mean ± std (min … max)` per-iteration summary.
-//! There is no outlier rejection or HTML report; the point is that
-//! `cargo bench` runs green offline and still prints numbers with enough
-//! spread information to judge run-to-run noise.
+//! The headline number is a *trimmed* mean — the slowest and fastest 5%
+//! (at least one sample each side) are dropped before averaging, so a
+//! single scheduler hiccup cannot skew the figure the way it would a raw
+//! mean. There is no HTML report; the point is that `cargo bench` runs
+//! green offline and still prints numbers with enough spread information
+//! to judge run-to-run noise.
 
 use std::time::{Duration, Instant};
 
@@ -42,7 +45,7 @@ impl Criterion {
             Some(s) => {
                 println!(
                     "bench: {name:<32} {:>12} ± {} ({} … {}, {} iters)",
-                    format_time(s.mean),
+                    format_time(s.trimmed_mean),
                     format_time(s.std_dev),
                     format_time(s.min),
                     format_time(s.max),
@@ -60,8 +63,12 @@ impl Criterion {
 pub struct SampleStats {
     /// Number of measured (post-warm-up) iterations.
     pub iters: u64,
-    /// Mean seconds per iteration.
+    /// Mean seconds per iteration over every sample.
     pub mean: f64,
+    /// Outlier-rejected mean: the slowest and fastest 5% of samples (at
+    /// least one each side once three samples exist) are discarded before
+    /// averaging. This is the headline number `bench_function` prints.
+    pub trimmed_mean: f64,
     /// Population standard deviation in seconds.
     pub std_dev: f64,
     /// Fastest iteration in seconds.
@@ -107,8 +114,31 @@ impl Bencher {
         let var = self.samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
         let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Some(SampleStats { iters: self.samples.len() as u64, mean, std_dev: var.sqrt(), min, max })
+        Some(SampleStats {
+            iters: self.samples.len() as u64,
+            mean,
+            trimmed_mean: trimmed_mean(&self.samples),
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
     }
+}
+
+/// Mean of `samples` after dropping the smallest and largest 5% (rounded
+/// down, but at least one sample per side). Fewer than three samples leave
+/// nothing to trim, so the plain mean is returned; an empty slice yields
+/// NaN, matching the raw-mean convention.
+pub fn trimmed_mean(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n < 3 {
+        return samples.iter().sum::<f64>() / n as f64;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timing samples"));
+    let trim = (n / 20).max(1);
+    let kept = &sorted[trim..n - trim];
+    kept.iter().sum::<f64>() / kept.len() as f64
 }
 
 fn format_time(seconds: f64) -> String {
@@ -166,8 +196,40 @@ mod tests {
         let s = b.stats().expect("measured");
         assert!(s.iters >= 1);
         assert!(s.min <= s.mean && s.mean <= s.max, "{s:?}");
+        assert!(s.min <= s.trimmed_mean && s.trimmed_mean <= s.max, "{s:?}");
         assert!(s.std_dev >= 0.0 && s.std_dev.is_finite());
         assert!(s.mean > 0.0);
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_outliers() {
+        // One stall of 100 s among honest 1–4 s samples: the raw mean is
+        // dragged to 22, the trimmed mean pins at the middle three.
+        let samples = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(trimmed_mean(&samples), 3.0);
+        // Order-insensitive: sorting happens inside.
+        assert_eq!(trimmed_mean(&[100.0, 4.0, 1.0, 3.0, 2.0]), 3.0);
+        // A low outlier is rejected symmetrically.
+        assert_eq!(trimmed_mean(&[-50.0, 2.0, 3.0, 4.0, 5.0]), 3.0);
+        // Exactly three samples trim one from each side, keeping the median.
+        assert_eq!(trimmed_mean(&[1.0, 2.0, 900.0]), 2.0);
+        // Below three samples nothing can be trimmed.
+        assert_eq!(trimmed_mean(&[5.0, 7.0]), 6.0);
+        assert_eq!(trimmed_mean(&[5.0]), 5.0);
+        // 5% rule: with 40 samples, two (40 / 20) drop per side.
+        let mut forty: Vec<f64> = vec![10.0; 36];
+        forty.extend([0.0, 0.0, 1_000.0, 1_000.0]);
+        assert_eq!(trimmed_mean(&forty), 10.0);
+    }
+
+    #[test]
+    fn stats_trimmed_mean_matches_free_function() {
+        let b = Bencher { samples: vec![1.0, 2.0, 3.0, 4.0, 100.0] };
+        let s = b.stats().expect("samples present");
+        assert_eq!(s.trimmed_mean, 3.0);
+        assert_eq!(s.mean, 22.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
     }
 
     #[test]

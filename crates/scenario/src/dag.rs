@@ -1,0 +1,182 @@
+//! Stage-graph resolution: dependency closure, cycle detection, and a
+//! deterministic topological order.
+//!
+//! A scenario's stages name their inputs with `needs = [...]`. The
+//! resolver turns that edge list into an execution order with two
+//! properties the gallery's golden files rely on:
+//!
+//! * **Determinism under cosmetic edits.** Ties between independent
+//!   stages break by stage *name* (Kahn's algorithm with an ordered ready
+//!   set), and stage tables are key-order-normalized `BTreeMap`s, so
+//!   reordering declarations in the TOML source cannot change the order —
+//!   pinned by the proptests.
+//! * **Typed failure.** A dependency cycle or an unknown stage name is a
+//!   [`DagError`] naming the offending stages, not a hang or a panic.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why a stage graph failed to resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// A `needs` entry names no declared stage.
+    UnknownStage {
+        /// The stage whose `needs` list is broken.
+        from: String,
+        /// The name that resolved to nothing.
+        missing: String,
+    },
+    /// The `needs` edges close a cycle; `members` lists every stage on it
+    /// (in name order).
+    Cycle { members: Vec<String> },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownStage { from, missing } => {
+                write!(f, "stage {from:?} needs undeclared stage {missing:?}")
+            }
+            DagError::Cycle { members } => {
+                write!(f, "dependency cycle between stages {}", members.join(" <-> "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Resolves `stages` (name → needs) into a topological execution order.
+///
+/// The order is a pure function of the *set* of (name, needs) pairs:
+/// among stages whose dependencies are all satisfied, the
+/// lexicographically smallest name runs first.
+pub fn resolve_order(stages: &BTreeMap<String, Vec<String>>) -> Result<Vec<String>, DagError> {
+    // Validate edges and build in-degrees + reverse adjacency.
+    let mut indegree: BTreeMap<&str, usize> = stages.keys().map(|k| (k.as_str(), 0)).collect();
+    let mut dependents: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (name, needs) in stages {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for dep in needs {
+            if !stages.contains_key(dep) {
+                return Err(DagError::UnknownStage { from: name.clone(), missing: dep.clone() });
+            }
+            // Duplicate needs entries count once.
+            if seen.insert(dep.as_str()) {
+                *indegree.get_mut(name.as_str()).expect("declared") += 1;
+                dependents.entry(dep.as_str()).or_default().push(name.as_str());
+            }
+        }
+    }
+    let mut ready: BTreeSet<&str> =
+        indegree.iter().filter(|&(_, &d)| d == 0).map(|(&n, _)| n).collect();
+    let mut order = Vec::with_capacity(stages.len());
+    while let Some(&next) = ready.iter().next() {
+        ready.remove(next);
+        order.push(next.to_string());
+        for &dep in dependents.get(next).map(Vec::as_slice).unwrap_or(&[]) {
+            let d = indegree.get_mut(dep).expect("declared");
+            *d -= 1;
+            if *d == 0 {
+                ready.insert(dep);
+            }
+        }
+    }
+    if order.len() < stages.len() {
+        let members: Vec<String> =
+            indegree.iter().filter(|&(_, &d)| d > 0).map(|(&n, _)| n.to_string()).collect();
+        return Err(DagError::Cycle { members });
+    }
+    Ok(order)
+}
+
+/// The transitive dependency closure of `roots`, returned in the global
+/// topological order `order` (which must come from [`resolve_order`] over
+/// the same graph).
+pub fn closure_in_order(
+    stages: &BTreeMap<String, Vec<String>>,
+    order: &[String],
+    roots: &[String],
+) -> Vec<String> {
+    let mut wanted: BTreeSet<&str> = BTreeSet::new();
+    let mut frontier: Vec<&str> = roots.iter().map(String::as_str).collect();
+    while let Some(name) = frontier.pop() {
+        if !wanted.insert(name) {
+            continue;
+        }
+        if let Some(needs) = stages.get(name) {
+            frontier.extend(needs.iter().map(String::as_str));
+        }
+    }
+    order.iter().filter(|n| wanted.contains(n.as_str())).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(edges: &[(&str, &[&str])]) -> BTreeMap<String, Vec<String>> {
+        edges
+            .iter()
+            .map(|(n, deps)| (n.to_string(), deps.iter().map(|d| d.to_string()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn orders_respect_dependencies_and_break_ties_by_name() {
+        let g = graph(&[
+            ("run", &["load", "crash"]),
+            ("crash", &["topo"]),
+            ("load", &["topo"]),
+            ("topo", &[]),
+        ]);
+        let order = resolve_order(&g).unwrap();
+        assert_eq!(order, vec!["topo", "crash", "load", "run"]);
+    }
+
+    #[test]
+    fn unknown_dependency_is_a_typed_error() {
+        let g = graph(&[("run", &["ghost"])]);
+        assert_eq!(
+            resolve_order(&g),
+            Err(DagError::UnknownStage { from: "run".into(), missing: "ghost".into() })
+        );
+    }
+
+    #[test]
+    fn cycles_are_rejected_with_members() {
+        let g = graph(&[("a", &["c"]), ("b", &["a"]), ("c", &["b"]), ("solo", &[])]);
+        match resolve_order(&g) {
+            Err(DagError::Cycle { members }) => {
+                assert_eq!(members, vec!["a", "b", "c"]);
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+        let self_loop = graph(&[("x", &["x"])]);
+        assert!(matches!(resolve_order(&self_loop), Err(DagError::Cycle { .. })));
+    }
+
+    #[test]
+    fn duplicate_needs_entries_count_once() {
+        let g = graph(&[("b", &["a", "a", "a"]), ("a", &[])]);
+        assert_eq!(resolve_order(&g).unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn closure_restricts_the_global_order() {
+        let g = graph(&[
+            ("sink", &["run2"]),
+            ("run1", &["load"]),
+            ("run2", &["load", "links"]),
+            ("links", &["topo"]),
+            ("load", &["topo"]),
+            ("topo", &[]),
+        ]);
+        let order = resolve_order(&g).unwrap();
+        let c = closure_in_order(&g, &order, &["run2".to_string()]);
+        assert_eq!(c, vec!["topo", "links", "load", "run2"]);
+        // run1's closure excludes links entirely.
+        let c1 = closure_in_order(&g, &order, &["run1".to_string()]);
+        assert_eq!(c1, vec!["topo", "load", "run1"]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Property tests for the scenario DSL: the TOML serializer is a parse
+//! fixed point on arbitrary documents, and the DAG resolver rejects every
+//! cycle while producing an order that is a pure function of the graph
+//! structure (declaration order in the source never matters).
+
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use quasaq_scenario::dag::{closure_in_order, resolve_order, DagError};
+use quasaq_scenario::schema::ScenarioSpec;
+use quasaq_scenario::toml::{self, Table, Value};
+
+// ---------------------------------------------------------------------------
+// Random document generation
+// ---------------------------------------------------------------------------
+
+/// Keys cover bare identifiers and every class the serializer must quote:
+/// spaces, dots, unicode, and the empty string.
+fn gen_key(rng: &mut TestRng, salt: u64) -> String {
+    match rng.below(6) {
+        0 => format!("key_{salt}"),
+        1 => format!("K-{salt}"),
+        2 => format!("spaced key {salt}"),
+        3 => format!("dotted.{salt}"),
+        4 => format!("úñî©оде-{salt}"),
+        _ => format!("{salt}"),
+    }
+}
+
+fn gen_string(rng: &mut TestRng) -> String {
+    let pieces = [
+        "plain",
+        "with \"quotes\"",
+        "back\\slash",
+        "tab\there",
+        "line\nbreak",
+        "carriage\rreturn",
+        "null\u{0}byte",
+        "émoji 🎬",
+        "bell\u{7}",
+        "",
+    ];
+    let mut s = String::new();
+    for _ in 0..rng.below(3) + 1 {
+        s.push_str(pieces[rng.below(pieces.len() as u64) as usize]);
+    }
+    s
+}
+
+fn gen_scalar(rng: &mut TestRng) -> Value {
+    match rng.below(5) {
+        0 => Value::Int(rng.next_u64() as i64),
+        1 => Value::Int(-(rng.below(1 << 40) as i64)),
+        2 => {
+            // Finite floats only; `{:?}` round-trips these exactly.
+            let f = (rng.unit_f64() - 0.5) * 10f64.powi(rng.below(40) as i32 - 20);
+            Value::Float(f)
+        }
+        3 => Value::Bool(rng.below(2) == 0),
+        _ => Value::Str(gen_string(rng)),
+    }
+}
+
+fn gen_value(rng: &mut TestRng, depth: u32) -> Value {
+    if depth == 0 {
+        return gen_scalar(rng);
+    }
+    match rng.below(4) {
+        0 => {
+            let items = (0..rng.below(4)).map(|_| gen_value(rng, depth - 1)).collect();
+            Value::Array(items)
+        }
+        1 => Value::Table(gen_table(rng, depth - 1)),
+        _ => gen_scalar(rng),
+    }
+}
+
+fn gen_table(rng: &mut TestRng, depth: u32) -> Table {
+    let mut t = Table::new();
+    for salt in 0..rng.below(5) {
+        t.insert(gen_key(rng, salt), gen_value(rng, depth));
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Random graph generation
+// ---------------------------------------------------------------------------
+
+/// An acyclic graph over `n` stages: edges only point from later-created
+/// stages back to earlier ones, so a topological order always exists.
+fn gen_dag(rng: &mut TestRng, n: usize) -> BTreeMap<String, Vec<String>> {
+    let names: Vec<String> = (0..n).map(|i| format!("s{i:02}")).collect();
+    let mut stages = BTreeMap::new();
+    for (i, name) in names.iter().enumerate() {
+        let mut needs = Vec::new();
+        if i > 0 {
+            for _ in 0..rng.below(3) {
+                needs.push(names[rng.below(i as u64) as usize].clone());
+            }
+        }
+        stages.insert(name.clone(), needs);
+    }
+    stages
+}
+
+fn index_of(order: &[String], name: &str) -> usize {
+    order.iter().position(|n| n == name).expect("stage present in order")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `to_string` is a fixed point of `parse`: serializing an arbitrary
+    /// table and parsing it back yields the identical table, and a second
+    /// serialize pass reproduces the identical text.
+    #[test]
+    fn toml_serialize_parse_round_trips(seed in 0u64..10_000) {
+        let mut rng = TestRng::new(seed);
+        let doc = gen_table(&mut rng, 3);
+        let text = toml::to_string(&doc);
+        let reparsed = toml::parse(&text)
+            .unwrap_or_else(|e| panic!("serialized doc failed to parse: {e}\n---\n{text}"));
+        prop_assert_eq!(&reparsed, &doc);
+        prop_assert_eq!(toml::to_string(&reparsed), text);
+    }
+
+    /// Acyclic graphs always resolve, the order is a permutation of the
+    /// stages, and every dependency precedes its dependent.
+    #[test]
+    fn dag_topo_order_respects_dependencies(seed in 0u64..10_000, n in 1usize..12) {
+        let mut rng = TestRng::new(seed);
+        let stages = gen_dag(&mut rng, n);
+        let order = resolve_order(&stages).expect("acyclic graph resolves");
+        prop_assert_eq!(order.len(), stages.len());
+        for (name, needs) in &stages {
+            for dep in needs {
+                prop_assert!(
+                    index_of(&order, dep) < index_of(&order, name),
+                    "dependency {} must precede {}",
+                    dep,
+                    name
+                );
+            }
+        }
+        // The closure of any single stage is also dependency-ordered and
+        // contains the stage itself last or later than all its needs.
+        let root = order[rng.below(order.len() as u64) as usize].clone();
+        let closure = closure_in_order(&stages, &order, std::slice::from_ref(&root));
+        prop_assert!(closure.contains(&root));
+        for name in &closure {
+            for dep in &stages[name] {
+                prop_assert!(closure.contains(dep), "closure must be transitively closed");
+            }
+        }
+    }
+
+    /// Closing any chain of `needs` edges into a loop is a typed
+    /// `DagError::Cycle` whose members include the whole chain.
+    #[test]
+    fn dag_cycles_are_rejected(seed in 0u64..10_000, n in 2usize..10) {
+        let mut rng = TestRng::new(seed);
+        let mut stages = gen_dag(&mut rng, n);
+        // Pick a random chain of 2..=n distinct stages and wire it into a
+        // ring on top of the existing acyclic edges.
+        let len = 2 + rng.below((n - 1) as u64) as usize;
+        let chain: Vec<String> = (0..len).map(|i| format!("s{i:02}")).collect();
+        for (i, name) in chain.iter().enumerate() {
+            let next = chain[(i + 1) % len].clone();
+            stages.get_mut(name).expect("chain stage declared").push(next);
+        }
+        match resolve_order(&stages) {
+            Err(DagError::Cycle { members }) => {
+                for name in &chain {
+                    prop_assert!(
+                        members.contains(name),
+                        "cycle member {} missing from {:?}",
+                        name,
+                        members
+                    );
+                }
+            }
+            other => prop_assert!(false, "expected cycle error, got {:?}", other),
+        }
+    }
+
+    /// Parsing the same scenario with stage declarations (and the keys
+    /// inside each stage) in a different source order yields the identical
+    /// spec and the identical execution order.
+    #[test]
+    fn scenario_order_is_stable_under_declaration_reordering(seed in 0u64..10_000, n in 1usize..7) {
+        let mut rng = TestRng::new(seed);
+        let dag = gen_dag(&mut rng, n);
+
+        // Render each stage as a TOML block; the run stage rides along so
+        // the document passes schema validation.
+        let mut blocks: Vec<String> = dag
+            .iter()
+            .map(|(name, needs)| {
+                let needs_list = needs
+                    .iter()
+                    .map(|d| format!("{d:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let keys = [
+                    "kind = \"workload\"".to_string(),
+                    format!("needs = [{needs_list}]"),
+                    format!("seed = {}", rng.below(100)),
+                ];
+                let mut lines: Vec<usize> = (0..keys.len()).collect();
+                // Deterministic shuffle of the key lines.
+                for i in (1..lines.len()).rev() {
+                    lines.swap(i, rng.below(i as u64 + 1) as usize);
+                }
+                let body =
+                    lines.iter().map(|&i| keys[i].clone()).collect::<Vec<_>>().join("\n");
+                format!("[stage.{name}]\n{body}\n")
+            })
+            .collect();
+        blocks.push("[stage.zrun]\nkind = \"run\"\nsystems = [\"vdbms\"]\n".to_string());
+
+        let header = "[scenario]\nname = \"reorder\"\nhorizon_s = 10\n";
+        let forward = format!("{header}{}", blocks.join("\n"));
+        // Deterministic shuffle of whole stage blocks.
+        for i in (1..blocks.len()).rev() {
+            blocks.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        let shuffled = format!("{header}{}", blocks.join("\n"));
+
+        let a = ScenarioSpec::from_str(&forward).expect("forward doc parses");
+        let b = ScenarioSpec::from_str(&shuffled).expect("shuffled doc parses");
+        prop_assert_eq!(&a, &b);
+        let order_a = resolve_order(&a.graph()).expect("acyclic");
+        let order_b = resolve_order(&b.graph()).expect("acyclic");
+        prop_assert_eq!(order_a, order_b);
+    }
+}

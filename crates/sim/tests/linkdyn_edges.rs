@@ -1,0 +1,197 @@
+//! Edge-case coverage for `sim::linkdyn` trajectory sampling: diurnal
+//! wrap-around across period boundaries, the fading clamp near zero
+//! capacity, degenerate single-state Markov chains, and sweep-width
+//! independence of per-server streams.
+
+use quasaq_sim::linkdyn::{LinkModel, LinkPlan, LinkSpec, MIN_FACTOR};
+use quasaq_sim::{ServerId, SimDuration, SimTime};
+
+fn one_server() -> impl Iterator<Item = ServerId> {
+    ServerId::first_n(1)
+}
+
+fn factors_by_time(plan: &LinkPlan, server: ServerId) -> Vec<(f64, f64)> {
+    plan.changes
+        .iter()
+        .filter(|c| c.server == server)
+        .map(|c| (c.at.as_secs_f64(), c.factor))
+        .collect()
+}
+
+/// The diurnal staircase is periodic: set-points exactly one period apart
+/// carry the same factor (up to float argument-reduction noise), including
+/// across the wrap-around where `(t + phase) / period` passes an integer.
+#[test]
+fn diurnal_wraps_around_period_boundary() {
+    let period = SimDuration::from_secs(20);
+    let step = SimDuration::from_secs(5);
+    let horizon = SimTime::from_secs(45);
+    let plan = LinkPlan::sample(
+        99,
+        one_server(),
+        horizon,
+        LinkModel::Diurnal { trough: 0.3, period, step },
+    );
+    let points = factors_by_time(&plan, ServerId(0));
+    // Staircase from t = step while t < horizon: 5, 10, ..., 40.
+    let times: Vec<f64> = points.iter().map(|&(t, _)| t).collect();
+    assert_eq!(times, vec![5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0]);
+    for &(t, f) in &points {
+        assert!((0.3..=1.0).contains(&f), "factor {f} at t={t} outside [trough, 1]");
+    }
+    // Each point vs. its one-period-later twin.
+    for &(t, f) in &points {
+        if let Some(&(_, g)) = points.iter().find(|&&(u, _)| u == t + period.as_secs_f64()) {
+            assert!(
+                (f - g).abs() < 1e-9,
+                "diurnal factor not periodic: f({t}) = {f} vs f({}) = {g}",
+                t + period.as_secs_f64()
+            );
+        }
+    }
+}
+
+/// A diurnal trough of 1.0 degenerates to a flat line at full capacity —
+/// the raised cosine has zero amplitude.
+#[test]
+fn diurnal_unit_trough_is_flat() {
+    let plan = LinkPlan::sample(
+        7,
+        one_server(),
+        SimTime::from_secs(30),
+        LinkModel::Diurnal {
+            trough: 1.0,
+            period: SimDuration::from_secs(10),
+            step: SimDuration::from_secs(3),
+        },
+    );
+    assert!(!plan.is_empty());
+    for c in &plan.changes {
+        assert!((c.factor - 1.0).abs() < 1e-12, "expected flat 1.0, got {}", c.factor);
+    }
+}
+
+/// Fading with a near-zero mean and wide spread would sample negative
+/// capacity without the clamp; every emitted factor must land inside
+/// `[MIN_FACTOR, 1]`, and the floor must actually engage.
+#[test]
+fn fading_clamps_at_zero_capacity() {
+    let coherence = SimDuration::from_secs(1);
+    let plan = LinkPlan::sample(
+        5,
+        one_server(),
+        SimTime::from_secs(200),
+        LinkModel::Fading { mean: 0.06, spread: 0.5, coherence },
+    );
+    assert!(!plan.is_empty());
+    let mut floored = 0usize;
+    let mut ceilinged = 0usize;
+    for c in &plan.changes {
+        assert!(
+            (MIN_FACTOR..=1.0).contains(&c.factor),
+            "factor {} escaped the clamp at t={:?}",
+            c.factor,
+            c.at
+        );
+        if c.factor == MIN_FACTOR {
+            floored += 1;
+        }
+        if c.factor == 1.0 {
+            ceilinged += 1;
+        }
+    }
+    // With mean 0.06 and sigma 0.5 roughly half the raw draws are
+    // negative, so the floor must fire many times; the ceiling fires on
+    // the upper tail too.
+    assert!(floored > 20, "clamp floor engaged only {floored} times");
+    assert!(ceilinged > 0, "clamp ceiling never engaged");
+    // Resampling starts at t = coherence, never at 0.
+    let first = plan.changes.iter().map(|c| c.at).min().expect("non-empty");
+    assert_eq!(first, SimTime::ZERO + coherence);
+}
+
+/// Zero spread collapses fading to a constant factor at `mean`.
+#[test]
+fn fading_zero_spread_is_constant() {
+    let plan = LinkPlan::sample(
+        11,
+        one_server(),
+        SimTime::from_secs(20),
+        LinkModel::Fading { mean: 0.4, spread: 0.0, coherence: SimDuration::from_secs(2) },
+    );
+    assert!(!plan.is_empty());
+    for c in &plan.changes {
+        assert_eq!(c.factor, 0.4);
+    }
+}
+
+/// A Markov chain whose three states share one factor is effectively
+/// single-state: the chain still transitions on its dwell clock, but every
+/// emitted set-point carries the same factor, strictly inside the horizon.
+#[test]
+fn single_state_markov_emits_constant_factor() {
+    let horizon = SimTime::from_secs(300);
+    let plan = LinkPlan::sample(
+        3,
+        one_server(),
+        horizon,
+        LinkModel::Markov {
+            factors: [0.55, 0.55, 0.55],
+            dwell: [
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(5),
+            ],
+        },
+    );
+    assert!(!plan.is_empty(), "300 s horizon with 5 s dwells must transition");
+    for c in &plan.changes {
+        assert_eq!(c.factor, 0.55, "single-state chain emitted a different factor");
+        assert!(c.at > SimTime::ZERO, "chain starts good and only emits on transition");
+        assert!(c.at < horizon, "set-point at {:?} past horizon", c.at);
+    }
+    // Set-points are time-ordered within the server's trajectory.
+    for pair in plan.changes.windows(2) {
+        assert!(pair[0].at <= pair[1].at);
+    }
+}
+
+/// The good-state start means a chain that never leaves its first dwell
+/// emits nothing: a horizon far shorter than the dwell mean usually yields
+/// an empty plan, never a set-point at t = 0.
+#[test]
+fn markov_good_start_emits_nothing_before_first_transition() {
+    let plan = LinkPlan::sample(
+        17,
+        one_server(),
+        SimTime::from_micros(1),
+        LinkModel::Markov {
+            factors: [1.0, 0.5, 0.2],
+            dwell: [
+                SimDuration::from_secs(1_000),
+                SimDuration::from_secs(1_000),
+                SimDuration::from_secs(1_000),
+            ],
+        },
+    );
+    assert!(plan.is_empty(), "no transition fits inside a 1 µs horizon");
+}
+
+/// Server `k`'s trajectory forks its own stream from the seed, so adding
+/// servers to the sweep cannot perturb existing trajectories.
+#[test]
+fn trajectories_are_independent_of_sweep_width() {
+    let model = LinkModel::Fading { mean: 0.5, spread: 0.2, coherence: SimDuration::from_secs(3) };
+    let horizon = SimTime::from_secs(60);
+    let narrow = LinkPlan::sample(42, ServerId::first_n(2), horizon, model);
+    let wide = LinkPlan::sample(42, ServerId::first_n(4), horizon, model);
+    for server in ServerId::first_n(2) {
+        let a: Vec<LinkSpec> =
+            narrow.changes.iter().filter(|c| c.server == server).copied().collect();
+        let b: Vec<LinkSpec> =
+            wide.changes.iter().filter(|c| c.server == server).copied().collect();
+        assert_eq!(a, b, "server {server:?} trajectory changed with sweep width");
+    }
+    // And the sample is replayable bit-for-bit.
+    assert_eq!(narrow, LinkPlan::sample(42, ServerId::first_n(2), horizon, model));
+}

@@ -26,4 +26,7 @@ cargo run --release -p quasaq-bench --bin bench -- --quick
 echo "==> sharded-scale + cached-admission + stochastic-link brownout smoke (3 servers; asserts bit-identity and nonzero brownout shedding)"
 cargo run --release -p quasaq-bench --bin bench -- --smoke
 
+echo "==> scenario gallery (every scenarios/*.toml: serial + sharded(2), bit-identical, golden match)"
+cargo run --release -p quasaq-bench --bin bench -- --gallery --shards 2
+
 echo "CI green."

@@ -20,6 +20,7 @@
 //! | [`vdbms`] | `quasaq-vdbms` | SQL front-end, content search, baseline delivery stacks |
 //! | [`core`] | `quasaq-core` | **QuaSAQ**: QoP, plan generation, LRB cost model, Quality Manager |
 //! | [`workload`] | `quasaq-workload` | traffic generation and the paper's experiment drivers |
+//! | [`scenario`] | `quasaq-scenario` | declarative TOML scenario DSL and DAG experiment pipelines |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@
 pub use quasaq_core as core;
 pub use quasaq_media as media;
 pub use quasaq_qosapi as qosapi;
+pub use quasaq_scenario as scenario;
 pub use quasaq_sim as sim;
 pub use quasaq_store as store;
 pub use quasaq_stream as stream;
