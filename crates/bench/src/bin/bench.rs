@@ -21,6 +21,14 @@
 //! committed golden (the CI regression gate). Speedup is bounded by the machine: on a single core the
 //! runner degrades to the serial loop (speedup ~1.0), which the artifact
 //! records via the `cores` field rather than pretending otherwise.
+//!
+//! Two modes drive the served control plane (`quasaq-shell`):
+//! `--serve [--addr A] [--threads N] [--seed S]` runs a shell until killed;
+//! `--load [--quick]` is the service-shell throughput study — it first pins
+//! decision-identity against the in-process driver, then measures wall-clock
+//! admissions/sec through the loopback at 1/2/4 shell threads and splices a
+//! `"service"` section into `BENCH_throughput.json` (skipped in `--quick`,
+//! which is the CI smoke variant).
 
 use std::time::Instant;
 
@@ -454,6 +462,162 @@ fn run_gallery_mode(shards: usize) {
     println!("gallery OK: {} scenarios bit-identical serial vs sharded({shards})", files.len());
 }
 
+/// One `--load` measurement row: the loopback replay at a given shell
+/// thread count, striped over as many connections.
+struct ServiceRow {
+    threads: usize,
+    queries: u64,
+    admitted: u64,
+    rejected: u64,
+    queued: u64,
+    wall_ms: f64,
+    admissions_per_s: f64,
+}
+
+/// `--serve` mode: run a shell until killed, for external load drivers.
+fn run_serve_mode(args: &[String]) -> ! {
+    let arg =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let addr = arg("--addr").unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let threads: usize = arg("--threads").map_or(4, |v| v.parse().expect("--threads N"));
+    let seed: u64 = arg("--seed").map_or(7, |v| v.parse().expect("--seed N"));
+    let system = SystemKind::Quasaq(CostKind::Lrb);
+    let throughput = ThroughputConfig { seed, ..ThroughputConfig::fig6() };
+    let shell = quasaq_shell::Shell::serve(
+        &addr,
+        quasaq_shell::ShellConfig { system, throughput, threads },
+    )
+    .unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+    println!("serving {} on {} ({threads} thread(s), seed {seed})", system.label(), shell.addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `--load` mode: the service-shell throughput study.
+///
+/// First pins the refactor's acceptance claim — a single-connection
+/// loopback replay at a sub-clip horizon is decision-identical to the
+/// in-process driver — then measures wall-clock admissions/sec at
+/// 1/2/4 shell threads and (full mode only) splices the rows into
+/// `BENCH_throughput.json` as a `"service"` section.
+fn run_load_mode(quick: bool) {
+    use quasaq_shell::{run_loopback, Shell, ShellConfig};
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let system = SystemKind::Quasaq(CostKind::Lrb);
+    println!("load mode: service-shell throughput study ({cores} core(s))");
+
+    // Decision-identity gate: horizon under the shortest clip (30 s), so
+    // the in-process driver issues exactly one Admit per arrival — the
+    // same command sequence a single-connection replay sends.
+    let ident_cfg =
+        ThroughputConfig { horizon: SimTime::from_secs(25), ..ThroughputConfig::fig6() };
+    let shell = Shell::serve(
+        "127.0.0.1:0",
+        ShellConfig { system, throughput: ident_cfg.clone(), threads: 1 },
+    )
+    .expect("bind loopback");
+    let served = run_loopback(shell.addr(), &ident_cfg, 1).expect("loopback replay");
+    shell.shutdown();
+    let driven = run_throughput(system, &ident_cfg);
+    let identical = served.queries == driven.queries
+        && served.admitted == driven.admitted
+        && served.rejected == driven.rejected
+        && served.access == driven.access;
+    println!(
+        "  decision identity vs in-process driver: {identical} \
+         ({} queries, {} admitted, {} rejected)",
+        served.queries, served.admitted, served.rejected
+    );
+    assert!(identical, "loopback decisions diverged from the in-process driver");
+
+    let horizon = if quick { 60 } else { 300 };
+    let cfg = ThroughputConfig { horizon: SimTime::from_secs(horizon), ..ThroughputConfig::fig6() };
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let shell =
+            Shell::serve("127.0.0.1:0", ShellConfig { system, throughput: cfg.clone(), threads })
+                .expect("bind loopback");
+        let t0 = Instant::now();
+        let report = run_loopback(shell.addr(), &cfg, threads).expect("loopback replay");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        shell.shutdown();
+        let admissions_per_s = report.admitted as f64 / (wall_ms / 1e3).max(1e-9);
+        println!(
+            "  {threads} shell thread(s) / {threads} connection(s): {} queries \
+             ({} admitted, {} rejected, {} queued) in {wall_ms:.1} ms | \
+             {admissions_per_s:.0} admissions/s",
+            report.queries, report.admitted, report.rejected, report.queued
+        );
+        rows.push(ServiceRow {
+            threads,
+            queries: report.queries,
+            admitted: report.admitted,
+            rejected: report.rejected,
+            queued: report.queued,
+            wall_ms,
+            admissions_per_s,
+        });
+    }
+
+    if quick {
+        println!("quick mode: skipping BENCH_throughput.json (full run owns the artifact)");
+        return;
+    }
+    splice_service_section(&rows, identical, cores);
+}
+
+/// Replaces (or inserts) the `"service"` object in
+/// `BENCH_throughput.json`, preserving the rest of the artifact so
+/// `--load` composes with the main bench run in either order.
+fn splice_service_section(rows: &[ServiceRow], identical: bool, cores: usize) {
+    let mut section = String::from("  \"service\": {\n");
+    section.push_str(&format!("    \"decision_identical\": {identical},\n"));
+    section.push_str("    \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        section.push_str(&format!(
+            "      {{\"shell_threads\": {}, \"connections\": {}, \"queries\": {}, \
+             \"admitted\": {}, \"rejected\": {}, \"queued\": {}, \"wall_ms\": {:.3}, \
+             \"admissions_per_s\": {:.1}}}{}\n",
+            r.threads,
+            r.threads,
+            r.queries,
+            r.admitted,
+            r.rejected,
+            r.queued,
+            r.wall_ms,
+            r.admissions_per_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    section.push_str("    ]\n  },\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    let json = match std::fs::read_to_string(path) {
+        Ok(mut existing) => {
+            // Drop a previous service object (fixed two-space layout).
+            if let Some(start) = existing.find("  \"service\": {") {
+                let tail = &existing[start..];
+                let end = tail.find("\n  },\n").map(|e| start + e + "\n  },\n".len());
+                if let Some(end) = end {
+                    existing.replace_range(start..end, "");
+                }
+            }
+            let anchor = existing
+                .find("  \"overall_speedup\"")
+                .expect("BENCH_throughput.json missing overall_speedup anchor");
+            existing.insert_str(anchor, &section);
+            existing
+        }
+        // No artifact yet: a minimal standalone one.
+        Err(_) => format!(
+            "{{\n  \"cores\": {cores},\n{section}  \"all_bit_identical\": {identical}\n}}\n"
+        ),
+    };
+    std::fs::write(path, &json).expect("write BENCH_throughput.json");
+    println!("wrote service section into {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -465,6 +629,13 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse::<usize>().expect("--shards takes a lane count"))
         .unwrap_or(2);
+    if args.iter().any(|a| a == "--serve") {
+        run_serve_mode(&args);
+    }
+    if args.iter().any(|a| a == "--load") {
+        run_load_mode(quick);
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--scenario") {
         let file = args.get(i + 1).expect("--scenario takes a TOML file path");
         run_scenario_mode(file, shards);

@@ -31,7 +31,7 @@ pub struct AdmittedPlan {
 }
 
 /// Why a query could not be serviced.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rejection {
     /// The plan space is empty: no replica can satisfy the QoS range at
     /// all (static infeasibility).

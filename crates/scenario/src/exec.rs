@@ -601,6 +601,14 @@ fn sink_metric(
             Some(q) => format!("{:?}", q.wait.mean()),
             None => "none".to_string(),
         },
+        "queue_wait_p95" => match r.queue_wait_p95() {
+            Some(p) => format!("{p:?}"),
+            None => "none".to_string(),
+        },
+        "queue_wait_p99" => match r.queue_wait_p99() {
+            Some(p) => format!("{p:?}"),
+            None => "none".to_string(),
+        },
         "fault_dropped" => match &r.faults {
             Some(f) => format!("{}", f.dropped),
             None => "none".to_string(),
@@ -639,9 +647,9 @@ fn sink_metric(
                 format!(
                     "unknown sink metric {other:?} (expected stable_outstanding, \
                      completions_total, admitted_ratio, mean_utility, queue_abandoned, \
-                     queue_wait_mean, fault_dropped, fault_failed_over, congestion_events, \
-                     congested_secs, downshifts, oscillations, brownout_rejected, \
-                     violation_secs_avoided)"
+                     queue_wait_mean, queue_wait_p95, queue_wait_p99, fault_dropped, \
+                     fault_failed_over, congestion_events, congested_secs, downshifts, \
+                     oscillations, brownout_rejected, violation_secs_avoided)"
                 ),
             ))
         }

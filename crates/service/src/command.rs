@@ -1,0 +1,288 @@
+//! The typed command/effect vocabulary of the control plane.
+//!
+//! Every driver — the in-process throughput loop, the scenario executor,
+//! the TCP shell — talks to [`crate::ControlPlane`] through these two
+//! enums. Commands carry explicit [`SimTime`]s (the plane owns no clock),
+//! effects carry everything a caller needs to mirror the decision into
+//! its own data plane: which server to stream from, how many bytes at
+//! what rate, and how the decision should be accounted.
+
+use crate::plane::SessionId;
+use quasaq_core::{PlanRequest, QopRequest, QopResolution, Rejection};
+use quasaq_media::VideoId;
+use quasaq_sim::{ServerId, SimDuration, SimTime};
+use quasaq_vdbms::QueuedQuery;
+
+/// Coarse service class of a request, derived from its requested
+/// resolution. Brownout admission sheds load class by class: Economy
+/// requests are rejected outright, Standard requests are degraded a
+/// ladder step before admission, Premium requests degrade too but are the
+/// last to be turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QopClass {
+    /// Preview-resolution requests: the cheapest to serve and the first
+    /// shed under brownout.
+    Economy,
+    /// VCD/TV-grade requests.
+    Standard,
+    /// DVD-grade requests.
+    Premium,
+}
+
+/// Classifies a request for brownout shedding.
+pub fn qop_class(qop: &QopRequest) -> QopClass {
+    match qop.resolution {
+        QopResolution::Preview => QopClass::Economy,
+        QopResolution::VcdLike | QopResolution::TvLike => QopClass::Standard,
+        QopResolution::DvdLike => QopClass::Premium,
+    }
+}
+
+/// One session the congestion handlers may renegotiate: the caller's
+/// data plane reports how many bytes the session still owes.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The control-plane session.
+    pub session: SessionId,
+    /// Bytes still unsent at this instant (the data plane's backlog).
+    pub backlog: f64,
+}
+
+/// What a caller can ask the control plane to do. Every variant that can
+/// consult the retry queue or the RNG carries `now`; the plane never
+/// reads a clock.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// A fresh arrival. `brownout` is the caller's congestion verdict for
+    /// this instant (frozen per instant so every query in a burst sees
+    /// the same policy); `class` drives the shedding ladder while it
+    /// holds.
+    Admit { query: QueuedQuery, class: QopClass, brownout: bool, now: SimTime },
+    /// Drain every queued retry due at or before `now`.
+    Tick { now: SimTime },
+    /// A session left the data plane: release its reservation and drop
+    /// its context. `abandoned` marks a mid-stream patience abandonment
+    /// (recorded against the queue) rather than a completion.
+    Teardown { session: SessionId, abandoned: bool, now: SimTime },
+    /// A live session was cut by a server crash with `remaining` bytes
+    /// unsent: walk the QoP ladder down across the survivors, requeue, or
+    /// drop.
+    Displace { session: SessionId, remaining: f64, now: SimTime },
+    /// A server crossed into congestion: renegotiate up to the policy cap
+    /// of the given sessions one QoP ladder step down.
+    CongestionOnset { server: ServerId, candidates: Vec<Candidate>, now: SimTime },
+    /// A server cleared: renegotiate at most one previously degraded
+    /// session back toward its original request, rate-bounded per server.
+    CongestionCleared { server: ServerId, candidates: Vec<Candidate>, now: SimTime },
+    /// A server crashed: bar it from admission and bulk-release its
+    /// reservations.
+    ServerDown { server: ServerId },
+    /// A crashed server came back.
+    ServerUp { server: ServerId },
+    /// A link set-point re-rated a server's network capacity; the
+    /// admission view follows it.
+    SetNetCapacity { server: ServerId, bps: f64 },
+    /// Warm the plan cache for a same-instant arrival batch. Consumes no
+    /// RNG and reserves nothing; a no-op unless a caching Quality Manager
+    /// is behind the plane.
+    Prefetch { requests: Vec<PlanRequest> },
+    /// End of run: flush the retry queue, reporting who never got served.
+    Finish,
+    /// Snapshot the plane's counters.
+    Stats { now: SimTime },
+}
+
+/// Why the plane turned a request away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The planner/manager refused and the queue (if any) would not hold
+    /// the query any longer: the underlying refusal plus the terminal
+    /// queue disposition.
+    Plan(Rejection),
+    /// Shed outright by service class while browned out.
+    BrownoutShed,
+    /// Browned out and even the degraded form was infeasible (a
+    /// browned-out system does not queue).
+    BrownoutInfeasible,
+    /// The requested video is not in the catalog (reachable only through
+    /// the wire front end; generated traffic never asks for one).
+    UnknownVideo,
+}
+
+impl RejectReason {
+    /// True when brownout shedding (not feasibility) turned the request
+    /// away.
+    pub fn is_brownout(self) -> bool {
+        matches!(self, RejectReason::BrownoutShed | RejectReason::BrownoutInfeasible)
+    }
+}
+
+/// Where an admission (or terminal rejection) came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOrigin {
+    /// A fresh arrival, admitted (or rejected) on the spot.
+    Arrival,
+    /// A queued query re-admitted (or finally dropped) on a retry tick.
+    Retry {
+        /// When the client first asked (the wait statistic's anchor).
+        arrival: SimTime,
+    },
+    /// A crash-displaced session re-serviced from the retry queue —
+    /// admitted once already, so it counts as a recovery, not a second
+    /// admission.
+    Recovery {
+        /// The crash instant.
+        interrupted_at: SimTime,
+    },
+    /// A crash-displaced session immediately re-placed on a survivor.
+    Failover,
+}
+
+/// How far below its request an admission landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degraded {
+    /// Admitted at the requested quality.
+    No,
+    /// Admitted one ladder step down under brownout.
+    Brownout,
+    /// Admitted after a failover walked the ladder down `steps` times
+    /// (0 = a survivor took the original quality).
+    Failover {
+        /// Ladder steps consumed before a survivor admitted.
+        steps: u32,
+    },
+}
+
+/// One admitted session: everything the data plane needs to start the
+/// stream and the accounting needs to classify it.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    /// The control-plane session handle (quote it back in `Teardown`,
+    /// `Displace`, and congestion candidates).
+    pub session: SessionId,
+    /// The video being served.
+    pub video: VideoId,
+    /// The server the plan placed it on.
+    pub server: ServerId,
+    /// Bytes to stream (scaled down on a mid-stream failover).
+    pub bytes: u64,
+    /// Pacing rate.
+    pub rate_bps: u64,
+    /// Unstretched duration (bytes / rate).
+    pub nominal: SimDuration,
+    /// Perceptual utility of the admitted plan (QuaSAQ systems only).
+    pub utility: Option<f64>,
+    /// Which path admitted it.
+    pub origin: AdmitOrigin,
+    /// Whether (and why) it landed below the requested quality.
+    pub degraded: Degraded,
+}
+
+/// One successful mid-stream renegotiation. The session keeps its
+/// control-plane id; the caller replaces its data-plane stream with
+/// `bytes` at `rate_bps` on `server`.
+#[derive(Debug, Clone)]
+pub struct Renegotiation {
+    /// The renegotiated session.
+    pub session: SessionId,
+    /// Its video (for access accounting).
+    pub video: VideoId,
+    /// The new plan's server.
+    pub server: ServerId,
+    /// Remaining bytes at the new quality.
+    pub bytes: u64,
+    /// The new pacing rate.
+    pub rate_bps: u64,
+    /// Unstretched duration of the remainder.
+    pub nominal: SimDuration,
+    /// Bytes the re-rate took off the wire (negative for an upshift).
+    pub bytes_saved: f64,
+    /// True for a congestion downshift, false for a recovery upshift.
+    pub downshift: bool,
+    /// Downshift inside the victim's `upgrade_period` after an upshift —
+    /// the loop hunting instead of settling.
+    pub hunting: bool,
+}
+
+/// Counters the plane keeps for its own decisions (what a remote client
+/// can observe without owning the driver's metrics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// The `now` the caller asked at.
+    pub now: SimTime,
+    /// Fresh admissions (arrivals + retries; failovers and recoveries
+    /// were admitted once already and stay out).
+    pub admitted: u64,
+    /// Terminal rejections of fresh queries.
+    pub rejected: u64,
+    /// Sessions currently live.
+    pub live_sessions: u64,
+    /// Queries waiting in the retry queue.
+    pub waiting: u64,
+    /// Successful mid-stream renegotiations.
+    pub renegotiations: u64,
+    /// Mean admission wait so far, seconds.
+    pub wait_mean_secs: f64,
+    /// p95 admission wait so far, seconds (0 when nothing was admitted).
+    pub wait_p95_secs: f64,
+}
+
+/// A command that could not be applied. These replace what used to be
+/// `unwrap`/`expect` panics on paths now reachable from the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No live session under that id.
+    UnknownSession(SessionId),
+    /// `Teardown { abandoned: true }` without an admission queue to
+    /// account it against.
+    NoAdmissionQueue,
+    /// The session exists but carries no context (the plane was built
+    /// with `track_ctx: false`), so it cannot be displaced or
+    /// renegotiated.
+    NoSessionContext(SessionId),
+}
+
+/// What the plane did in response to a command.
+#[derive(Debug, Clone)]
+pub enum Effect {
+    /// A session was admitted; mirror it into the data plane.
+    Admitted(Admission),
+    /// A fresh query left the system unserved.
+    Rejected {
+        /// Which path rejected it.
+        origin: AdmitOrigin,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// A fresh arrival failed admission and is parked for a backed-off
+    /// retry (not a terminal outcome; retries surface from `Tick`).
+    Queued,
+    /// A displaced session re-entered the retry queue after failover
+    /// found no feasible replica.
+    Requeued,
+    /// A displaced session is lost for good: no survivor and no queue
+    /// slot. Stays out of the admission accounting — it was admitted
+    /// once already.
+    Dropped,
+    /// A session was renegotiated mid-stream; replace its data-plane
+    /// stream.
+    Renegotiated(Renegotiation),
+    /// A session was released (reservation freed, context dropped).
+    TornDown {
+        /// The session that ended.
+        session: SessionId,
+    },
+    /// End-of-run queue flush: `pending` fresh queries never served
+    /// (fold into the rejected total) and `displaced_pending` displaced
+    /// sessions lost (fold into the fault accounting).
+    Finished {
+        /// Fresh queries still waiting at the horizon.
+        pending: u64,
+        /// Displaced sessions still waiting at the horizon.
+        displaced_pending: u64,
+    },
+    /// The plane's own counters.
+    Stats(StatsSnapshot),
+    /// The command could not be applied.
+    Error(ServiceError),
+}

@@ -1,0 +1,82 @@
+//! The sans-IO guard: `quasaq-service` must stay a pure state machine.
+//!
+//! The whole point of the control-plane split is that the same
+//! `Command`/`Effect` core serves the in-process experiment driver, the
+//! TCP shell, and the differential tests — which only works if the crate
+//! never reaches for a clock, a thread, a socket, or the filesystem.
+//! Time arrives exclusively as explicit `SimTime` fields on commands.
+//! This test enforces that mechanically, on the dependency list and on
+//! the source itself, so a future convenience import fails CI instead of
+//! quietly coupling the core to a runtime.
+
+use std::fs;
+use std::path::Path;
+
+/// Crates that carry I/O, threads, or wall clocks. None may appear in
+/// `[dependencies]`.
+const FORBIDDEN_DEPS: &[&str] = &["quasaq-shell", "quasaq-workload", "quasaq-scenario"];
+
+/// Runtime facilities the sans-IO core must never touch. `std::time` is
+/// on the list because simulated time (`SimTime`) is the only clock the
+/// plane may observe.
+const FORBIDDEN_TOKENS: &[&str] = &[
+    "std::net",
+    "std::thread",
+    "std::time",
+    "std::fs",
+    "std::io",
+    "std::process",
+    "Instant::now",
+    "SystemTime",
+    "TcpListener",
+    "TcpStream",
+];
+
+#[test]
+fn dependency_list_is_sans_io() {
+    let manifest = fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml"))
+        .expect("read Cargo.toml");
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        for dep in FORBIDDEN_DEPS {
+            assert!(!line.starts_with(dep), "sans-IO violation: quasaq-service depends on {dep}");
+        }
+    }
+}
+
+#[test]
+fn source_never_touches_io_threads_or_clocks() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut checked = 0;
+    let mut stack = vec![src];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir).expect("read src dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let text = fs::read_to_string(&path).expect("read source file");
+            for token in FORBIDDEN_TOKENS {
+                assert!(
+                    !text.contains(token),
+                    "sans-IO violation: {} mentions {token}",
+                    path.display()
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "expected to scan the service sources, found {checked}");
+}

@@ -1,0 +1,54 @@
+//! Open-loop load generator for a serving shell.
+//!
+//! ```text
+//! cargo run --release -p quasaq-shell --bin load -- \
+//!     --addr 127.0.0.1:7171 [--connections 4] [--seed 7] [--horizon 300] \
+//!     [--servers 3]
+//! ```
+//!
+//! Replays the same Poisson arrival stream the in-process driver would
+//! generate for this seed/horizon — every query an `Admit` frame stamped
+//! with its simulated arrival time — as fast as the sockets take it, and
+//! reports the decision tally plus wall-clock admission throughput.
+//! The `--servers` value must match the serving shell's, or the replayed
+//! stream will draw from a different catalog.
+
+use quasaq_shell::run_loopback;
+use quasaq_sim::SimTime;
+use quasaq_workload::{TestbedConfig, ThroughputConfig};
+use std::time::Instant;
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr: std::net::SocketAddr = arg(&args, "--addr")
+        .unwrap_or_else(|| "127.0.0.1:7171".to_string())
+        .parse()
+        .expect("--addr host:port");
+    let connections: usize =
+        arg(&args, "--connections").map_or(1, |v| v.parse().expect("--connections N"));
+    let seed: u64 = arg(&args, "--seed").map_or(7, |v| v.parse().expect("--seed N"));
+    let horizon: u64 = arg(&args, "--horizon").map_or(300, |v| v.parse().expect("--horizon secs"));
+    let servers: u32 = arg(&args, "--servers").map_or(3, |v| v.parse().expect("--servers N"));
+    let cfg = ThroughputConfig {
+        testbed: TestbedConfig { servers, ..TestbedConfig::default() },
+        horizon: SimTime::from_secs(horizon),
+        seed,
+        ..ThroughputConfig::fig6()
+    };
+    let t0 = Instant::now();
+    let report = run_loopback(addr, &cfg, connections).expect("loopback replay");
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "{} queries over {connections} connection(s) in {secs:.3} s: \
+         {} admitted, {} rejected, {} queued | {:.0} admissions/s",
+        report.queries,
+        report.admitted,
+        report.rejected,
+        report.queued,
+        report.admitted as f64 / secs.max(1e-9)
+    );
+}

@@ -1,0 +1,50 @@
+//! Serve the QoS control plane over TCP.
+//!
+//! ```text
+//! cargo run --release -p quasaq-shell --bin serve -- \
+//!     [--addr 127.0.0.1:7171] [--threads 4] [--system quasaq|vdbms|qosapi] \
+//!     [--seed 7] [--servers 3] [--queued]
+//! ```
+//!
+//! Builds the paper's testbed, wraps the selected system in a
+//! `ControlPlane`, and serves the wire protocol until killed. Pair with
+//! the `load` binary (or any `quasaq_service::wire` speaker).
+
+use quasaq_shell::{Shell, ShellConfig};
+use quasaq_workload::{AdmissionConfig, CostKind, SystemKind, TestbedConfig, ThroughputConfig};
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = arg(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let threads: usize = arg(&args, "--threads").map_or(4, |v| v.parse().expect("--threads N"));
+    let seed: u64 = arg(&args, "--seed").map_or(7, |v| v.parse().expect("--seed N"));
+    let servers: u32 = arg(&args, "--servers").map_or(3, |v| v.parse().expect("--servers N"));
+    let system = match arg(&args, "--system").as_deref() {
+        None | Some("quasaq") => SystemKind::Quasaq(CostKind::Lrb),
+        Some("vdbms") => SystemKind::Vdbms,
+        Some("qosapi") => SystemKind::VdbmsQosApi,
+        Some(other) => panic!("unknown --system {other} (quasaq|vdbms|qosapi)"),
+    };
+    let throughput = ThroughputConfig {
+        testbed: TestbedConfig { servers, ..TestbedConfig::default() },
+        seed,
+        admission: args.iter().any(|a| a == "--queued").then(AdmissionConfig::default),
+        ..ThroughputConfig::fig6()
+    };
+    let shell = Shell::serve(&addr, ShellConfig { system, throughput, threads })
+        .unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+    println!(
+        "serving {} on {} ({threads} thread(s), seed {seed}, {servers} server(s))",
+        system.label(),
+        shell.addr()
+    );
+    // Serve until killed; the brain owns all state, so there is nothing
+    // to persist on the way out.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,121 @@
+//! Loopback end-to-end: the served control plane vs the in-process
+//! driver.
+//!
+//! The acceptance claim of the service split: the same seed through the
+//! TCP shell and through `run_throughput` yields the same decisions.
+//! The config keeps the horizon under the shortest clip (30 s), so the
+//! in-process driver issues exactly one `Admit` per arrival and nothing
+//! else — the same command sequence a single-connection replay sends
+//! over the socket — making the comparison exact: same admit/reject
+//! counts and the same video→server placement multiset.
+
+use quasaq_service::wire::Request;
+use quasaq_service::Effect;
+use quasaq_shell::{run_loopback, Shell, ShellConfig, WireClient};
+use quasaq_sim::{SimDuration, SimTime};
+use quasaq_workload::{run_throughput, AdmissionConfig, CostKind, SystemKind, ThroughputConfig};
+
+fn e2e_cfg(seed: u64) -> ThroughputConfig {
+    ThroughputConfig { horizon: SimTime::from_secs(25), seed, ..ThroughputConfig::fig6() }
+}
+
+#[test]
+fn loopback_decisions_match_in_process_driver() {
+    for (system, seed) in [
+        (SystemKind::Quasaq(CostKind::Lrb), 7),
+        (SystemKind::Quasaq(CostKind::Random), 23),
+        (SystemKind::VdbmsQosApi, 7),
+        (SystemKind::Vdbms, 7),
+    ] {
+        let cfg = e2e_cfg(seed);
+        let shell = Shell::serve(
+            "127.0.0.1:0",
+            ShellConfig { system, throughput: cfg.clone(), threads: 2 },
+        )
+        .expect("bind loopback");
+        let served = run_loopback(shell.addr(), &cfg, 1).expect("replay over socket");
+        shell.shutdown();
+        let driven = run_throughput(system, &cfg);
+        assert_eq!(served.queries, driven.queries, "{}", system.label());
+        assert_eq!(served.admitted, driven.admitted, "{}", system.label());
+        assert_eq!(served.rejected, driven.rejected, "{}", system.label());
+        // The strongest check: the exact video→server placement multiset.
+        assert_eq!(served.access, driven.access, "{}", system.label());
+    }
+}
+
+#[test]
+fn wire_stats_and_teardown_round_trip() {
+    let cfg = ThroughputConfig { admission: Some(AdmissionConfig::default()), ..e2e_cfg(7) };
+    let shell = Shell::serve(
+        "127.0.0.1:0",
+        ShellConfig {
+            system: SystemKind::Quasaq(CostKind::Lrb),
+            throughput: cfg.clone(),
+            threads: 1,
+        },
+    )
+    .expect("bind loopback");
+    let report = run_loopback(shell.addr(), &cfg, 1).expect("replay");
+    assert!(report.admitted > 0, "25 s of arrivals must admit something");
+
+    let mut client = WireClient::connect(shell.addr()).expect("connect");
+    let now = SimTime::from_secs(25);
+    let effects = client.call(&Request::Stats { now }).expect("stats");
+    let [Effect::Stats(s)] = effects.as_slice() else {
+        panic!("expected one stats snapshot, got {effects:?}")
+    };
+    assert_eq!(s.admitted, report.admitted);
+    assert_eq!(s.rejected + s.waiting, report.rejected + report.queued);
+    assert_eq!(s.live_sessions, report.admitted, "nothing torn down yet");
+
+    // Tear down an admitted session and watch the live count drop.
+    let first = quasaq_service::SessionId(0);
+    let effects = client
+        .call(&Request::Teardown {
+            session: first,
+            abandoned: false,
+            now: now + SimDuration::from_secs(1),
+        })
+        .expect("teardown");
+    assert!(
+        matches!(effects.as_slice(), [Effect::TornDown { session }] if *session == first),
+        "got {effects:?}"
+    );
+    let effects =
+        client.call(&Request::Stats { now: now + SimDuration::from_secs(2) }).expect("stats");
+    let [Effect::Stats(s2)] = effects.as_slice() else { panic!("got {effects:?}") };
+    assert_eq!(s2.live_sessions, report.admitted - 1);
+
+    // Tearing the same session down twice is a typed error, not a panic.
+    let effects = client
+        .call(&Request::Teardown {
+            session: first,
+            abandoned: false,
+            now: now + SimDuration::from_secs(3),
+        })
+        .expect("double teardown");
+    assert!(matches!(effects.as_slice(), [Effect::Error(_)]), "got {effects:?}");
+    shell.shutdown();
+}
+
+#[test]
+fn concurrent_connections_preserve_total_admission_accounting() {
+    // Four connections racing at the brain: per-query decisions may
+    // reorder relative to the serial replay, but every query still gets
+    // exactly one disposition.
+    let cfg = e2e_cfg(7);
+    let shell = Shell::serve(
+        "127.0.0.1:0",
+        ShellConfig {
+            system: SystemKind::Quasaq(CostKind::Lrb),
+            throughput: cfg.clone(),
+            threads: 4,
+        },
+    )
+    .expect("bind loopback");
+    let report = run_loopback(shell.addr(), &cfg, 4).expect("replay");
+    shell.shutdown();
+    assert_eq!(report.admitted + report.rejected + report.queued, report.queries);
+    assert!(report.admitted > 0);
+}

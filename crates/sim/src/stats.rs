@@ -11,7 +11,23 @@
 
 use crate::time::{SimDuration, SimTime};
 
-/// Welford's online algorithm for mean and variance, plus min/max.
+/// Smallest positive value the quantile sketch resolves; everything at or
+/// below it (including exact zeros, the common case for admission waits)
+/// lands in the dedicated zero bucket.
+const SKETCH_FLOOR: f64 = 1e-9;
+/// Geometric growth factor between sketch bucket bounds: bucket `k` spans
+/// `(FLOOR * G^k, FLOOR * G^(k+1)]`, so any reported quantile is within
+/// ±3.5% (√G) of a value actually observed.
+const SKETCH_GROWTH: f64 = 1.07;
+
+/// Welford's online algorithm for mean and variance, plus min/max and a
+/// log-spaced bucket sketch for quantiles.
+///
+/// The sketch counts observations in geometric buckets (growth factor
+/// [`SKETCH_GROWTH`] from [`SKETCH_FLOOR`]): integer counts, so merging
+/// is exact and order-independent — quantiles from a sharded run equal
+/// the serial run's bit for bit, unlike P²-style estimators whose state
+/// is merge-order-dependent.
 ///
 /// `PartialEq` compares the accumulator state field-by-field (floats
 /// bit-for-bit via numeric equality), which the experiment drivers'
@@ -23,12 +39,25 @@ pub struct OnlineStats {
     m2: f64,
     min: f64,
     max: f64,
+    /// Observations at or below [`SKETCH_FLOOR`] (admission waits are
+    /// usually exactly 0, so this fast path also skips the `ln`).
+    zeros: u64,
+    /// Geometric bucket counts, grown lazily to the largest index seen.
+    buckets: Vec<u64>,
 }
 
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            zeros: 0,
+            buckets: Vec::new(),
+        }
     }
 
     /// Adds one observation.
@@ -39,6 +68,15 @@ impl OnlineStats {
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+        if x <= SKETCH_FLOOR {
+            self.zeros += 1;
+        } else {
+            let idx = ((x / SKETCH_FLOOR).ln() / SKETCH_GROWTH.ln()).ceil() as usize;
+            if idx >= self.buckets.len() {
+                self.buckets.resize(idx + 1, 0);
+            }
+            self.buckets[idx] += 1;
+        }
     }
 
     /// Adds a duration observation in milliseconds (the paper's unit).
@@ -84,7 +122,46 @@ impl OnlineStats {
         (self.n > 0).then_some(self.max)
     }
 
-    /// Merges another accumulator into this one (parallel Welford).
+    /// The `q`-quantile (q in [0, 1]) from the bucket sketch, `None` when
+    /// empty. Nearest-rank over the geometric buckets: the result is the
+    /// log-midpoint of the bucket holding the ranked observation, so it
+    /// is within ±√[`SKETCH_GROWTH`] (≈3.5%) of an observed value, and
+    /// exact for observations at or below [`SKETCH_FLOOR`]. Deterministic
+    /// and merge-order-independent (integer bucket counts).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        // Nearest rank, 1-based: the smallest rank covering fraction q.
+        let rank = ((q.clamp(0.0, 1.0) * self.n as f64).ceil() as u64).max(1);
+        if rank <= self.zeros {
+            // The zero bucket holds values in [min, SKETCH_FLOOR]; the
+            // recorded min is the only observed value we can report.
+            return Some(self.min.min(SKETCH_FLOOR));
+        }
+        let mut cum = self.zeros;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let mid = SKETCH_FLOOR * SKETCH_GROWTH.powf(idx as f64 - 0.5);
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// p95 convenience wrapper around [`OnlineStats::quantile`].
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// p99 convenience wrapper around [`OnlineStats::quantile`].
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford; the
+    /// quantile buckets add exactly).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.n == 0 {
             return;
@@ -102,6 +179,13 @@ impl OnlineStats {
         self.m2 = m2;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.zeros += other.zeros;
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
     }
 }
 
@@ -427,6 +511,65 @@ mod tests {
         let snapshot = a.mean();
         a.merge(&OnlineStats::new());
         assert_eq!(a.mean(), snapshot);
+    }
+
+    #[test]
+    fn quantiles_track_observed_values_within_sketch_error() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.quantile(0.95), None);
+        for i in 1..=1000 {
+            s.push(i as f64 / 100.0); // 0.01 ..= 10.00
+        }
+        let p50 = s.quantile(0.50).unwrap();
+        let p95 = s.p95().unwrap();
+        let p99 = s.p99().unwrap();
+        assert!((p50 / 5.0 - 1.0).abs() < 0.05, "p50 = {p50}");
+        assert!((p95 / 9.5 - 1.0).abs() < 0.05, "p95 = {p95}");
+        assert!((p99 / 9.9 - 1.0).abs() < 0.05, "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        // Quantiles never leave the observed range.
+        let bottom = s.quantile(0.0).unwrap();
+        assert!((bottom / 0.01 - 1.0).abs() < 0.05, "bottom = {bottom}");
+        let top = s.quantile(1.0).unwrap();
+        assert!(p99 <= top && top <= 10.0, "top = {top}");
+    }
+
+    #[test]
+    fn zero_heavy_quantiles_report_zero_bucket_exactly() {
+        // Admission waits are usually exactly 0; the sketch must not
+        // smear them into a log bucket.
+        let mut s = OnlineStats::new();
+        for _ in 0..98 {
+            s.push(0.0);
+        }
+        s.push(4.0);
+        s.push(8.0);
+        assert_eq!(s.quantile(0.5), Some(0.0));
+        assert_eq!(s.quantile(0.95), Some(0.0));
+        let p99 = s.p99().unwrap();
+        assert!((p99 / 4.0 - 1.0).abs() < 0.05, "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantile_merge_is_exact_and_order_independent() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 997) as f64 / 10.0).collect();
+        let mut serial = OnlineStats::new();
+        for &x in &xs {
+            serial.push(x);
+        }
+        // Shard round-robin into 3, merge in a scrambled order.
+        let mut shards = [OnlineStats::new(), OnlineStats::new(), OnlineStats::new()];
+        for (i, &x) in xs.iter().enumerate() {
+            shards[i % 3].push(x);
+        }
+        let [a, b, c] = shards;
+        let mut merged = OnlineStats::new();
+        merged.merge(&c);
+        merged.merge(&a);
+        merged.merge(&b);
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99] {
+            assert_eq!(merged.quantile(q), serial.quantile(q), "q = {q}");
+        }
     }
 
     #[test]

@@ -33,8 +33,8 @@ pub use fig5::{run_fig5, Contention, Fig5Config, Fig5System};
 pub use parallel::{parallel_map, run_throughput_scenarios, worker_count, DomainPool};
 pub use testbed::{CostKind, Testbed, TestbedConfig};
 pub use throughput::{
-    run_throughput, run_throughput_on, AdaptationConfig, DegradationMetrics, FaultMetrics,
-    SystemKind, ThroughputConfig, ThroughputResult,
+    arrival_stream, build_core, run_throughput, run_throughput_on, AdaptationConfig,
+    DegradationMetrics, FaultMetrics, SystemKind, ThroughputConfig, ThroughputResult,
 };
 pub use traffic::{
     generate_queries, qop_class, random_qop, random_qop_with, GeneratedQuery, QopClass, QopMix,

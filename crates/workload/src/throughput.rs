@@ -6,25 +6,33 @@
 //! paper plots: outstanding sessions over time (Figs 6a, 7a),
 //! accomplished jobs per minute (Fig 6b), and cumulative rejects
 //! (Fig 7b).
+//!
+//! Since the control-plane split, this driver owns only the *data plane*
+//! and the experiment accounting: the fluid engine, the fault/link
+//! injectors, the patience deadlines, and the metrics. Every QoS
+//! *decision* — admission, retry, brownout, failover, renegotiation —
+//! comes from a [`ControlPlane`] driven through the same
+//! [`Command`]/[`Effect`] vocabulary the TCP shell speaks, so an
+//! in-process run and a served run make bit-identical decisions for the
+//! same command sequence. The differential proptests in
+//! `tests/differential.rs` hold this loop to the pre-split oracle, draw
+//! for draw.
 
-use crate::admission::{
-    brownout_action, AdmissionConfig, AdmissionQueue, BrownoutAction, QueueMetrics, Waiting,
-};
+use crate::admission::{AdmissionConfig, QueueMetrics};
 use crate::parallel::DomainPool;
 use crate::testbed::{CostKind, Testbed, TestbedConfig};
-use crate::traffic::{generate_queries, qop_class, QopMix, TrafficConfig};
-use quasaq_core::{
-    AdmittedPlan, PlanExecutor, PlanRequest, QopSecurity, QosWeights, QualityManager, Rejection,
-    UserProfile, UtilityGain,
+use crate::traffic::{generate_queries, qop_class, GeneratedQuery, QopMix, TrafficConfig};
+use quasaq_core::{PlanExecutor, PlanRequest, QopSecurity};
+use quasaq_service::{
+    AdaptPolicy, Admission, AdmitOrigin, Candidate, Command, ControlPlane, Degraded, Effect,
+    PlaneConfig, Renegotiation, SessionId, SystemCore,
 };
-use quasaq_media::QosRange;
-use quasaq_qosapi::{CompositeQosApi, ReservationId, ResourceKey, ResourceKind, ResourceVector};
 use quasaq_sim::link::SharePolicy;
 use quasaq_sim::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, LevelTracker, LinkInjector, LinkPlan,
-    OnlineStats, RateCounter, Rng, Series, ServerId, SimDuration, SimTime,
+    OnlineStats, RateCounter, Series, ServerId, SimDuration, SimTime,
 };
-use quasaq_store::AccessStats;
+use quasaq_store::{AccessStats, MetadataEngine};
 use quasaq_stream::{CongestionConfig, CongestionEdge, FluidEngine, FluidSessionId};
 use quasaq_vdbms::{BaselineKind, BaselinePlanner, QueuedQuery};
 use std::collections::{BTreeSet, HashMap};
@@ -325,16 +333,17 @@ impl ThroughputResult {
             .window_mean(horizon.halved(), horizon + SimDuration::from_secs(1))
             .unwrap_or(0.0)
     }
-}
 
-// One instance per run, stack-allocated in `run_throughput`; the size gap
-// (QualityManager grew a plan cache) doesn't justify a Box deref on the
-// per-query admission path.
-#[allow(clippy::large_enum_variant)]
-enum SystemState {
-    Plain { planner: BaselinePlanner },
-    QosApi { planner: BaselinePlanner, api: CompositeQosApi, headroom: f64 },
-    Quasaq { manager: QualityManager, executor: PlanExecutor },
+    /// p95 admission wait in seconds (from the queue's quantile sketch;
+    /// `None` without the front end or when nothing was admitted).
+    pub fn queue_wait_p95(&self) -> Option<f64> {
+        self.queue.as_ref().and_then(|q| q.wait.p95())
+    }
+
+    /// p99 admission wait in seconds (see [`Self::queue_wait_p95`]).
+    pub fn queue_wait_p99(&self) -> Option<f64> {
+        self.queue.as_ref().and_then(|q| q.wait.p99())
+    }
 }
 
 /// Dense per-session side table indexed by [`FluidSessionId`] (the fluid
@@ -357,13 +366,52 @@ impl<T> PerSession<T> {
     fn remove(&mut self, id: FluidSessionId) -> Option<T> {
         self.0.get_mut(id.0).and_then(Option::take)
     }
+}
 
-    fn get(&self, id: FluidSessionId) -> Option<&T> {
-        self.0.get(id.0).and_then(Option::as_ref)
+/// Two-way binding between the fluid engine's session ids (the data
+/// plane) and the control plane's session handles. Renegotiations retire
+/// the fluid id but keep the control-plane handle, so neither side can be
+/// the other's key.
+struct SessionMap {
+    /// Fluid id → control-plane session.
+    session_of: PerSession<SessionId>,
+    /// Control-plane session → current fluid id (dense: plane ids
+    /// allocate from 0).
+    fluid_of: Vec<Option<FluidSessionId>>,
+}
+
+impl SessionMap {
+    fn new() -> Self {
+        SessionMap { session_of: PerSession::new(), fluid_of: Vec::new() }
     }
 
-    fn get_mut(&mut self, id: FluidSessionId) -> Option<&mut T> {
-        self.0.get_mut(id.0).and_then(Option::as_mut)
+    fn bind(&mut self, fluid: FluidSessionId, session: SessionId) {
+        self.session_of.insert(fluid, session);
+        let i = session.0 as usize;
+        if i >= self.fluid_of.len() {
+            self.fluid_of.resize(i + 1, None);
+        }
+        self.fluid_of[i] = Some(fluid);
+    }
+
+    /// Drops the binding by fluid id (completion, patience cancel,
+    /// crash), returning the control-plane session to tear down.
+    fn unbind(&mut self, fluid: FluidSessionId) -> Option<SessionId> {
+        let session = self.session_of.remove(fluid)?;
+        self.fluid_of[session.0 as usize] = None;
+        Some(session)
+    }
+
+    /// Drops the binding by control-plane session (renegotiation),
+    /// returning the fluid id to cancel.
+    fn take_fluid(&mut self, session: SessionId) -> Option<FluidSessionId> {
+        let fluid = self.fluid_of.get_mut(session.0 as usize)?.take()?;
+        self.session_of.remove(fluid);
+        Some(fluid)
+    }
+
+    fn get(&self, fluid: FluidSessionId) -> Option<SessionId> {
+        self.session_of.0.get(fluid.0).and_then(|s| *s)
     }
 }
 
@@ -385,41 +433,34 @@ pub fn run_throughput_on(
     system: SystemKind,
     cfg: &ThroughputConfig,
 ) -> ThroughputResult {
-    let mut traffic = TrafficConfig::paper(testbed.library.len(), cfg.horizon);
-    traffic.video_skew = cfg.video_skew;
-    traffic.qop_mix = cfg.qop_mix;
-    if let Some(period) = cfg.arrival_period {
-        traffic.mean_interarrival = period;
-    }
-    traffic.burst = cfg.arrival_burst.max(1);
-    let queries = generate_queries(cfg.seed ^ 0x51ab_17e5, &traffic);
-    let mut rng = Rng::new(cfg.seed ^ 0x9e37_79b9);
+    let queries = arrival_stream(testbed, cfg);
+    let core = build_core(testbed, system, cfg);
 
-    let mut state = match system {
-        SystemKind::Vdbms => {
-            SystemState::Plain { planner: BaselinePlanner::new(BaselineKind::Plain) }
-        }
-        SystemKind::VdbmsQosApi => SystemState::QosApi {
-            planner: BaselinePlanner::new(BaselineKind::WithQosApi),
-            api: testbed.qos_api(),
-            headroom: cfg.testbed.cost.reservation_headroom,
+    let adapt = cfg.adaptation.clone();
+    let adapt_on = adapt.is_some();
+    let faults_on = cfg.faults.is_some();
+    // Per-session request context is needed by both the crash-failover
+    // path and the adaptation loop.
+    let track_ctx = faults_on || adapt_on;
+    let queue_on = cfg.admission.is_some();
+
+    // The control plane makes every decision this driver used to make
+    // inline, consuming the identical RNG stream in the identical order.
+    let mut plane = ControlPlane::new(
+        core,
+        PlaneConfig {
+            seed: cfg.seed ^ 0x9e37_79b9,
+            admission: cfg.admission.clone(),
+            adaptation: adapt.as_ref().map(|a| AdaptPolicy {
+                upgrade_period: a.upgrade_period,
+                max_downshifts_per_event: a.max_downshifts_per_event,
+            }),
+            track_ctx,
         },
-        SystemKind::Quasaq(kind) => {
-            let mut manager = testbed.quality_manager_with(
-                kind,
-                quasaq_core::GeneratorConfig {
-                    cost: cfg.testbed.cost,
-                    allow_remote: !cfg.local_plans_only,
-                    ..quasaq_core::GeneratorConfig::default()
-                },
-            );
-            manager.set_plan_caching(cfg.plan_cache);
-            SystemState::Quasaq {
-                manager,
-                executor: PlanExecutor { cost: cfg.testbed.cost, ..PlanExecutor::default() },
-            }
-        }
-    };
+    );
+    let engine = &testbed.engine;
+    // One scratch vector for every command's effects.
+    let mut effects: Vec<Effect> = Vec::new();
 
     // All systems pace sessions at their stream rate on fair-share links;
     // reservation-based systems enforce admission in the QoS API, so the
@@ -440,7 +481,6 @@ pub fn run_throughput_on(
         };
     }
 
-    let mut queue = cfg.admission.clone().map(AdmissionQueue::new);
     let patience = cfg.admission.as_ref().map(|a| a.patience);
     // Mid-stream give-up deadlines, ordered for the event loop plus a
     // reverse index for completion-time removal. Both stay empty when the
@@ -452,20 +492,11 @@ pub fn run_throughput_on(
     // so the legacy event sequence — and every RNG draw — is untouched.
     // The testbed itself is immutable and shared across runs; all fault
     // state (who is down, which reservations died, the degraded
-    // capacities inside this run's own fluid engine) lives here.
+    // capacities inside this run's own fluid engine) lives here or in the
+    // plane.
     let fault_plan = cfg.faults.clone().unwrap_or_default();
     let mut injector = FaultInjector::new(&fault_plan);
-    let faults_on = cfg.faults.is_some();
-    let failover_profile = cfg
-        .admission
-        .as_ref()
-        .map(|a| a.profile.clone())
-        .unwrap_or_else(|| UserProfile::new("failover"));
     let mut fm = FaultMetrics::default();
-    // Per-session request context, kept only under fault injection so a
-    // crash can re-plan the displaced sessions.
-    let mut ctxs: PerSession<SessionCtx> = PerSession::new();
-    let mut down: BTreeSet<ServerId> = BTreeSet::new();
     // Overlapping windows compose: crashes nest by depth, capacity
     // factors multiply (in stable order, so the float product is a pure
     // function of the plan).
@@ -488,20 +519,14 @@ pub fn run_throughput_on(
     let watch_capacity = faults_on || links_on;
 
     // The congestion-adaptation loop.
-    let adapt = cfg.adaptation.clone();
-    let adapt_on = adapt.is_some();
     if let Some(a) = &adapt {
         fluid.enable_congestion(a.congestion);
     }
     let mut dm = DegradationMetrics::default();
-    let mut last_upshift: HashMap<ServerId, SimTime> = HashMap::new();
     let mut congested_t = SimTime::ZERO;
-    // Session contexts are needed by both the crash-failover path and the
-    // adaptation loop.
-    let track_ctx = faults_on || adapt_on;
     let num_servers = cfg.testbed.servers as usize;
 
-    let mut reservations: PerSession<ReservationId> = PerSession::new();
+    let mut map = SessionMap::new();
     let mut outstanding = LevelTracker::new();
     let mut completions = RateCounter::new(SimDuration::from_secs(60));
     let mut rejects = Series::new();
@@ -516,7 +541,7 @@ pub fn run_throughput_on(
     loop {
         let tq = queries.get(qi).map(|q| q.at);
         let tf = fluid.next_event().filter(|&t| t <= cfg.horizon);
-        let tr = queue.as_ref().and_then(|q| q.next_ready()).filter(|&t| t <= cfg.horizon);
+        let tr = plane.next_ready().filter(|&t| t <= cfg.horizon);
         let ta = deadlines.iter().next().map(|&(t, _)| t).filter(|&t| t <= cfg.horizon);
         let tx = injector.next_at().filter(|&t| t <= cfg.horizon);
         let tl = link_injector.next_at().filter(|&t| t <= cfg.horizon);
@@ -544,14 +569,15 @@ pub fn run_throughput_on(
         advance_fluid!(t);
         handle_done(
             fluid.drain_completions(),
-            &mut reservations,
-            &mut state,
+            engine,
+            &mut plane,
+            &mut map,
+            &mut effects,
             &mut outstanding,
             &mut completions,
             &mut completed,
             &mut deadlines,
             &mut deadline_of,
-            &mut ctxs,
         );
         // Mid-stream patience: cancel sessions that overran their nominal
         // duration by more than the patience window. Completions at the
@@ -565,14 +591,13 @@ pub fn run_throughput_on(
             deadline_of.remove(sid);
             fluid.cancel_session(t, sid);
             outstanding.adjust(t, -1);
-            if let Some(res) = reservations.remove(sid) {
-                release(&mut state, res);
-            }
-            ctxs.remove(sid);
-            queue
-                .as_mut()
-                .expect("deadlines only exist with admission enabled")
-                .record_stream_abandoned(t);
+            let session = map.unbind(sid).expect("deadline sessions are bound");
+            effects.clear();
+            plane.handle_into(
+                engine,
+                Command::Teardown { session, abandoned: true, now: t },
+                &mut effects,
+            );
         }
         // Fault edges due now fire after completions and patience (a
         // session finishing at the crash instant made it) and before
@@ -587,99 +612,59 @@ pub fn run_throughput_on(
                         if *depth > 1 {
                             continue;
                         }
-                        down.insert(spec.server);
-                        // Bulk-release every reservation on the dead
-                        // server so new admissions route around it...
-                        fail_site(&mut state, spec.server);
-                        // ...then displace its in-flight sessions and try
-                        // to fail each one over.
+                        // Bar the dead server from admission and
+                        // bulk-release its reservations so new admissions
+                        // route around it...
+                        plane.handle_into(
+                            engine,
+                            Command::ServerDown { server: spec.server },
+                            &mut effects,
+                        );
+                        // ...then displace its in-flight sessions and let
+                        // the plane try to fail each one over.
                         for (sid, remaining) in fluid.fail_server(t, spec.server) {
                             outstanding.adjust(t, -1);
                             fm.interrupted += 1;
                             if let Some(dl) = deadline_of.remove(sid) {
                                 deadlines.remove(&(dl, sid));
                             }
-                            // The site failure above already cancelled the
-                            // dead server's reservations; release is
-                            // idempotent, so dropping the id is enough.
-                            reservations.remove(sid);
-                            let ctx = ctxs.remove(sid).expect("fault runs track context");
-                            let frac = (remaining / ctx.total_bytes.max(1) as f64).clamp(0.0, 1.0);
-                            // Walk the QoP ladder down until a survivor
-                            // admits the remaining bytes.
-                            let mut request = ctx.query;
-                            let mut steps = 0u32;
-                            let mut last_err = Rejection::AdmissionFailed;
-                            let placed = loop {
-                                match admit(
-                                    &mut state,
-                                    testbed,
-                                    &request,
-                                    &mut fluid,
-                                    &mut rng,
-                                    t,
-                                    Some(frac),
-                                    &down,
-                                ) {
-                                    Ok(sess) => break Some(sess),
-                                    Err(why) => {
-                                        last_err = why;
-                                        match failover_profile
-                                            .degrade_options(&request.qos)
-                                            .into_iter()
-                                            .next()
-                                        {
-                                            Some(next) => {
-                                                request.qos = next;
-                                                steps += 1;
+                            let session = map.unbind(sid).expect("live sessions are bound");
+                            effects.clear();
+                            plane.handle_into(
+                                engine,
+                                Command::Displace { session, remaining, now: t },
+                                &mut effects,
+                            );
+                            for e in effects.drain(..) {
+                                match e {
+                                    Effect::Admitted(adm) => {
+                                        fm.failed_over += 1;
+                                        if let Degraded::Failover { steps } = adm.degraded {
+                                            if steps > 0 {
+                                                fm.failover_degraded += 1;
                                             }
-                                            None => break None,
                                         }
-                                    }
-                                }
-                            };
-                            match placed {
-                                Some(sess) => {
-                                    fm.failed_over += 1;
-                                    if steps > 0 {
-                                        fm.failover_degraded += 1;
-                                    }
-                                    fm.recovery.push(0.0);
-                                    outstanding.adjust(t, 1);
-                                    access.record(request.video, sess.server);
-                                    if let Some(u) = sess.utility {
-                                        utility_sum += u;
-                                        utility_n += 1;
-                                    }
-                                    if let Some(res) = sess.reservation {
-                                        reservations.insert(sess.sid, res);
-                                    }
-                                    if let Some(p) = patience {
-                                        let dl = t + sess.nominal + p;
-                                        deadlines.insert((dl, sess.sid));
-                                        deadline_of.insert(sess.sid, dl);
-                                    }
-                                    ctxs.insert(
-                                        sess.sid,
-                                        SessionCtx::new(request, sess.bytes, sess.plan),
-                                    );
-                                }
-                                None => match queue.as_mut() {
-                                    Some(qu) => {
-                                        let w = Waiting {
-                                            query: request,
-                                            arrival: t,
-                                            attempts: 1,
-                                            interrupted: Some(t),
-                                        };
-                                        if qu.admit_failure(t, w, &last_err).is_rejection() {
-                                            fm.dropped += 1;
-                                        } else {
-                                            fm.requeued += 1;
+                                        fm.recovery.push(0.0);
+                                        outstanding.adjust(t, 1);
+                                        access.record(adm.video, adm.server);
+                                        if let Some(u) = adm.utility {
+                                            utility_sum += u;
+                                            utility_n += 1;
                                         }
+                                        start_stream(
+                                            &mut fluid,
+                                            &mut map,
+                                            &mut deadlines,
+                                            &mut deadline_of,
+                                            patience,
+                                            t,
+                                            &adm,
+                                        );
                                     }
-                                    None => fm.dropped += 1,
-                                },
+                                    Effect::Requeued => fm.requeued += 1,
+                                    Effect::Dropped => fm.dropped += 1,
+                                    other => unreachable!("displace produced {other:?}"),
+                                }
                             }
                         }
                     }
@@ -715,8 +700,11 @@ pub fn run_throughput_on(
                         let depth = crash_depth.get_mut(&spec.server).expect("crash began");
                         *depth -= 1;
                         if *depth == 0 {
-                            down.remove(&spec.server);
-                            restore_site(&mut state, spec.server);
+                            plane.handle_into(
+                                engine,
+                                Command::ServerUp { server: spec.server },
+                                &mut effects,
+                            );
                         }
                     }
                     FaultKind::LinkDegradation { factor } => {
@@ -766,65 +754,52 @@ pub fn run_throughput_on(
                 t,
                 spec.server,
             );
-            let key = ResourceKey::new(spec.server, ResourceKind::NetBandwidth);
-            match &mut state {
-                SystemState::QosApi { api, .. } => {
-                    api.set_capacity(key, net);
-                }
-                SystemState::Quasaq { manager, .. } => {
-                    manager.set_capacity(key, net);
-                }
-                SystemState::Plain { .. } => {}
-            }
+            plane.handle_into(
+                engine,
+                Command::SetNetCapacity { server: spec.server, bps: net },
+                &mut effects,
+            );
         }
         // Retries due now run before the new arrival: they have waited
         // longer.
-        if let Some(qu) = queue.as_mut() {
-            while let Some(w) = qu.pop_due(t) {
-                match admit(&mut state, testbed, &w.query, &mut fluid, &mut rng, t, None, &down) {
-                    Ok(sess) => {
-                        match w.interrupted {
-                            Some(it) => {
+        if queue_on {
+            effects.clear();
+            plane.handle_into(engine, Command::Tick { now: t }, &mut effects);
+            for e in effects.drain(..) {
+                match e {
+                    Effect::Admitted(adm) => {
+                        match adm.origin {
+                            AdmitOrigin::Recovery { interrupted_at } => {
                                 // A displaced session re-serviced from the
                                 // queue was admitted once already: count
                                 // its recovery, not a second admission.
                                 fm.recovered += 1;
-                                fm.recovery.push((t - it).as_secs_f64());
+                                fm.recovery.push((t - interrupted_at).as_secs_f64());
                             }
-                            None => {
-                                admitted += 1;
-                                qu.record_admitted(t, w.arrival);
-                            }
+                            _ => admitted += 1,
                         }
                         outstanding.adjust(t, 1);
-                        access.record(w.query.video, sess.server);
-                        if let Some(u) = sess.utility {
+                        access.record(adm.video, adm.server);
+                        if let Some(u) = adm.utility {
                             utility_sum += u;
                             utility_n += 1;
                         }
-                        if let Some(res) = sess.reservation {
-                            reservations.insert(sess.sid, res);
-                        }
-                        if let Some(p) = patience {
-                            let dl = t + sess.nominal + p;
-                            deadlines.insert((dl, sess.sid));
-                            deadline_of.insert(sess.sid, dl);
-                        }
-                        if track_ctx {
-                            ctxs.insert(sess.sid, SessionCtx::new(w.query, sess.bytes, sess.plan));
-                        }
+                        start_stream(
+                            &mut fluid,
+                            &mut map,
+                            &mut deadlines,
+                            &mut deadline_of,
+                            patience,
+                            t,
+                            &adm,
+                        );
                     }
-                    Err(why) => {
-                        let was_displaced = w.interrupted.is_some();
-                        if qu.admit_failure(t, w, &why).is_rejection() {
-                            if was_displaced {
-                                fm.dropped += 1;
-                            } else {
-                                rejected += 1;
-                                rejects.push(t, rejected as f64);
-                            }
-                        }
+                    Effect::Rejected { .. } => {
+                        rejected += 1;
+                        rejects.push(t, rejected as f64);
                     }
+                    Effect::Dropped => fm.dropped += 1,
+                    other => unreachable!("tick produced {other:?}"),
                 }
             }
         }
@@ -838,20 +813,16 @@ pub fn run_throughput_on(
             // order. Prefetching consumes no RNG and reserves nothing, so
             // the decisions are bit-identical to cold processing.
             let batch_end = qi + queries[qi..].iter().take_while(|q| q.at == t).count();
-            if batch_end - qi > 1 {
-                if let SystemState::Quasaq { manager, .. } = &mut state {
-                    if manager.plan_caching() {
-                        let reqs: Vec<PlanRequest> = queries[qi..batch_end]
-                            .iter()
-                            .map(|q| PlanRequest {
-                                video: q.video,
-                                qos: q.qos.clone(),
-                                security: QopSecurity::Open,
-                            })
-                            .collect();
-                        manager.prefetch_plans(&testbed.engine, &reqs);
-                    }
-                }
+            if batch_end - qi > 1 && plane.wants_prefetch() {
+                let requests: Vec<PlanRequest> = queries[qi..batch_end]
+                    .iter()
+                    .map(|q| PlanRequest {
+                        video: q.video,
+                        qos: q.qos.clone(),
+                        security: QopSecurity::Open,
+                    })
+                    .collect();
+                plane.handle_into(engine, Command::Prefetch { requests }, &mut effects);
             }
             // Brownout: once enough of the cluster sits congested, the
             // front door sheds by service class — Economy requests are
@@ -868,81 +839,50 @@ pub fn run_throughput_on(
             while qi < batch_end {
                 let q = &queries[qi];
                 qi += 1;
-                let mut request = QueuedQuery { video: q.video, qos: q.qos.clone() };
-                let mut via_brownout = false;
-                if brownout_now {
-                    match brownout_action(qop_class(&q.qop)) {
-                        BrownoutAction::Reject => {
-                            dm.brownout_rejected += 1;
+                let query = QueuedQuery { video: q.video, qos: q.qos.clone() };
+                effects.clear();
+                plane.handle_into(
+                    engine,
+                    Command::Admit {
+                        query,
+                        class: qop_class(&q.qop),
+                        brownout: brownout_now,
+                        now: t,
+                    },
+                    &mut effects,
+                );
+                for e in effects.drain(..) {
+                    match e {
+                        Effect::Admitted(adm) => {
+                            if adm.degraded == Degraded::Brownout {
+                                dm.brownout_degraded += 1;
+                            }
+                            admitted += 1;
+                            outstanding.adjust(t, 1);
+                            access.record(adm.video, adm.server);
+                            if let Some(u) = adm.utility {
+                                utility_sum += u;
+                                utility_n += 1;
+                            }
+                            start_stream(
+                                &mut fluid,
+                                &mut map,
+                                &mut deadlines,
+                                &mut deadline_of,
+                                patience,
+                                t,
+                                &adm,
+                            );
+                        }
+                        Effect::Rejected { reason, .. } => {
+                            if reason.is_brownout() {
+                                dm.brownout_rejected += 1;
+                            }
                             rejected += 1;
                             rejects.push(t, rejected as f64);
-                            continue;
                         }
-                        BrownoutAction::DegradeThenReject => {
-                            if let Some(next) =
-                                failover_profile.degrade_options(&request.qos).into_iter().next()
-                            {
-                                request.qos = next;
-                            }
-                            via_brownout = true;
-                        }
-                    }
-                }
-                match admit(&mut state, testbed, &request, &mut fluid, &mut rng, t, None, &down) {
-                    Ok(sess) => {
-                        if via_brownout {
-                            dm.brownout_degraded += 1;
-                        }
-                        admitted += 1;
-                        outstanding.adjust(t, 1);
-                        access.record(q.video, sess.server);
-                        if let Some(u) = sess.utility {
-                            utility_sum += u;
-                            utility_n += 1;
-                        }
-                        if let Some(res) = sess.reservation {
-                            reservations.insert(sess.sid, res);
-                        }
-                        if let Some(qu) = queue.as_mut() {
-                            qu.record_admitted(t, t);
-                        }
-                        if let Some(p) = patience {
-                            let dl = t + sess.nominal + p;
-                            deadlines.insert((dl, sess.sid));
-                            deadline_of.insert(sess.sid, dl);
-                        }
-                        if track_ctx {
-                            ctxs.insert(sess.sid, SessionCtx::new(request, sess.bytes, sess.plan));
-                        }
-                    }
-                    Err(why) => {
-                        if via_brownout {
-                            // Degrade-then-reject: even the degraded form
-                            // was infeasible, and a browned-out system
-                            // does not queue.
-                            dm.brownout_rejected += 1;
-                            rejected += 1;
-                            rejects.push(t, rejected as f64);
-                            continue;
-                        }
-                        match queue.as_mut() {
-                            Some(qu) => {
-                                let w = Waiting {
-                                    query: request,
-                                    arrival: t,
-                                    attempts: 1,
-                                    interrupted: None,
-                                };
-                                if qu.admit_failure(t, w, &why).is_rejection() {
-                                    rejected += 1;
-                                    rejects.push(t, rejected as f64);
-                                }
-                            }
-                            None => {
-                                rejected += 1;
-                                rejects.push(t, rejected as f64);
-                            }
-                        }
+                        Effect::Queued => {}
+                        other => unreachable!("admit produced {other:?}"),
                     }
                 }
             }
@@ -953,27 +893,99 @@ pub fn run_throughput_on(
         // exactly when it happens; the `tc` time source wakes the loop
         // for pure dwell expiries. Runs after the arrivals so a burst
         // that congests a server starts its dwell clock at this instant.
-        if let Some(a) = &adapt {
-            run_adaptation(
-                t,
-                a,
-                &mut state,
-                testbed,
-                &mut fluid,
-                &mut rng,
-                &mut ctxs,
-                &mut reservations,
-                &mut deadlines,
-                &mut deadline_of,
-                patience,
-                &mut access,
-                &mut dm,
-                &mut last_upshift,
-                &failover_profile,
-                &link_factors,
-                &disk_factors,
-                &dyn_factors,
-            );
+        // Adaptation itself moves demand, so the poll loops until a quiet
+        // round — bounded, because upshifts are rate-limited and
+        // downshifts stop at the ladder floor.
+        if adapt_on {
+            for _ in 0..4 {
+                let events = fluid.poll_congestion(t);
+                if events.is_empty() {
+                    break;
+                }
+                for ev in events {
+                    // The plane decides who to renegotiate and to what;
+                    // this driver reports the candidates (with their
+                    // data-plane backlogs) and mirrors the outcomes into
+                    // the fluid engine.
+                    let candidates: Vec<Candidate> = fluid
+                        .sessions_on(ev.server)
+                        .into_iter()
+                        .filter_map(|sid| {
+                            map.get(sid).map(|session| Candidate {
+                                session,
+                                backlog: fluid.session_backlog(sid),
+                            })
+                        })
+                        .collect();
+                    match ev.edge {
+                        CongestionEdge::Onset => {
+                            dm.congestion_events += 1;
+                            let (_, effective) = effective_capacity(
+                                &link_factors,
+                                &disk_factors,
+                                &dyn_factors,
+                                &cfg.testbed,
+                                ev.server,
+                            );
+                            effects.clear();
+                            plane.handle_into(
+                                engine,
+                                Command::CongestionOnset { server: ev.server, candidates, now: t },
+                                &mut effects,
+                            );
+                            for e in effects.drain(..) {
+                                let Effect::Renegotiated(r) = e else {
+                                    unreachable!("onset produced a non-renegotiation")
+                                };
+                                dm.downshifts += 1;
+                                if r.hunting {
+                                    dm.oscillations += 1;
+                                }
+                                dm.violation_secs_avoided +=
+                                    r.bytes_saved.max(0.0) / effective.max(1) as f64;
+                                apply_renegotiation(
+                                    &mut fluid,
+                                    &mut map,
+                                    &mut deadlines,
+                                    &mut deadline_of,
+                                    patience,
+                                    &mut access,
+                                    t,
+                                    &r,
+                                );
+                            }
+                        }
+                        CongestionEdge::Cleared => {
+                            effects.clear();
+                            plane.handle_into(
+                                engine,
+                                Command::CongestionCleared {
+                                    server: ev.server,
+                                    candidates,
+                                    now: t,
+                                },
+                                &mut effects,
+                            );
+                            for e in effects.drain(..) {
+                                let Effect::Renegotiated(r) = e else {
+                                    unreachable!("cleared produced a non-renegotiation")
+                                };
+                                dm.upshifts += 1;
+                                apply_renegotiation(
+                                    &mut fluid,
+                                    &mut map,
+                                    &mut deadlines,
+                                    &mut deadline_of,
+                                    patience,
+                                    &mut access,
+                                    t,
+                                    &r,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
     if watch_capacity && cfg.horizon > violation_t {
@@ -989,31 +1001,37 @@ pub fn run_throughput_on(
     advance_fluid!(cfg.horizon);
     handle_done(
         fluid.drain_completions(),
-        &mut reservations,
-        &mut state,
+        engine,
+        &mut plane,
+        &mut map,
+        &mut effects,
         &mut outstanding,
         &mut completions,
         &mut completed,
         &mut deadlines,
         &mut deadline_of,
-        &mut ctxs,
     );
     // Whoever is still waiting never got served: fresh queries fold into
     // the rejected count so `admitted + rejected == queries` holds;
     // displaced sessions still waiting are lost to the fault accounting.
-    if let Some(qu) = queue.as_mut() {
-        let (pending, displaced_pending) = qu.finish();
-        if pending > 0 {
-            rejected += pending;
-            rejects.push(cfg.horizon, rejected as f64);
+    if queue_on {
+        effects.clear();
+        plane.handle_into(engine, Command::Finish, &mut effects);
+        for e in effects.drain(..) {
+            let Effect::Finished { pending, displaced_pending } = e else { continue };
+            if pending > 0 {
+                rejected += pending;
+                rejects.push(cfg.horizon, rejected as f64);
+            }
+            fm.dropped += displaced_pending;
         }
-        fm.dropped += displaced_pending;
     }
 
+    let (core, queue_metrics) = plane.into_parts();
     // Env-gated diagnostic (EXPERIMENTS.md, plan-cache study): end-of-run
     // cache counters on stderr, leaving the returned result untouched.
     if std::env::var_os("QUASAQ_CACHE_DEBUG").is_some() {
-        if let SystemState::Quasaq { manager, .. } = &state {
+        if let SystemCore::Quasaq { manager, .. } = &core {
             if let Some(s) = manager.plan_cache_stats() {
                 eprintln!("cache stats: {s:?}");
             }
@@ -1030,56 +1048,55 @@ pub fn run_throughput_on(
         completed,
         access,
         mean_utility: (utility_n > 0).then(|| utility_sum / utility_n as f64),
-        queue: queue.map(AdmissionQueue::into_metrics),
+        queue: queue_metrics,
         faults: watch_capacity.then_some(fm),
         degradation: adapt_on.then_some(dm),
     }
 }
 
-/// What the driver must remember about a live session to fail it over
-/// after a crash or renegotiate it under congestion (tracked only when
-/// fault injection or adaptation is on).
-struct SessionCtx {
-    query: QueuedQuery,
-    total_bytes: u64,
-    /// The admitted plan (QuaSAQ systems only): what a mid-stream
-    /// renegotiation swaps out. Baselines have no plan machinery, so
-    /// their sessions never re-rate.
-    plan: Option<AdmittedPlan>,
-    /// The QoS the client originally asked for — the upshift ceiling.
-    orig_qos: QosRange,
-    /// Last upshift instant (oscillation detection).
-    upshifted_at: Option<SimTime>,
-}
-
-impl SessionCtx {
-    fn new(query: QueuedQuery, total_bytes: u64, plan: Option<AdmittedPlan>) -> Self {
-        let orig_qos = query.qos.clone();
-        SessionCtx { query, total_bytes, plan, orig_qos, upshifted_at: None }
+/// The exact query stream a config drives: the paper's Poisson process
+/// over the testbed's catalog, seeded from the run seed. Public so the
+/// runtime shell's load generator can replay the same arrivals a driver
+/// run would see.
+pub fn arrival_stream(testbed: &Testbed, cfg: &ThroughputConfig) -> Vec<GeneratedQuery> {
+    let mut traffic = TrafficConfig::paper(testbed.library.len(), cfg.horizon);
+    traffic.video_skew = cfg.video_skew;
+    traffic.qop_mix = cfg.qop_mix;
+    if let Some(period) = cfg.arrival_period {
+        traffic.mean_interarrival = period;
     }
+    traffic.burst = cfg.arrival_burst.max(1);
+    generate_queries(cfg.seed ^ 0x51ab_17e5, &traffic)
 }
 
-fn fail_site(state: &mut SystemState, server: ServerId) {
-    match state {
-        SystemState::QosApi { api, .. } => {
-            api.fail_server(server);
+/// The system under test as a control-plane core, built exactly the way
+/// the in-process driver builds it. Public so the TCP shell serves the
+/// same planners and cost models the experiments measure.
+pub fn build_core(testbed: &Testbed, system: SystemKind, cfg: &ThroughputConfig) -> SystemCore {
+    match system {
+        SystemKind::Vdbms => {
+            SystemCore::Plain { planner: BaselinePlanner::new(BaselineKind::Plain) }
         }
-        SystemState::Quasaq { manager, .. } => {
-            manager.handle_server_failure(server);
+        SystemKind::VdbmsQosApi => SystemCore::QosApi {
+            planner: BaselinePlanner::new(BaselineKind::WithQosApi),
+            api: testbed.qos_api(),
+            headroom: cfg.testbed.cost.reservation_headroom,
+        },
+        SystemKind::Quasaq(kind) => {
+            let mut manager = testbed.quality_manager_with(
+                kind,
+                quasaq_core::GeneratorConfig {
+                    cost: cfg.testbed.cost,
+                    allow_remote: !cfg.local_plans_only,
+                    ..quasaq_core::GeneratorConfig::default()
+                },
+            );
+            manager.set_plan_caching(cfg.plan_cache);
+            SystemCore::Quasaq {
+                manager,
+                executor: PlanExecutor { cost: cfg.testbed.cost, ..PlanExecutor::default() },
+            }
         }
-        SystemState::Plain { .. } => {}
-    }
-}
-
-fn restore_site(state: &mut SystemState, server: ServerId) {
-    match state {
-        SystemState::QosApi { api, .. } => {
-            api.restore_server(server);
-        }
-        SystemState::Quasaq { manager, .. } => {
-            manager.handle_server_restart(server);
-        }
-        SystemState::Plain { .. } => {}
     }
 }
 
@@ -1141,362 +1158,89 @@ fn remove_factor(factors: &mut HashMap<ServerId, Vec<f64>>, server: ServerId, fa
     v.remove(i);
 }
 
-fn release(state: &mut SystemState, res: ReservationId) {
-    match state {
-        SystemState::QosApi { api, .. } => api.release(res),
-        SystemState::Quasaq { manager, .. } => manager.release_reservation(res),
-        SystemState::Plain { .. } => {}
+/// Mirrors an admission into the data plane: starts the fluid stream,
+/// binds the ids, and arms the patience deadline. Under the fair-share
+/// policy the link always accepts a new session (it stretches instead of
+/// refusing), so this cannot fail.
+fn start_stream(
+    fluid: &mut FluidEngine,
+    map: &mut SessionMap,
+    deadlines: &mut BTreeSet<(SimTime, FluidSessionId)>,
+    deadline_of: &mut PerSession<SimTime>,
+    patience: Option<SimDuration>,
+    now: SimTime,
+    adm: &Admission,
+) {
+    let sid =
+        fluid.add_session(now, adm.server, adm.bytes, adm.rate_bps).expect("fair-share admits");
+    map.bind(sid, adm.session);
+    if let Some(p) = patience {
+        let dl = now + adm.nominal + p;
+        deadlines.insert((dl, sid));
+        deadline_of.insert(sid, dl);
     }
 }
 
+/// Mirrors a renegotiation into the data plane: replaces the fluid
+/// session with the remaining bytes at the new rate and rebinds every
+/// per-session table to the new id (cancel + re-add allocates fresh).
+#[allow(clippy::too_many_arguments)]
+fn apply_renegotiation(
+    fluid: &mut FluidEngine,
+    map: &mut SessionMap,
+    deadlines: &mut BTreeSet<(SimTime, FluidSessionId)>,
+    deadline_of: &mut PerSession<SimTime>,
+    patience: Option<SimDuration>,
+    access: &mut AccessStats,
+    now: SimTime,
+    r: &Renegotiation,
+) {
+    let old = map.take_fluid(r.session).expect("renegotiated sessions are live");
+    fluid.cancel_session(now, old);
+    fluid.forget_session(old);
+    let new_sid = fluid.add_session(now, r.server, r.bytes, r.rate_bps).expect("fair-share admits");
+    map.bind(new_sid, r.session);
+    if let Some(dl) = deadline_of.remove(old) {
+        deadlines.remove(&(dl, old));
+    }
+    if let Some(p) = patience {
+        let dl = now + r.nominal + p;
+        deadlines.insert((dl, new_sid));
+        deadline_of.insert(new_sid, dl);
+    }
+    access.record(r.video, r.server);
+}
+
+/// Completion sweep: retire each finished stream from the side tables and
+/// tear its control-plane session down (releasing the reservation).
 #[allow(clippy::too_many_arguments)]
 fn handle_done(
     done: Vec<quasaq_stream::FluidDone>,
-    reservations: &mut PerSession<ReservationId>,
-    state: &mut SystemState,
+    engine: &MetadataEngine,
+    plane: &mut ControlPlane,
+    map: &mut SessionMap,
+    effects: &mut Vec<Effect>,
     outstanding: &mut LevelTracker,
     completions: &mut RateCounter,
     completed: &mut u64,
     deadlines: &mut BTreeSet<(SimTime, FluidSessionId)>,
     deadline_of: &mut PerSession<SimTime>,
-    ctxs: &mut PerSession<SessionCtx>,
 ) {
     for d in done {
         outstanding.adjust(d.at, -1);
         completions.record(d.at);
         *completed += 1;
-        if let Some(res) = reservations.remove(d.id) {
-            release(state, res);
-        }
         if let Some(dl) = deadline_of.remove(d.id) {
             deadlines.remove(&(dl, d.id));
         }
-        ctxs.remove(d.id);
+        let session = map.unbind(d.id).expect("completed sessions are bound");
+        effects.clear();
+        plane.handle_into(
+            engine,
+            Command::Teardown { session, abandoned: false, now: d.at },
+            effects,
+        );
     }
-}
-
-/// One end-of-instant adaptation pass: poll the congestion watch and act
-/// on every edge it reports. Onsets renegotiate up to
-/// `max_downshifts_per_event` sessions on the congested server one QoP
-/// ladder step down; Cleared edges renegotiate at most one previously
-/// degraded session back toward its original request, rate-bounded per
-/// server by `upgrade_period`. Adaptation itself moves demand, so the
-/// poll loops until a quiet round — bounded, because upshifts are
-/// rate-limited and downshifts stop at the ladder floor.
-#[allow(clippy::too_many_arguments)]
-fn run_adaptation(
-    now: SimTime,
-    adapt: &AdaptationConfig,
-    state: &mut SystemState,
-    testbed: &Testbed,
-    fluid: &mut FluidEngine,
-    rng: &mut Rng,
-    ctxs: &mut PerSession<SessionCtx>,
-    reservations: &mut PerSession<ReservationId>,
-    deadlines: &mut BTreeSet<(SimTime, FluidSessionId)>,
-    deadline_of: &mut PerSession<SimTime>,
-    patience: Option<SimDuration>,
-    access: &mut AccessStats,
-    dm: &mut DegradationMetrics,
-    last_upshift: &mut HashMap<ServerId, SimTime>,
-    profile: &UserProfile,
-    link_factors: &HashMap<ServerId, Vec<f64>>,
-    disk_factors: &HashMap<ServerId, Vec<f64>>,
-    dyn_factors: &HashMap<ServerId, f64>,
-) {
-    for _ in 0..4 {
-        let events = fluid.poll_congestion(now);
-        if events.is_empty() {
-            break;
-        }
-        for ev in events {
-            match ev.edge {
-                CongestionEdge::Onset => {
-                    dm.congestion_events += 1;
-                    let (_, effective) = effective_capacity(
-                        link_factors,
-                        disk_factors,
-                        dyn_factors,
-                        &testbed.config,
-                        ev.server,
-                    );
-                    let mut shed = 0usize;
-                    for sid in fluid.sessions_on(ev.server) {
-                        if shed >= adapt.max_downshifts_per_event {
-                            break;
-                        }
-                        // Only QuaSAQ sessions carry a renegotiable plan,
-                        // and the floor of the ladder stays put.
-                        let Some(ctx) = ctxs.get(sid) else { continue };
-                        if ctx.plan.is_none() {
-                            continue;
-                        }
-                        let Some(next) = profile.degrade_options(&ctx.query.qos).into_iter().next()
-                        else {
-                            continue;
-                        };
-                        let hunting =
-                            ctx.upshifted_at.is_some_and(|ts| now < ts + adapt.upgrade_period);
-                        if let Some(moved) = renegotiate_session(
-                            now,
-                            state,
-                            testbed,
-                            fluid,
-                            rng,
-                            sid,
-                            next,
-                            ctxs,
-                            reservations,
-                            deadlines,
-                            deadline_of,
-                            patience,
-                            access,
-                        ) {
-                            shed += 1;
-                            dm.downshifts += 1;
-                            if hunting {
-                                dm.oscillations += 1;
-                            }
-                            dm.violation_secs_avoided +=
-                                moved.bytes_saved.max(0.0) / effective.max(1) as f64;
-                        }
-                    }
-                }
-                CongestionEdge::Cleared => {
-                    let allowed = last_upshift
-                        .get(&ev.server)
-                        .is_none_or(|&ts| now >= ts + adapt.upgrade_period);
-                    if !allowed {
-                        continue;
-                    }
-                    for sid in fluid.sessions_on(ev.server) {
-                        let Some(ctx) = ctxs.get(sid) else { continue };
-                        if ctx.plan.is_none() || ctx.query.qos == ctx.orig_qos {
-                            continue;
-                        }
-                        let target = ctx.orig_qos.clone();
-                        if let Some(moved) = renegotiate_session(
-                            now,
-                            state,
-                            testbed,
-                            fluid,
-                            rng,
-                            sid,
-                            target,
-                            ctxs,
-                            reservations,
-                            deadlines,
-                            deadline_of,
-                            patience,
-                            access,
-                        ) {
-                            dm.upshifts += 1;
-                            last_upshift.insert(ev.server, now);
-                            if let Some(c) = ctxs.get_mut(moved.sid) {
-                                c.upshifted_at = Some(now);
-                            }
-                            // One upgrade per Cleared edge: recovery is
-                            // deliberately slower than degradation.
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Outcome of one successful mid-stream renegotiation.
-struct Renegotiated {
-    /// The session's new fluid id (cancel + re-add allocates fresh).
-    sid: FluidSessionId,
-    /// Bytes the re-rate took off the wire (negative for an upshift).
-    bytes_saved: f64,
-}
-
-/// Renegotiates one live QuaSAQ session to `new_qos`: swaps the
-/// reservation through [`QualityManager::renegotiate`] (which keeps the
-/// old one on failure), then replaces the fluid session with the
-/// remaining fraction of the stream at the new plan's bitrate and
-/// rebinds every per-session table to the new id. Returns `None` — with
-/// the session untouched — when the manager finds no feasible plan.
-#[allow(clippy::too_many_arguments)]
-fn renegotiate_session(
-    now: SimTime,
-    state: &mut SystemState,
-    testbed: &Testbed,
-    fluid: &mut FluidEngine,
-    rng: &mut Rng,
-    sid: FluidSessionId,
-    new_qos: QosRange,
-    ctxs: &mut PerSession<SessionCtx>,
-    reservations: &mut PerSession<ReservationId>,
-    deadlines: &mut BTreeSet<(SimTime, FluidSessionId)>,
-    deadline_of: &mut PerSession<SimTime>,
-    patience: Option<SimDuration>,
-    access: &mut AccessStats,
-) -> Option<Renegotiated> {
-    let SystemState::Quasaq { manager, executor } = state else { return None };
-    let ctx = ctxs.get(sid)?;
-    let plan = ctx.plan.as_ref()?;
-    let request =
-        PlanRequest { video: ctx.query.video, qos: new_qos.clone(), security: QopSecurity::Open };
-    let swapped = manager.renegotiate(&testbed.engine, plan, &request, rng).ok()?;
-    let meta = testbed.engine.video(ctx.query.video).expect("known video");
-    let (full_bytes, rate) = executor.fluid_params(&swapped.plan, meta);
-    let remaining = fluid.session_backlog(sid);
-    let frac = (remaining / ctx.total_bytes.max(1) as f64).clamp(0.0, 1.0);
-    let bytes = resume_bytes(full_bytes, Some(frac));
-    let server = swapped.plan.target_server;
-    fluid.cancel_session(now, sid);
-    fluid.forget_session(sid);
-    let new_sid = fluid.add_session(now, server, bytes, rate).expect("fair-share admits");
-    let mut ctx = ctxs.remove(sid).expect("context just read");
-    // The old reservation id was consumed by the renegotiation swap —
-    // drop it without releasing.
-    reservations.remove(sid);
-    reservations.insert(new_sid, swapped.reservation);
-    if let Some(dl) = deadline_of.remove(sid) {
-        deadlines.remove(&(dl, sid));
-    }
-    if let Some(p) = patience {
-        let dl = now + nominal_duration(bytes, rate) + p;
-        deadlines.insert((dl, new_sid));
-        deadline_of.insert(new_sid, dl);
-    }
-    access.record(ctx.query.video, server);
-    ctx.query.qos = new_qos;
-    ctx.total_bytes = bytes;
-    ctx.plan = Some(swapped);
-    ctxs.insert(new_sid, ctx);
-    Some(Renegotiated { sid: new_sid, bytes_saved: remaining - bytes as f64 })
-}
-
-/// One admitted session, whichever system admitted it.
-struct AdmittedSession {
-    sid: FluidSessionId,
-    reservation: Option<ReservationId>,
-    server: quasaq_sim::ServerId,
-    utility: Option<f64>,
-    /// Unstretched duration (bytes / rate): what playback takes when the
-    /// link honours the stream's pacing rate.
-    nominal: SimDuration,
-    /// Bytes actually streamed (scaled down on a mid-stream failover).
-    bytes: u64,
-    /// The admitted plan (QuaSAQ only), handed to the session context so
-    /// the adaptation loop can renegotiate it later.
-    plan: Option<AdmittedPlan>,
-}
-
-/// Scales a replica's size by the fraction still owed after a failover.
-fn resume_bytes(bytes: u64, resume: Option<f64>) -> u64 {
-    match resume {
-        Some(frac) => ((bytes as f64 * frac).ceil() as u64).max(1),
-        None => bytes,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn admit(
-    state: &mut SystemState,
-    testbed: &Testbed,
-    q: &QueuedQuery,
-    fluid: &mut FluidEngine,
-    rng: &mut Rng,
-    now: SimTime,
-    resume: Option<f64>,
-    down: &BTreeSet<ServerId>,
-) -> Result<AdmittedSession, Rejection> {
-    match state {
-        SystemState::Plain { planner } => {
-            // The plain baseline has no reservation layer to notice a dead
-            // server, so the crash filter is explicit. With `down` empty
-            // this is the legacy `select`, RNG draw for RNG draw.
-            let choice = planner
-                .select_avoiding(&testbed.engine, q.video, rng, down)
-                .ok_or(Rejection::NoFeasiblePlan)?;
-            let bytes = resume_bytes(choice.record.object.bytes, resume);
-            let rate = choice.record.object.rate_bps;
-            let sid = fluid
-                .add_session(now, choice.server, bytes, rate)
-                .map_err(|_| Rejection::AdmissionFailed)?;
-            Ok(AdmittedSession {
-                sid,
-                reservation: None,
-                server: choice.server,
-                utility: None,
-                nominal: nominal_duration(bytes, rate),
-                bytes,
-                plan: None,
-            })
-        }
-        SystemState::QosApi { planner, api, headroom } => {
-            let choice =
-                planner.select(&testbed.engine, q.video, rng).ok_or(Rejection::NoFeasiblePlan)?;
-            // The baseline has no cost model, but admission may try each
-            // server holding the (full-quality) replica in random order.
-            let mut servers: Vec<quasaq_sim::ServerId> = testbed
-                .engine
-                .replicas(q.video)
-                .iter()
-                .filter(|r| r.object.rate_bps == choice.record.object.rate_bps)
-                .map(|r| r.object.server)
-                .collect();
-            servers.dedup();
-            rng.shuffle(&mut servers);
-            let profile = choice.record.profile;
-            for server in servers {
-                let demand = ResourceVector::new()
-                    .with(
-                        ResourceKey::new(server, ResourceKind::Cpu),
-                        (profile.cpu_share * *headroom).min(1.0),
-                    )
-                    .with(ResourceKey::new(server, ResourceKind::NetBandwidth), profile.net_bps)
-                    .with(ResourceKey::new(server, ResourceKind::DiskBandwidth), profile.disk_bps)
-                    .with(ResourceKey::new(server, ResourceKind::Memory), profile.memory_bytes);
-                if let Ok(res) = api.reserve(&demand) {
-                    let bytes = resume_bytes(choice.record.object.bytes, resume);
-                    let rate = choice.record.object.rate_bps;
-                    let sid =
-                        fluid.add_session(now, server, bytes, rate).expect("fair-share admits");
-                    return Ok(AdmittedSession {
-                        sid,
-                        reservation: Some(res),
-                        server,
-                        utility: None,
-                        nominal: nominal_duration(bytes, rate),
-                        bytes,
-                        plan: None,
-                    });
-                }
-            }
-            Err(Rejection::AdmissionFailed)
-        }
-        SystemState::Quasaq { manager, executor } => {
-            let request =
-                PlanRequest { video: q.video, qos: q.qos.clone(), security: QopSecurity::Open };
-            let admitted = manager.process(&testbed.engine, &request, rng)?;
-            let meta = testbed.engine.video(q.video).expect("known video");
-            let (bytes, rate) = executor.fluid_params(&admitted.plan, meta);
-            let bytes = resume_bytes(bytes, resume);
-            let server = admitted.plan.target_server;
-            let utility = UtilityGain { weights: QosWeights::default() }.utility(&admitted.plan);
-            let sid = fluid.add_session(now, server, bytes, rate).expect("fair-share admits");
-            Ok(AdmittedSession {
-                sid,
-                reservation: Some(admitted.reservation),
-                server,
-                utility: Some(utility),
-                nominal: nominal_duration(bytes, rate),
-                bytes,
-                plan: Some(admitted),
-            })
-        }
-    }
-}
-
-fn nominal_duration(bytes: u64, rate_bps: u64) -> SimDuration {
-    SimDuration::from_secs_f64(bytes as f64 / rate_bps.max(1) as f64)
 }
 
 #[cfg(test)]
@@ -1684,6 +1428,11 @@ mod tests {
         let q = with_queue.queue.as_ref().unwrap();
         assert!(q.retries > 0, "overloaded run must exercise retries");
         assert!(q.wait.mean() > 0.0, "some admissions waited");
+        // The quantile sketch rides along: with waits recorded, p95 is
+        // reportable and at least the mean's order of magnitude.
+        let p95 = with_queue.queue_wait_p95().expect("waits recorded");
+        assert!(p95 > 0.0, "p95 of a waiting run must be positive");
+        assert!(p95 >= q.wait.mean() * 0.5, "p95 {} vs mean {}", p95, q.wait.mean());
     }
 
     /// The acceptance scenario: server 0 crashes at t = 1000 s and

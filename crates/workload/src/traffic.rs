@@ -65,30 +65,10 @@ impl TrafficConfig {
     }
 }
 
-/// Coarse service class of a request, derived from its requested
-/// resolution. Brownout admission sheds load class by class: Economy
-/// requests are rejected outright, Standard requests are degraded a
-/// ladder step before admission, Premium requests degrade too but are the
-/// last to be turned away.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum QopClass {
-    /// Preview-resolution requests: the cheapest to serve and the first
-    /// shed under brownout.
-    Economy,
-    /// VCD/TV-grade requests.
-    Standard,
-    /// DVD-grade requests.
-    Premium,
-}
-
-/// Classifies a request for brownout shedding.
-pub fn qop_class(qop: &QopRequest) -> QopClass {
-    match qop.resolution {
-        QopResolution::Preview => QopClass::Economy,
-        QopResolution::VcdLike | QopResolution::TvLike => QopClass::Standard,
-        QopResolution::DvdLike => QopClass::Premium,
-    }
-}
+/// Service classes (and the classifier) live in the sans-IO control
+/// plane now — brownout shedding is a control-plane decision — and are
+/// re-exported here so existing callers keep compiling.
+pub use quasaq_service::{qop_class, QopClass};
 
 /// One generated request.
 #[derive(Debug, Clone)]

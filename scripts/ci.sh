@@ -29,4 +29,7 @@ cargo run --release -p quasaq-bench --bin bench -- --smoke
 echo "==> scenario gallery (every scenarios/*.toml: serial + sharded(2), bit-identical, golden match)"
 cargo run --release -p quasaq-bench --bin bench -- --gallery --shards 2
 
+echo "==> service-shell loopback smoke (TCP shell vs in-process driver decision identity, 1/2/4 threads)"
+cargo run --release -p quasaq-bench --bin bench -- --load --quick
+
 echo "CI green."
